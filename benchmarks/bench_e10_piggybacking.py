@@ -1,0 +1,95 @@
+"""E10 (extension) -- Deferral and piggybacking of control messages (§4.6).
+
+The paper: back-trace messages "are small and can be piggybacked on other
+messages", costing "tenths of a second [per site] if messages are deferred
+and piggybacked" instead of milliseconds.  This ablation measures the trade
+on a workload of parallel 2-site cycles (whose traces' calls and replies
+cluster per destination): physical messages and bytes-on-wire go down,
+collection latency goes up by a bounded amount.
+"""
+
+import pytest
+
+from repro import GcConfig, Simulation, SimulationConfig
+from repro.analysis import Oracle
+from repro.harness.report import Table
+from repro.workloads import build_ring_cycle
+
+
+def run_variant(defer, n_cycles, defer_delay=2.0, seed=4):
+    gc = GcConfig(
+        defer_messages=defer,
+        defer_delay=defer_delay,
+        max_traces_per_trigger_check=n_cycles,
+    )
+    sim = Simulation(SimulationConfig(seed=seed, gc=gc))
+    sim.add_sites(["a", "b"], auto_gc=False)
+    workloads = [build_ring_cycle(sim, ["a", "b"]) for _ in range(n_cycles)]
+    oracle = Oracle(sim)
+    for _ in range(2):
+        sim.run_gc_round()
+    for workload in workloads:
+        workload.make_garbage(sim)
+    rounds = None
+    for round_number in range(1, 81):
+        sim.run_gc_round()
+        oracle.check_safety()
+        if not oracle.garbage_set():
+            rounds = round_number
+            break
+    assert rounds is not None
+    return {
+        "physical": sim.metrics.count("messages.total"),
+        "units": sim.metrics.count("messages.units"),
+        "bundles": sim.metrics.count("messages.Bundle"),
+        "piggybacked": sim.metrics.count("deferral.piggybacked"),
+        "rounds": rounds,
+    }
+
+
+def test_e10_deferral_sweep(benchmark, record_table):
+    def run():
+        rows = []
+        for n_cycles in (2, 4, 8, 16):
+            plain = run_variant(False, n_cycles)
+            deferred = run_variant(True, n_cycles)
+            rows.append((n_cycles, plain, deferred))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E10: deferral/piggybacking on N parallel 2-site cycles",
+        [
+            "cycles",
+            "plain msgs",
+            "deferred msgs",
+            "saved",
+            "bundles",
+            "plain rounds",
+            "deferred rounds",
+        ],
+    )
+    for n_cycles, plain, deferred in rows:
+        table.add_row(
+            n_cycles,
+            plain["physical"],
+            deferred["physical"],
+            plain["physical"] - deferred["physical"],
+            deferred["bundles"],
+            plain["rounds"],
+            deferred["rounds"],
+        )
+        assert deferred["physical"] < plain["physical"]
+        assert deferred["rounds"] <= plain["rounds"] + 2
+    record_table("e10_deferral", table)
+    # Savings grow with concurrency (more same-destination clustering).
+    saved = [plain["physical"] - deferred["physical"] for _, plain, deferred in rows]
+    assert saved[-1] > saved[0]
+
+
+@pytest.mark.parametrize("defer", [False, True])
+def test_e10_wall_time(benchmark, defer):
+    stats = benchmark.pedantic(
+        run_variant, args=(defer, 8), rounds=1, iterations=1
+    )
+    assert stats["rounds"] is not None

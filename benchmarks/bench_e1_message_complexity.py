@@ -1,0 +1,141 @@
+"""E1 -- Message complexity of a back trace (paper section 4.6).
+
+Claim: a back trace over a cycle residing on N sites with E inter-site
+references sends 2E + N messages: one call and one reply per inter-site
+reference traversed, plus the report phase.  (Our initiator applies its own
+outcome locally, so the measured report cost is N - 1 messages; the paper
+counts "a message to each participant".)
+
+The bench sweeps ring and clique cycles, counts BackCall / BackReply /
+BackOutcome for the confirming trace, and checks the formula exactly.
+"""
+
+import pytest
+
+from repro import GcConfig, Simulation, SimulationConfig
+from repro.analysis import Oracle
+from repro.harness.report import Table
+from repro.workloads import build_clique_cycle, build_ring_cycle
+
+
+def run_cycle_collection(builder, n_sites):
+    sites = [f"s{i}" for i in range(n_sites)]
+    # Scale the thresholds with the topology, as section 4.3 prescribes: T
+    # above the longest live inter-site path (so nothing live is suspected)
+    # and L a conservative cycle length (so the first trace confirms).
+    gc = GcConfig(
+        suspicion_threshold=n_sites + 4,
+        assumed_cycle_length=2 * n_sites,
+    )
+    sim = Simulation(SimulationConfig(seed=1, gc=gc))
+    sim.add_sites(sites, auto_gc=False)
+    workload = builder(sim, sites)
+    # Long settle windows keep local-trace commits far apart relative to
+    # back-trace latency, matching the paper's timing assumption (section
+    # 4.7): the first trace on a cycle finishes before another could start.
+    settle = 400.0
+    for _ in range(2):
+        sim.run_gc_round(settle_time=settle)
+    workload.make_garbage(sim)
+    oracle = Oracle(sim)
+    before = None
+    for _ in range(80):
+        snap = sim.metrics.snapshot()
+        sim.run_gc_round(settle_time=settle)
+        if sim.metrics.count("backtrace.started") > 0:
+            before = snap
+            break
+    assert before is not None, "no back trace triggered"
+    delta = sim.metrics.snapshot().diff(before)
+    assert delta.get("backtrace.started", 0) == 1, "expected a single trace"
+    for _ in range(80):
+        if not oracle.garbage_set():
+            break
+        sim.run_gc_round(settle_time=settle)
+    oracle.check_safety()
+    assert not oracle.garbage_set()
+    return workload, delta
+
+
+@pytest.mark.parametrize("n_sites", [2, 3, 4, 8, 16])
+def test_ring_message_complexity(benchmark, record_table, n_sites):
+    workload, delta = benchmark.pedantic(
+        run_cycle_collection, args=(build_ring_cycle, n_sites), rounds=1, iterations=1
+    )
+    edges = workload.inter_site_edges
+    calls = delta.get("messages.BackCall", 0)
+    replies = delta.get("messages.BackReply", 0)
+    outcomes = delta.get("messages.BackOutcome", 0)
+    assert calls == edges
+    assert replies == edges
+    assert outcomes == n_sites - 1
+
+    table = Table(
+        f"E1 ring N={n_sites}: back-trace messages vs 2E+N bound",
+        ["topology", "sites N", "edges E", "calls", "replies", "reports", "total", "2E+(N-1)"],
+    )
+    table.add_row(
+        "ring", n_sites, edges, calls, replies, outcomes,
+        calls + replies + outcomes, 2 * edges + n_sites - 1,
+    )
+    record_table(f"e1_ring_n{n_sites}", table)
+
+
+@pytest.mark.parametrize("n_sites", [2, 3, 4, 6])
+def test_clique_message_complexity(benchmark, record_table, n_sites):
+    workload, delta = benchmark.pedantic(
+        run_cycle_collection, args=(build_clique_cycle, n_sites), rounds=1, iterations=1
+    )
+    edges = workload.inter_site_edges
+    calls = delta.get("messages.BackCall", 0)
+    replies = delta.get("messages.BackReply", 0)
+    outcomes = delta.get("messages.BackOutcome", 0)
+    # In a clique every inter-site reference is traversed exactly once.
+    assert calls == edges
+    assert replies == edges
+    assert outcomes == n_sites - 1
+
+    table = Table(
+        f"E1 clique N={n_sites}: back-trace messages vs 2E+N bound",
+        ["topology", "sites N", "edges E", "calls", "replies", "reports", "total", "2E+(N-1)"],
+    )
+    table.add_row(
+        "clique", n_sites, edges, calls, replies, outcomes,
+        calls + replies + outcomes, 2 * edges + n_sites - 1,
+    )
+    record_table(f"e1_clique_n{n_sites}", table)
+
+
+def test_e1_summary_series(benchmark, record_table):
+    """The full series in one table (the 'figure' for this experiment)."""
+
+    def build_series():
+        rows = []
+        for builder, name, site_counts in (
+            (build_ring_cycle, "ring", [2, 3, 4, 8, 16, 32]),
+            (build_clique_cycle, "clique", [2, 4, 6, 8]),
+        ):
+            for n_sites in site_counts:
+                workload, delta = run_cycle_collection(builder, n_sites)
+                rows.append(
+                    (
+                        name,
+                        n_sites,
+                        workload.inter_site_edges,
+                        delta.get("messages.BackCall", 0)
+                        + delta.get("messages.BackReply", 0)
+                        + delta.get("messages.BackOutcome", 0),
+                        2 * workload.inter_site_edges + n_sites - 1,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    table = Table(
+        "E1 series: back-trace message cost scales with the cycle, not the system",
+        ["topology", "sites N", "edges E", "measured total", "2E+(N-1)"],
+    )
+    for row in rows:
+        table.add_row(*row)
+        assert row[3] == row[4]
+    record_table("e1_series", table)

@@ -1,0 +1,143 @@
+"""E5 -- The back-threshold trigger policy (paper section 4.3).
+
+Claims:
+
+- with T2 = T + L and L at least the true cycle length, the first back
+  trace confirms garbage: no abortive Live traces;
+- with L too small, traces start prematurely and return Live, but each
+  visit bumps the per-ioref back threshold, so collection still converges;
+- live suspects stop generating back traces once their (growing) thresholds
+  exceed their (stable) distances, while garbage keeps generating traces
+  until collected.
+"""
+
+import pytest
+
+from repro import GcConfig, Simulation, SimulationConfig
+from repro.analysis import Oracle
+from repro.harness.report import Table
+from repro.workloads import GraphBuilder, build_ring_cycle
+
+CYCLE_SITES = 6
+
+
+def run_policy(assumed_cycle_length, increment=4, max_rounds=100):
+    sites = [f"s{i}" for i in range(CYCLE_SITES)]
+    gc = GcConfig(
+        suspicion_threshold=CYCLE_SITES + 2,
+        assumed_cycle_length=assumed_cycle_length,
+        back_threshold_increment=increment,
+    )
+    sim = Simulation(SimulationConfig(seed=5, gc=gc))
+    sim.add_sites(sites, auto_gc=False)
+    workload = build_ring_cycle(sim, sites)
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    oracle = Oracle(sim)
+    rounds = max_rounds
+    for round_number in range(1, max_rounds + 1):
+        sim.run_gc_round()
+        oracle.check_safety()
+        if not oracle.garbage_set():
+            rounds = round_number
+            break
+    assert not oracle.garbage_set()
+    return {
+        "rounds": rounds,
+        "live_traces": sim.metrics.count("backtrace.completed_live"),
+        "garbage_traces": sim.metrics.count("backtrace.completed_garbage"),
+        "started": sim.metrics.count("backtrace.started"),
+    }
+
+
+def test_e5_threshold_sweep(benchmark, record_table):
+    def run():
+        rows = []
+        for length in (1, 2, 4, 6, 8, 12):
+            stats = run_policy(length)
+            rows.append(
+                (
+                    length,
+                    CYCLE_SITES + 2 + length,
+                    stats["started"],
+                    stats["live_traces"],
+                    stats["garbage_traces"],
+                    stats["rounds"],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        f"E5: trigger policy on a {CYCLE_SITES}-site garbage ring (T={CYCLE_SITES + 2})",
+        ["assumed L", "T2", "traces started", "abortive (Live)", "confirming", "rounds to collect"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    record_table("e5_threshold_sweep", table)
+    by_length = {row[0]: row for row in rows}
+    # L >= true cycle length: zero abortive traces.
+    assert by_length[6][3] == 0
+    assert by_length[8][3] == 0
+    # L too small: at least one abortive trace, yet collection completed.
+    assert by_length[1][3] >= 1
+    # Larger L delays collection (trades timeliness for precision).
+    assert by_length[12][5] >= by_length[6][5]
+
+
+def test_e5_live_suspects_go_quiet(benchmark, record_table):
+    """A live long chain keeps its suspects; traces must stop re-firing."""
+
+    def run():
+        sites = [f"s{i}" for i in range(8)]
+        gc = GcConfig(
+            suspicion_threshold=3,      # the chain's tail is suspected
+            assumed_cycle_length=1,     # trigger early: worst case
+            back_threshold_increment=4,
+        )
+        sim = Simulation(SimulationConfig(seed=6, gc=gc))
+        sim.add_sites(sites, auto_gc=False)
+        b = GraphBuilder(sim)
+        root = b.obj("s0", "root", root=True)
+        members = [b.obj(site) for site in sites[1:]]
+        b.link(root, members[0])
+        for left, right in zip(members, members[1:]):
+            b.link(left, right)
+        counts = []
+        for _ in range(30):
+            sim.run_gc_round()
+            counts.append(sim.metrics.count("backtrace.started"))
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E5 live chain: cumulative back traces started per round (must plateau)",
+        ["round", "traces started (cumulative)"],
+    )
+    for round_number, count in enumerate(counts, start=1):
+        if round_number % 3 == 0:
+            table.add_row(round_number, count)
+    record_table("e5_live_quiet", table)
+    assert counts[-1] == counts[-10]  # no new traces in the last 10 rounds
+    assert counts[-1] >= 1            # but some early abortive ones fired
+
+
+def test_e5_increment_effect(benchmark, record_table):
+    """Bigger increments silence live suspects in fewer abortive traces."""
+
+    def run():
+        rows = []
+        for increment in (1, 2, 4, 8):
+            stats = run_policy(assumed_cycle_length=2, increment=increment)
+            rows.append((increment, stats["live_traces"], stats["rounds"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E5: back-threshold increment vs abortive traces (premature T2)",
+        ["increment", "abortive (Live) traces", "rounds to collect"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    record_table("e5_increment", table)

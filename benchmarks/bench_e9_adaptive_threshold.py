@@ -1,0 +1,103 @@
+"""E9 (extension) -- Adaptive suspicion-threshold tuning (paper section 3).
+
+The paper: "The outcome of this technique may be used to tune the suspicion
+threshold.  For example, if too many suspects are found live, the threshold
+should be increased."  This ablation runs a workload of recurring *live*
+long chains (which a low fixed threshold keeps suspecting, paying abortive
+back traces and inset computation) with tuning on and off, and checks that
+garbage cycles are still collected under the raised thresholds.
+"""
+
+import pytest
+
+from repro import GcConfig, Simulation, SimulationConfig
+from repro.analysis import Oracle
+from repro.harness.report import Table
+from repro.workloads import GraphBuilder, build_ring_cycle
+
+
+def run_variant(tuning_enabled, generations=6, seed=3):
+    gc = GcConfig(
+        suspicion_threshold=2,
+        assumed_cycle_length=1,
+        enable_threshold_tuning=tuning_enabled,
+    )
+    sites = [f"s{i}" for i in range(6)]
+    sim = Simulation(SimulationConfig(seed=seed, gc=gc))
+    sim.add_sites(sites, auto_gc=False)
+    b = GraphBuilder(sim)
+    root = b.obj("s0", root=True)
+    previous_head = None
+    for _ in range(generations):
+        members = [b.obj(site) for site in sites[1:]]
+        sim.site("s0").mutator_add_ref(root, members[0])
+        for left, right in zip(members, members[1:]):
+            b.link(left, right)
+        if previous_head is not None:
+            sim.site("s0").mutator_remove_ref(root, previous_head)
+        previous_head = members[0]
+        for _ in range(6):
+            sim.run_gc_round()
+    # A garbage ring at the end: completeness must survive tuning.
+    ring = build_ring_cycle(sim, sites)
+    for _ in range(2):
+        sim.run_gc_round()
+    ring.make_garbage(sim)
+    oracle = Oracle(sim)
+    collected_in = None
+    for round_number in range(1, 120):
+        sim.run_gc_round()
+        oracle.check_safety()
+        if not oracle.garbage_set():
+            collected_in = round_number
+            break
+    return {
+        "abortive": sim.metrics.count("backtrace.completed_live"),
+        "suspect_scans": sim.metrics.count("gc.suspected_objects_scanned"),
+        "raises": sim.metrics.count("tuning.threshold_raised"),
+        "max_threshold": max(
+            site.inrefs.suspicion_threshold for site in sim.sites.values()
+        ),
+        "ring_collected_in": collected_in,
+    }
+
+
+def test_e9_tuning_ablation(benchmark, record_table):
+    def run():
+        return run_variant(False), run_variant(True)
+
+    untuned, tuned = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E9: adaptive threshold tuning on recurring live chains (+ final garbage ring)",
+        [
+            "variant",
+            "abortive (Live) traces",
+            "suspected-object scans",
+            "threshold raises",
+            "max threshold",
+            "ring collected in (rounds)",
+        ],
+    )
+    table.add_row(
+        "fixed T=2",
+        untuned["abortive"],
+        untuned["suspect_scans"],
+        untuned["raises"],
+        untuned["max_threshold"],
+        untuned["ring_collected_in"],
+    )
+    table.add_row(
+        "tuned (floor 2)",
+        tuned["abortive"],
+        tuned["suspect_scans"],
+        tuned["raises"],
+        tuned["max_threshold"],
+        tuned["ring_collected_in"],
+    )
+    record_table("e9_tuning", table)
+    assert tuned["raises"] >= 1
+    assert tuned["abortive"] < untuned["abortive"]
+    assert tuned["suspect_scans"] <= untuned["suspect_scans"]
+    # Completeness preserved under raised thresholds.
+    assert tuned["ring_collected_in"] is not None
+    assert untuned["ring_collected_in"] is not None

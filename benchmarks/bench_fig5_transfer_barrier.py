@@ -1,0 +1,73 @@
+"""F5 -- Figure 5: reference mutations and the transfer barrier.
+
+The mutation of the figure -- copy a reference to z into y after traversing
+the old path, then delete an edge of the old path -- is replayed twice: with
+the transfer barrier enabled (the paper's system: everything stays safe) and
+disabled (the counterfactual: a back trace with stale insets confirms a live
+inref as garbage and a live object is lost).
+"""
+
+import pytest
+
+from repro import GcConfig
+from repro.analysis import Oracle
+from repro.errors import OracleError
+from repro.harness.report import Table
+
+from tests.integration.test_barrier_safety import (
+    build_race_topology,
+    prepare_stale_suspicion,
+    run_mutation_then_trace,
+)
+
+
+def run_variant(barrier_enabled):
+    gc = GcConfig(enable_transfer_barrier=barrier_enabled)
+    sim, b = build_race_topology(gc)
+    prepare_stale_suspicion(sim, b)
+    run_mutation_then_trace(sim, b)
+    g_alive = sim.site("P").heap.contains(b["g"])
+    z_alive = sim.site("Q").heap.contains(b["z"])
+    try:
+        Oracle(sim).check_safety()
+        safe = True
+    except OracleError:
+        safe = False
+    barriers = sim.metrics.count("barrier.transfer_applied")
+    clean_hits = sim.metrics.count("backtrace.clean_rule_hits")
+    return {
+        "g_alive": g_alive,
+        "z_alive": z_alive,
+        "safe": safe,
+        "barriers": barriers,
+        "clean_rule_hits": clean_hits,
+    }
+
+
+def test_fig5_barrier_on_vs_off(benchmark, record_table):
+    def run():
+        return run_variant(True), run_variant(False)
+
+    with_barrier, without_barrier = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "F5 (Figure 5): the same mutation schedule with and without the transfer barrier",
+        ["variant", "barriers fired", "live g survives", "live z survives", "safe"],
+    )
+    table.add_row(
+        "barrier ON (paper)",
+        with_barrier["barriers"],
+        "yes" if with_barrier["g_alive"] else "NO",
+        "yes" if with_barrier["z_alive"] else "NO",
+        "yes" if with_barrier["safe"] else "NO",
+    )
+    table.add_row(
+        "barrier OFF (counterfactual)",
+        without_barrier["barriers"],
+        "yes" if without_barrier["g_alive"] else "NO",
+        "yes" if without_barrier["z_alive"] else "NO",
+        "yes" if without_barrier["safe"] else "NO",
+    )
+    record_table("fig5_barrier", table)
+    assert with_barrier["safe"] and with_barrier["g_alive"] and with_barrier["z_alive"]
+    assert not without_barrier["safe"] and not without_barrier["g_alive"]
+    assert with_barrier["barriers"] >= 1

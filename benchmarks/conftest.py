@@ -1,0 +1,31 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the table its experiment reproduces *and* writes it to
+``benchmarks/out/<name>.txt`` so the numbers survive pytest's stdout capture
+(EXPERIMENTS.md points at these files).  Each name maps to one file,
+overwritten on every run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.report import Table
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def record_table():
+    """Save + print an experiment table."""
+
+    def _record(name: str, table: Table) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        rendered = table.render()
+        (OUT_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print()
+        print(rendered)
+
+    return _record

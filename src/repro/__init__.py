@@ -1,0 +1,48 @@
+"""repro: a reproduction of Maheshwari & Liskov, "Collecting Distributed
+Garbage Cycles by Back Tracing" (PODC 1997).
+
+The library simulates a distributed object store whose sites collect garbage
+by local tracing plus inter-site reference listing, and implements the
+paper's contribution on top: the distance heuristic for suspecting cyclic
+garbage and the back-tracing protocol that confirms and collects it -- with
+the locality property the paper is about (collecting a cycle involves only
+the sites containing it).
+
+Quickstart::
+
+    from repro import Simulation, SimulationConfig
+    from repro.workloads import build_ring_cycle
+    from repro.analysis import Oracle
+
+    sim = Simulation(SimulationConfig(seed=1))
+    sim.add_sites(["P", "Q"], auto_gc=False)
+    workload = build_ring_cycle(sim, ["P", "Q"])
+    workload.make_garbage(sim)         # cut the root edge: cycle is garbage
+    for _ in range(20):
+        sim.run_gc_round()             # local traces + back tracing
+    assert not Oracle(sim).garbage_set()
+"""
+
+from .config import GcConfig, NetworkConfig, SimulationConfig
+from .errors import ReproError
+from .ids import FrameId, ObjectId, SiteId, TraceId
+from .sim.simulation import Simulation
+from .site.site import Site
+from .core.backtrace.messages import TraceOutcome
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GcConfig",
+    "NetworkConfig",
+    "SimulationConfig",
+    "ReproError",
+    "ObjectId",
+    "SiteId",
+    "TraceId",
+    "FrameId",
+    "Simulation",
+    "Site",
+    "TraceOutcome",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Analysis of a running simulation: ground-truth oracle + event logging."""
+
+from .oracle import Oracle
+from .tracelog import Event, TraceLog
+from .export import diff_snapshots, snapshot, to_dot
+
+__all__ = ["Oracle", "TraceLog", "Event", "snapshot", "diff_snapshots", "to_dot"]

@@ -1,0 +1,136 @@
+"""Snapshot export of the distributed object graph and ioref tables.
+
+Operators debugging a distributed collector need to *see* the state: which
+objects exist where, which references cross sites, what the inref/outref
+tables believe, and which iorefs are suspected or flagged.  This module
+renders a simulation snapshot as Graphviz DOT (sites as clusters, suspicion
+as color) or as a plain JSON-able dict for programmatic diffing.
+
+Export is read-only and safe to call at any simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from ..ids import ObjectId
+from ..sim.simulation import Simulation
+
+
+def snapshot(sim: Simulation) -> Dict[str, Any]:
+    """A JSON-able dump of heaps and ioref tables, keyed by site."""
+    data: Dict[str, Any] = {"time": sim.now, "sites": {}}
+    for site_id in sorted(sim.sites):
+        site = sim.sites[site_id]
+        threshold = site.inrefs.suspicion_threshold
+        objects = {}
+        for obj in site.heap.objects():
+            objects[str(obj.oid)] = {
+                "refs": [str(ref) for ref in obj.iter_refs()],
+                "persistent_root": obj.oid in site.heap.persistent_roots,
+                "variable_root": obj.oid in site.heap.variable_roots,
+            }
+        inrefs = {}
+        for entry in site.inrefs.entries():
+            inrefs[str(entry.target)] = {
+                "sources": dict(sorted(entry.sources.items())),
+                "distance": entry.distance,
+                "clean": entry.is_clean(threshold),
+                "garbage": entry.garbage,
+                "back_threshold": entry.back_threshold,
+            }
+        outrefs = {}
+        for entry in site.outrefs.entries():
+            outrefs[str(entry.target)] = {
+                "distance": entry.distance,
+                "clean": entry.is_clean,
+                "pinned": entry.pin_count > 0,
+                "inset": sorted(str(x) for x in entry.inset),
+                "back_threshold": entry.back_threshold,
+            }
+        data["sites"][site_id] = {
+            "objects": objects,
+            "inrefs": inrefs,
+            "outrefs": outrefs,
+            "crashed": site.crashed,
+        }
+    return data
+
+
+def diff_snapshots(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+    """What changed between two snapshots: per site, objects born and died,
+    and iorefs added/removed."""
+    result: Dict[str, Any] = {}
+    for site_id in sorted(set(before["sites"]) | set(after["sites"])):
+        old = before["sites"].get(site_id, {"objects": {}, "inrefs": {}, "outrefs": {}})
+        new = after["sites"].get(site_id, {"objects": {}, "inrefs": {}, "outrefs": {}})
+        entry = {
+            "objects_born": sorted(set(new["objects"]) - set(old["objects"])),
+            "objects_died": sorted(set(old["objects"]) - set(new["objects"])),
+            "inrefs_added": sorted(set(new["inrefs"]) - set(old["inrefs"])),
+            "inrefs_removed": sorted(set(old["inrefs"]) - set(new["inrefs"])),
+            "outrefs_added": sorted(set(new["outrefs"]) - set(old["outrefs"])),
+            "outrefs_removed": sorted(set(old["outrefs"]) - set(new["outrefs"])),
+        }
+        if any(entry.values()):
+            result[site_id] = entry
+    return result
+
+
+def to_dot(
+    sim: Simulation,
+    highlight: Optional[Set[ObjectId]] = None,
+    include_iorefs: bool = True,
+) -> str:
+    """Render the distributed heap as Graphviz DOT.
+
+    Sites become clusters; persistent roots are doubled octagons; suspected
+    inref targets are colored orange, garbage-flagged ones red; ``highlight``
+    objects get a bold outline.
+    """
+    highlight = highlight or set()
+    lines: List[str] = [
+        "digraph repro {",
+        "  rankdir=LR;",
+        "  node [shape=ellipse, fontsize=10];",
+    ]
+    for site_id in sorted(sim.sites):
+        site = sim.sites[site_id]
+        threshold = site.inrefs.suspicion_threshold
+        lines.append(f'  subgraph "cluster_{site_id}" {{')
+        label = site_id + (" (CRASHED)" if site.crashed else "")
+        lines.append(f'    label="{label}";')
+        for obj in sorted(site.heap.objects(), key=lambda o: o.oid):
+            attrs = []
+            if obj.oid in site.heap.persistent_roots:
+                attrs.append("shape=doubleoctagon")
+            entry = site.inrefs.get(obj.oid)
+            if entry is not None:
+                if entry.garbage:
+                    attrs.append('color=red, style=filled, fillcolor="#ffcccc"')
+                elif entry.is_suspected(threshold):
+                    attrs.append('color=orange, style=filled, fillcolor="#ffeecc"')
+            if obj.oid in highlight:
+                attrs.append("penwidth=3")
+            attr_text = (" [" + ", ".join(attrs) + "]") if attrs else ""
+            lines.append(f'    "{obj.oid}"{attr_text};')
+        lines.append("  }")
+    # Edges after all clusters so cross-cluster references render.
+    for site_id in sorted(sim.sites):
+        site = sim.sites[site_id]
+        for obj in sorted(site.heap.objects(), key=lambda o: o.oid):
+            for ref in obj.iter_refs():
+                style = "" if ref.site == site_id else ' [style=bold, color="#3355bb"]'
+                lines.append(f'  "{obj.oid}" -> "{ref}"{style};')
+    if include_iorefs:
+        for site_id in sorted(sim.sites):
+            site = sim.sites[site_id]
+            for entry in sorted(site.outrefs.entries(), key=lambda e: e.target):
+                if entry.is_suspected and entry.inset:
+                    for inref in sorted(entry.inset):
+                        lines.append(
+                            f'  "{inref}" -> "{entry.target}"'
+                            ' [style=dashed, color=gray, label="inset"];'
+                        )
+    lines.append("}")
+    return "\n".join(lines)

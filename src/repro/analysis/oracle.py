@@ -1,0 +1,197 @@
+"""The omniscient reachability oracle.
+
+The oracle sees every heap, every root, and every in-flight message at once,
+and computes ground-truth liveness: an object is live iff it is reachable
+from some root following references across sites.  It exists for testing and
+benchmarking -- the collectors under test never consult it.
+
+Roots, mirroring the paper's model plus our explicit message model:
+
+- persistent roots at every site;
+- application-variable roots: local pins and variable-held outrefs
+  (mutator positions are pinned variables, so they are covered);
+- references carried by in-flight messages (a mutator hop or remote copy in
+  transit can still install the reference at its destination);
+- references parked in a site's deferred writes during a non-atomic trace.
+
+Safety is the statement checked by :meth:`check_safety`: every object
+reachable from the roots actually exists.  A collector that deleted a live
+object leaves a dangling reference on a live path, which the check reports
+as an :class:`~repro.errors.OracleError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..errors import OracleError
+from ..ids import ObjectId
+from ..sim.simulation import Simulation
+
+
+class Oracle:
+    """Ground-truth liveness for a whole simulation."""
+
+    def __init__(self, sim: Simulation):
+        self.sim = sim
+
+    # -- roots -------------------------------------------------------------------
+
+    def roots(self) -> Set[ObjectId]:
+        roots: Set[ObjectId] = set()
+        for site in self.sim.sites.values():
+            roots.update(site.heap.persistent_roots)
+            roots.update(site.heap.variable_roots)
+            roots.update(site.variable_outrefs)
+            roots.update(site.pending_carried_refs())
+        for message in self.sim.network.in_flight_messages():
+            roots.update(message.payload.carried_refs())
+        return roots
+
+    # -- liveness -----------------------------------------------------------------
+
+    def live_set(self) -> Set[ObjectId]:
+        """All object ids reachable from the roots (existing objects only)."""
+        live: Set[ObjectId] = set()
+        stack: List[ObjectId] = list(self.roots())
+        while stack:
+            oid = stack.pop()
+            if oid in live:
+                continue
+            site = self.sim.sites.get(oid.site)
+            if site is None:
+                continue
+            obj = site.heap.maybe_get(oid)
+            if obj is None:
+                continue
+            live.add(oid)
+            for ref in obj.iter_refs():
+                if ref not in live:
+                    stack.append(ref)
+        return live
+
+    def garbage_set(self) -> Set[ObjectId]:
+        """Existing objects not reachable from any root."""
+        live = self.live_set()
+        garbage: Set[ObjectId] = set()
+        for site in self.sim.sites.values():
+            for oid in site.heap.object_ids():
+                if oid not in live:
+                    garbage.add(oid)
+        return garbage
+
+    def distributed_cyclic_garbage(self) -> Set[ObjectId]:
+        """Garbage objects lying on inter-site cycles (plus what they reach).
+
+        These are exactly the objects plain local tracing can never collect:
+        garbage objects reachable from some garbage cycle that spans sites.
+        Computed as: garbage objects reachable from a garbage object that is
+        part of a cross-site strongly connected component.
+        """
+        garbage = self.garbage_set()
+        # Build the garbage subgraph.
+        edges: Dict[ObjectId, List[ObjectId]] = {}
+        for oid in garbage:
+            obj = self.sim.sites[oid.site].heap.maybe_get(oid)
+            if obj is None:
+                continue
+            edges[oid] = [ref for ref in obj.iter_refs() if ref in garbage]
+        cyclic_seeds = _cross_site_scc_members(edges)
+        # Everything reachable from a cross-site-cycle member stays
+        # uncollectable under plain local tracing.
+        reachable: Set[ObjectId] = set()
+        stack = list(cyclic_seeds)
+        while stack:
+            oid = stack.pop()
+            if oid in reachable:
+                continue
+            reachable.add(oid)
+            stack.extend(edges.get(oid, ()))
+        return reachable
+
+    # -- checks --------------------------------------------------------------------
+
+    def check_safety(self) -> None:
+        """Raise :class:`OracleError` if any live path dangles."""
+        live: Set[ObjectId] = set()
+        stack: List[ObjectId] = list(self.roots())
+        while stack:
+            oid = stack.pop()
+            if oid in live:
+                continue
+            site = self.sim.sites.get(oid.site)
+            if site is None:
+                raise OracleError(f"live reference to unknown site: {oid}")
+            obj = site.heap.maybe_get(oid)
+            if obj is None:
+                raise OracleError(
+                    f"SAFETY VIOLATION: live object {oid} was collected"
+                )
+            live.add(oid)
+            for ref in obj.iter_refs():
+                if ref not in live:
+                    stack.append(ref)
+
+    def assert_no_garbage(self) -> None:
+        garbage = self.garbage_set()
+        if garbage:
+            sample = sorted(garbage)[:10]
+            raise OracleError(f"{len(garbage)} garbage objects remain, e.g. {sample}")
+
+
+def _cross_site_scc_members(edges: Dict[ObjectId, List[ObjectId]]) -> Set[ObjectId]:
+    """Members of strongly connected components spanning more than one site.
+
+    Iterative Tarjan over an explicit adjacency dict.  Single-site
+    components (including self-loops) are excluded: local tracing handles
+    those fine; only cross-site components defeat it.
+    """
+    index: Dict[ObjectId, int] = {}
+    low: Dict[ObjectId, int] = {}
+    on_stack: Set[ObjectId] = set()
+    scc_stack: List[ObjectId] = []
+    counter = 0
+    members: Set[ObjectId] = set()
+
+    for root in edges:
+        if root in index:
+            continue
+        work = [(root, iter(edges[root]))]
+        index[root] = low[root] = counter
+        counter += 1
+        scc_stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for ref in it:
+                if ref not in edges:
+                    continue
+                if ref not in index:
+                    index[ref] = low[ref] = counter
+                    counter += 1
+                    scc_stack.append(ref)
+                    on_stack.add(ref)
+                    work.append((ref, iter(edges[ref])))
+                    advanced = True
+                    break
+                if ref in on_stack:
+                    low[node] = min(low[node], index[ref])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                component: List[ObjectId] = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sites = {member.site for member in component}
+                if len(sites) > 1:
+                    members.update(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return members

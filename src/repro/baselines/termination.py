@@ -1,0 +1,61 @@
+"""Credit-recovery termination detection for coordinator-driven phases.
+
+Plain "outstanding += spawned - 1" ack counting is racy: an ack for a
+*spawned* batch can overtake (on a different site pair) the ack that reports
+its spawning, driving the counter to zero while work is still in flight.
+The classic fix (Mattern's credit scheme, a cousin of Dijkstra-Scholten):
+the coordinator hands out a total credit of 1; every batch carries an exact
+fractional share; a site that spawns k child batches gives each a share of
+its credit and returns the remainder with its ack.  The phase is complete
+exactly when the coordinator has recovered credit 1 -- no ordering
+assumptions needed.
+
+Credits are :class:`fractions.Fraction` values, so the arithmetic is exact
+at any depth and fan-out.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Tuple
+
+FULL_CREDIT = Fraction(1)
+
+
+def split_credit(credit: Fraction, spawned: int) -> Tuple[List[Fraction], Fraction]:
+    """Divide ``credit`` among ``spawned`` children; return (shares, kept).
+
+    The processing site keeps ``kept`` to return with its ack; the children
+    each carry one share.  shares + kept always sums to ``credit`` exactly.
+    """
+    if spawned <= 0:
+        return [], credit
+    share = credit / (spawned + 1)
+    shares = [share] * spawned
+    kept = credit - share * spawned
+    return shares, kept
+
+
+class CreditPool:
+    """Coordinator-side accumulator for one phase."""
+
+    def __init__(self) -> None:
+        self._returned = Fraction(0)
+
+    def hand_out(self, n: int) -> List[Fraction]:
+        """Initial distribution of the full credit over n seed messages."""
+        if n <= 0:
+            self._returned = FULL_CREDIT
+            return []
+        share = FULL_CREDIT / n
+        return [share] * n
+
+    def give_back(self, credit: Fraction) -> None:
+        self._returned += credit
+
+    @property
+    def complete(self) -> bool:
+        return self._returned == FULL_CREDIT
+
+    def reset(self) -> None:
+        self._returned = Fraction(0)

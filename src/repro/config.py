@@ -1,0 +1,151 @@
+"""Configuration dataclasses for the simulator and the collectors.
+
+Configuration is split by subsystem so that benchmarks can sweep one knob
+without restating the rest.  All classes validate on construction and are
+immutable; derive variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the simulated message-passing network.
+
+    The safety argument of the paper (section 6.4, relation R1) assumes
+    in-order delivery between each pair of sites, which matches TCP-like
+    transports; ``fifo_per_pair`` therefore defaults to True.  Setting it to
+    False exercises the conservative timeout paths.
+    """
+
+    min_latency: float = 1.0
+    max_latency: float = 5.0
+    drop_probability: float = 0.0
+    fifo_per_pair: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_latency < 0:
+            raise ConfigError("min_latency must be >= 0")
+        if self.max_latency < self.min_latency:
+            raise ConfigError("max_latency must be >= min_latency")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ConfigError("drop_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class GcConfig:
+    """Parameters of local tracing, the distance heuristic, and back tracing.
+
+    Attributes mirror the paper's symbols:
+
+    - ``suspicion_threshold`` is T (section 3): inrefs with estimated distance
+      greater than T are suspected; smaller distances are clean.
+    - ``back_threshold`` is T2 (section 4.3), normally T + assumed_cycle_length;
+      a back trace starts from a suspected outref once its distance exceeds
+      its (per-ioref, growing) back threshold.
+    - ``back_threshold_increment`` is the bump applied to an ioref's back
+      threshold each time a back trace visits it, so live suspects stop
+      generating traces.
+    - ``local_trace_period`` is the simulated time between local traces at a
+      site ("on the order of minutes" in the paper -- long relative to message
+      latency).
+    - ``local_trace_duration`` makes local traces non-atomic: messages arriving
+      inside the window see the old copy of back information (section 6.2).
+    - ``backtrace_timeout`` bounds waiting for a back call response or final
+      outcome; expiry conservatively decides Live (section 4.6).
+    - ``enable_backtracing`` / ``enable_transfer_barrier`` exist for
+      counterfactual experiments: plain local tracing (Figure 1's uncollected
+      cycle) and the unsafe no-barrier system (Figure 5's lost object).
+      Production configurations leave both True.
+    """
+
+    suspicion_threshold: int = 4
+    assumed_cycle_length: int = 8
+    back_threshold_increment: int = 4
+    local_trace_period: float = 100.0
+    local_trace_period_jitter: float = 10.0
+    local_trace_duration: float = 0.0
+    backtrace_timeout: float = 500.0
+    backinfo_algorithm: str = "bottomup"
+    enable_backtracing: bool = True
+    enable_transfer_barrier: bool = True
+    # Section 3 suggests tuning the suspicion threshold from trace outcomes
+    # ("if too many suspects are found live, the threshold should be
+    # increased"); repro.core.tuning implements that loop.
+    enable_threshold_tuning: bool = False
+    # Section 4.6: small control messages "can be piggybacked on other
+    # messages" / "deferred and piggybacked".  When enabled, back-trace,
+    # update, and insert traffic queues per destination for up to
+    # ``defer_delay`` and ships bundled (repro.net.batching).
+    defer_messages: bool = False
+    defer_delay: float = 2.0
+    # How many back traces one trigger check (after a local trace) may
+    # start.  Starting one at a time realizes the paper's expectation that
+    # "the first back trace started in a cycle is likely to visit all other
+    # iorefs in the cycle before they cross T2": the first trace's visits
+    # bump the other iorefs' back thresholds, suppressing duplicate traces
+    # over the same cycle.  Disjoint cycles still each get a trace, since
+    # every site checks after every local trace.
+    max_traces_per_trigger_check: int = 1
+    # Every n-th local trace resends the distances of *all* outrefs instead
+    # of only the changed ones.  Update messages are idempotent state
+    # transfers (the fault-tolerant reference listing of [ML94]), so this
+    # bounded refresh recovers from updates lost to crashes or partitions
+    # without any acknowledgement machinery.
+    full_update_period: int = 4
+
+    def __post_init__(self) -> None:
+        if self.suspicion_threshold < 1:
+            raise ConfigError("suspicion_threshold must be >= 1")
+        if self.assumed_cycle_length < 1:
+            raise ConfigError("assumed_cycle_length must be >= 1")
+        if self.back_threshold_increment < 1:
+            raise ConfigError("back_threshold_increment must be >= 1")
+        if self.local_trace_period <= 0:
+            raise ConfigError("local_trace_period must be > 0")
+        if self.local_trace_period_jitter < 0:
+            raise ConfigError("local_trace_period_jitter must be >= 0")
+        if self.local_trace_duration < 0:
+            raise ConfigError("local_trace_duration must be >= 0")
+        if self.local_trace_duration >= self.local_trace_period:
+            raise ConfigError("local_trace_duration must be < local_trace_period")
+        if self.backtrace_timeout <= 0:
+            raise ConfigError("backtrace_timeout must be > 0")
+        if self.full_update_period < 1:
+            raise ConfigError("full_update_period must be >= 1")
+        if self.max_traces_per_trigger_check < 1:
+            raise ConfigError("max_traces_per_trigger_check must be >= 1")
+        if self.defer_delay <= 0:
+            raise ConfigError("defer_delay must be > 0")
+        if self.defer_messages and self.defer_delay * 4 > self.backtrace_timeout:
+            raise ConfigError(
+                "defer_delay must be well under backtrace_timeout "
+                "(deferred calls must not look like lost ones)"
+            )
+        if self.backinfo_algorithm not in ("bottomup", "independent"):
+            raise ConfigError(
+                "backinfo_algorithm must be 'bottomup' or 'independent', "
+                f"got {self.backinfo_algorithm!r}"
+            )
+
+    @property
+    def initial_back_threshold(self) -> int:
+        """T2 = T + L, the distance at which a first back trace triggers."""
+        return self.suspicion_threshold + self.assumed_cycle_length
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level bundle handed to :class:`repro.sim.Simulation`."""
+
+    seed: int = 0
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    gc: GcConfig = field(default_factory=GcConfig)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise ConfigError("seed must be an int")

@@ -1,0 +1,21 @@
+"""The paper's primary contribution: cycle collection by back tracing.
+
+Submodules:
+
+- :mod:`.distance` -- the distance heuristic (section 3) that finds suspects;
+- :mod:`.backinfo` -- computing insets/outsets during local traces (section 5);
+- :mod:`.backtrace` -- the distributed back-trace protocol (section 4);
+- :mod:`.barriers` -- transfer/insert barriers and the clean rule (section 6);
+- :mod:`.detector` -- trigger policy (back thresholds) and outcome handling.
+"""
+
+from .backinfo import BackInfoResult, compute_outsets_bottom_up, compute_outsets_independent
+from .backtrace import BackTraceEngine, TraceOutcome
+
+__all__ = [
+    "BackInfoResult",
+    "compute_outsets_bottom_up",
+    "compute_outsets_independent",
+    "BackTraceEngine",
+    "TraceOutcome",
+]

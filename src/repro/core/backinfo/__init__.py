@@ -1,0 +1,29 @@
+"""Computing back information (section 5 of the paper).
+
+Back information consists of source lists of inrefs (maintained by the
+reference-listing substrate) and **insets of suspected outrefs**, computed
+here as the inverse of **outsets of suspected inrefs**:
+
+- :func:`compute_outsets_independent` -- section 5.1: one DFS per suspected
+  inref; simple but retraces shared objects, O(n_i * (n + e)).
+- :func:`compute_outsets_bottom_up` -- section 5.2: a single pass combining
+  the trace with Tarjan's SCC algorithm; every object is scanned once and
+  outset unions are memoized over a canonical (hash-consed) store, giving
+  near-linear expected cost.
+
+Both return the same :class:`BackInfoResult`; property tests assert equality.
+"""
+
+from .base import BackInfoResult, TraceEnvironment, invert_outsets
+from .independent import compute_outsets_independent
+from .bottomup import compute_outsets_bottom_up
+from .outsets import OutsetStore
+
+__all__ = [
+    "BackInfoResult",
+    "TraceEnvironment",
+    "invert_outsets",
+    "compute_outsets_independent",
+    "compute_outsets_bottom_up",
+    "OutsetStore",
+]

@@ -1,0 +1,60 @@
+"""Independent tracing from each suspected inref (section 5.1).
+
+Conceptually each suspected inref traces with its own color: a trace may
+revisit objects already visited on behalf of other suspected inrefs, but
+never objects marked clean ("black") by the clean phase.  The computed
+outsets are exact, at a worst-case cost of O(n_i * (n + e)) object scans --
+benchmark E3 measures exactly this blow-up against the bottom-up algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from ...ids import ObjectId
+from .base import BackInfoResult, TraceEnvironment
+
+
+def compute_outsets_independent(
+    env: TraceEnvironment, suspected_inref_targets: Iterable[ObjectId]
+) -> BackInfoResult:
+    """Compute outsets with one fresh DFS per suspected inref."""
+    result = BackInfoResult()
+    distinct: Set[frozenset] = set()
+    for inref_target in suspected_inref_targets:
+        outset = _trace_one(env, inref_target, result)
+        result.outsets[inref_target] = outset
+        distinct.add(outset)
+    result.distinct_outsets = len(distinct)
+    return result
+
+
+def _trace_one(
+    env: TraceEnvironment, inref_target: ObjectId, result: BackInfoResult
+) -> frozenset:
+    """DFS from one inref target over suspected objects only."""
+    outset: Set[ObjectId] = set()
+    visited: Set[ObjectId] = set()
+    if env.is_clean_object(inref_target) or not env.heap.contains(inref_target):
+        return frozenset()
+    stack: List[ObjectId] = [inref_target]
+    while stack:
+        oid = stack.pop()
+        if oid in visited:
+            continue
+        visited.add(oid)
+        result.objects_scanned += 1
+        result.visited_objects.add(oid)
+        for ref in env.heap.get(oid).iter_refs():
+            result.edges_examined += 1
+            if ref.site == env.site_id:
+                if (
+                    ref not in visited
+                    and not env.is_clean_object(ref)
+                    and env.heap.contains(ref)
+                ):
+                    stack.append(ref)
+            else:
+                if not env.is_clean_outref(ref):
+                    outset.add(ref)
+    return frozenset(outset)

@@ -1,0 +1,31 @@
+"""Distributed back tracing (section 4 of the paper).
+
+A back trace starts at a suspected outref and alternates:
+
+- **local steps** (outref -> the suspected inrefs in its inset), and
+- **remote steps** (inref -> the matching outrefs at its source sites),
+
+forking parallel branches, stopping with **Live** at any clean ioref and with
+**Garbage** when every backward path closes over suspected iorefs already
+visited by this trace.  The initiator then runs the *report phase*: Garbage
+flags every visited inref so the next local traces delete the cycle; Live
+clears the visited marks.
+
+Fault tolerance (section 4.6): all waits are guarded by timeouts that
+conservatively decide Live.  Concurrency (section 6.4): cleaning an ioref
+while a trace is active there forces that branch Live (the *clean rule*).
+"""
+
+from .messages import BackCall, BackOutcome, BackReply, TraceOutcome
+from .frames import Frame, TraceRecord
+from .engine import BackTraceEngine
+
+__all__ = [
+    "BackCall",
+    "BackReply",
+    "BackOutcome",
+    "TraceOutcome",
+    "Frame",
+    "TraceRecord",
+    "BackTraceEngine",
+]

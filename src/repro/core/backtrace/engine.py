@@ -1,0 +1,412 @@
+"""The back-trace engine: one instance per site.
+
+Implements the mutually recursive ``BackStepRemote`` / ``BackStepLocal``
+procedures of section 4.4 as an asynchronous, frame-based protocol:
+
+- a **local step** (``_step_local``) inspects this site's outref for a
+  reference and forks remote steps to every inref in its inset;
+- a **remote step** (``_step_remote``) inspects an inref and sends a
+  :class:`BackCall` to every site in its source list;
+- calls inside both for-loops run in parallel, as the paper notes; a branch
+  returning Live short-circuits its parent immediately.
+
+Verdict rules implemented verbatim from the pseudocode: missing ioref ->
+Garbage, clean ioref -> Live, already visited by this trace -> Garbage,
+otherwise mark visited and fan out.  Additionally an inref already *flagged*
+garbage answers Garbage directly (it was confirmed by a completed trace and
+is merely awaiting deletion).
+
+The engine also owns: per-site trace records, the report phase, the clean
+rule hook (:meth:`notify_cleaned`), visit-time back-threshold bumps
+(section 4.3), and the two conservative timeouts of section 4.6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from ...config import GcConfig
+from ...errors import BackTraceError
+from ...gc.inrefs import InrefTable
+from ...gc.outrefs import OutrefTable
+from ...ids import FrameId, ObjectId, SiteId, TraceId
+from ...metrics import MetricsRecorder
+from ...net.message import Payload
+from ...sim.scheduler import Scheduler
+from .frames import INREF, OUTREF, Frame, IorefKey, TraceRecord
+from .messages import BackCall, BackOutcome, BackReply, TraceOutcome
+
+SendFn = Callable[[SiteId, Payload], None]
+OutcomeCallback = Callable[[TraceId, TraceOutcome], None]
+AppliedCallback = Callable[[TraceId, TraceOutcome, int], None]
+
+
+class BackTraceEngine:
+    """Runs the back-trace protocol on behalf of one site."""
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        inrefs: InrefTable,
+        outrefs: OutrefTable,
+        config: GcConfig,
+        scheduler: Scheduler,
+        send: SendFn,
+        metrics: Optional[MetricsRecorder] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
+        on_outcome_applied: Optional[AppliedCallback] = None,
+    ):
+        self.site_id = site_id
+        self.inrefs = inrefs
+        self.outrefs = outrefs
+        self.config = config
+        self.scheduler = scheduler
+        self.send = send
+        self.metrics = metrics or MetricsRecorder()
+        self.on_outcome = on_outcome
+        self.on_outcome_applied = on_outcome_applied
+        self._frames: Dict[FrameId, Frame] = {}
+        self._active_by_ioref: Dict[IorefKey, Set[FrameId]] = {}
+        self._records: Dict[TraceId, TraceRecord] = {}
+        self._active_roots: Dict[ObjectId, TraceId] = {}
+        self._next_trace_seq = 0
+        self._next_frame_seq = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def start_trace(self, outref_target: ObjectId) -> Optional[TraceId]:
+        """Begin a back trace from a suspected outref of this site.
+
+        Returns the trace id, or None if a trace initiated from this outref
+        is still in flight (re-initiating would only duplicate work).
+        """
+        if outref_target in self._active_roots:
+            return None
+        entry = self.outrefs.get(outref_target)
+        if entry is None or entry.is_clean:
+            return None
+        trace_id = TraceId(initiator=self.site_id, seq=self._next_trace_seq)
+        self._next_trace_seq += 1
+        record = self._ensure_record(trace_id)
+        record.is_initiator = True
+        record.root_outref = outref_target
+        self._active_roots[outref_target] = trace_id
+        self.metrics.incr("backtrace.started")
+        self._step_local(trace_id, outref_target, parent_local=None, parent_remote=None)
+        return trace_id
+
+    def has_active_trace_from(self, outref_target: ObjectId) -> bool:
+        return outref_target in self._active_roots
+
+    @property
+    def active_trace_count(self) -> int:
+        return sum(1 for record in self._records.values() if not record.finished)
+
+    def handle_back_call(self, src: SiteId, payload: BackCall) -> None:
+        """A remote site asks us to back-step our outref for ``payload.target``."""
+        self._ensure_record(payload.trace_id)
+        self._step_local(
+            payload.trace_id,
+            payload.target,
+            parent_local=None,
+            parent_remote=(src, payload.reply_to),
+        )
+
+    def handle_back_reply(self, src: SiteId, payload: BackReply) -> None:
+        """A response for one of our pending remote calls arrived."""
+        frame = self._frames.get(payload.reply_to)
+        if frame is None or frame.completed or frame.trace_id != payload.trace_id:
+            # Late reply to a frame already completed (short-circuited Live,
+            # timed out, or force-completed by the clean rule): ignore.
+            self.metrics.incr("backtrace.stale_replies")
+            return
+        self._child_done(frame, payload.verdict, set(payload.participants))
+
+    def handle_back_outcome(self, src: SiteId, payload: BackOutcome) -> None:
+        """Report phase: the initiator announced the final verdict."""
+        self._apply_outcome(payload.trace_id, payload.verdict)
+
+    def notify_cleaned(self, kind: str, target: ObjectId) -> None:
+        """Clean rule (section 6.4): an ioref was cleaned; any trace active
+        there must return Live."""
+        key = (kind, target)
+        frame_ids = list(self._active_by_ioref.get(key, ()))
+        for frame_id in frame_ids:
+            frame = self._frames.get(frame_id)
+            if frame is None or frame.completed:
+                continue
+            frame.forced_live = True
+            self.metrics.incr("backtrace.clean_rule_hits")
+            self._complete(frame, TraceOutcome.LIVE)
+
+    # -- record management ----------------------------------------------------------
+
+    def _ensure_record(self, trace_id: TraceId) -> TraceRecord:
+        record = self._records.get(trace_id)
+        if record is None:
+            record = TraceRecord(trace_id=trace_id)
+            self._records[trace_id] = record
+        self._refresh_outcome_timeout(record)
+        return record
+
+    def _refresh_outcome_timeout(self, record: TraceRecord) -> None:
+        """(Re)arm the conservative 'assume Live if no outcome' timer."""
+        record.cancel_timeout()
+        trace_id = record.trace_id
+        record.outcome_timeout = self.scheduler.schedule(
+            2 * self.config.backtrace_timeout,
+            lambda: self._outcome_timed_out(trace_id),
+            label=f"outcome-timeout:{trace_id}",
+        )
+
+    def _outcome_timed_out(self, trace_id: TraceId) -> None:
+        record = self._records.get(trace_id)
+        if record is None or record.finished:
+            return
+        self.metrics.incr("backtrace.outcome_timeouts")
+        self._apply_outcome(trace_id, TraceOutcome.LIVE)
+
+    # -- the two step kinds ------------------------------------------------------------
+
+    def _step_local(
+        self,
+        trace_id: TraceId,
+        target: ObjectId,
+        parent_local: Optional[FrameId],
+        parent_remote: Optional[Tuple[SiteId, FrameId]],
+    ) -> None:
+        """BackStepLocal: examine this site's outref for ``target``."""
+        entry = self.outrefs.get(target)
+        if entry is None:
+            self._answer(trace_id, parent_local, parent_remote, TraceOutcome.GARBAGE)
+            return
+        if entry.is_clean:
+            self._answer(trace_id, parent_local, parent_remote, TraceOutcome.LIVE)
+            return
+        if trace_id in entry.visited:
+            self._answer(trace_id, parent_local, parent_remote, TraceOutcome.GARBAGE)
+            return
+        record = self._ensure_record(trace_id)
+        entry.visited.add(trace_id)
+        record.visited_outrefs.add(target)
+        entry.back_threshold += self.config.back_threshold_increment
+
+        frame = self._new_frame(trace_id, OUTREF, target, parent_local, parent_remote)
+        inset = sorted(entry.inset)
+        frame.pending = len(inset)
+        if frame.pending == 0:
+            # No suspected inref reaches this outref: nothing backward of it,
+            # so this branch closes as Garbage.
+            self._complete(frame, TraceOutcome.GARBAGE)
+            return
+        self._arm_frame_timeout(frame)
+        for inref_target in inset:
+            if frame.completed:
+                break
+            self._step_remote(trace_id, inref_target, parent_local=frame.frame_id)
+
+    def _step_remote(
+        self, trace_id: TraceId, target: ObjectId, parent_local: FrameId
+    ) -> None:
+        """BackStepRemote: examine this site's inref for ``target``."""
+        entry = self.inrefs.get(target)
+        if entry is None or entry.garbage:
+            self._answer(trace_id, parent_local, None, TraceOutcome.GARBAGE)
+            return
+        if entry.is_clean(self.inrefs.suspicion_threshold):
+            self._answer(trace_id, parent_local, None, TraceOutcome.LIVE)
+            return
+        if trace_id in entry.visited:
+            self._answer(trace_id, parent_local, None, TraceOutcome.GARBAGE)
+            return
+        record = self._ensure_record(trace_id)
+        entry.visited.add(trace_id)
+        record.visited_inrefs.add(target)
+        entry.back_threshold += self.config.back_threshold_increment
+
+        frame = self._new_frame(trace_id, INREF, target, parent_local, None)
+        sources = sorted(entry.sources)
+        frame.pending = len(sources)
+        if frame.pending == 0:
+            self._complete(frame, TraceOutcome.GARBAGE)
+            return
+        self._arm_frame_timeout(frame)
+        for source in sources:
+            self.send(
+                source,
+                BackCall(trace_id=trace_id, target=target, reply_to=frame.frame_id),
+            )
+
+    # -- frame lifecycle --------------------------------------------------------------
+
+    def _new_frame(
+        self,
+        trace_id: TraceId,
+        kind: str,
+        ioref: ObjectId,
+        parent_local: Optional[FrameId],
+        parent_remote: Optional[Tuple[SiteId, FrameId]],
+    ) -> Frame:
+        frame_id = FrameId(site=self.site_id, seq=self._next_frame_seq)
+        self._next_frame_seq += 1
+        frame = Frame(
+            frame_id=frame_id,
+            trace_id=trace_id,
+            kind=kind,
+            ioref=ioref,
+            parent_local=parent_local,
+            parent_remote=parent_remote,
+        )
+        self._frames[frame_id] = frame
+        self._active_by_ioref.setdefault(frame.key, set()).add(frame_id)
+        return frame
+
+    def _arm_frame_timeout(self, frame: Frame) -> None:
+        frame_id = frame.frame_id
+        frame.timeout = self.scheduler.schedule(
+            self.config.backtrace_timeout,
+            lambda: self._frame_timed_out(frame_id),
+            label=f"frame-timeout:{frame_id}",
+        )
+
+    def _frame_timed_out(self, frame_id: FrameId) -> None:
+        frame = self._frames.get(frame_id)
+        if frame is None or frame.completed:
+            return
+        # Section 4.6: a site waiting for a response that never comes can
+        # safely assume the call returned Live.
+        self.metrics.incr("backtrace.frame_timeouts")
+        self._complete(frame, TraceOutcome.LIVE)
+
+    def _child_done(
+        self, frame: Frame, verdict: TraceOutcome, participants: Set[SiteId]
+    ) -> None:
+        if frame.completed:
+            return
+        frame.participants.update(participants)
+        if verdict.is_live:
+            self._complete(frame, TraceOutcome.LIVE)
+            return
+        frame.pending -= 1
+        if frame.pending <= 0:
+            self._complete(frame, TraceOutcome.GARBAGE)
+
+    def _complete(self, frame: Frame, verdict: TraceOutcome) -> None:
+        if frame.completed:
+            return
+        frame.completed = True
+        frame.cancel_timeout()
+        if frame.forced_live:
+            verdict = TraceOutcome.LIVE
+        active = self._active_by_ioref.get(frame.key)
+        if active is not None:
+            active.discard(frame.frame_id)
+            if not active:
+                del self._active_by_ioref[frame.key]
+        del self._frames[frame.frame_id]
+        participants = set(frame.participants)
+        participants.add(self.site_id)
+
+        if frame.parent_local is not None:
+            parent = self._frames.get(frame.parent_local)
+            if parent is not None and not parent.completed:
+                self._child_done(parent, verdict, participants)
+        elif frame.parent_remote is not None:
+            caller_site, caller_frame = frame.parent_remote
+            self.send(
+                caller_site,
+                BackReply(
+                    trace_id=frame.trace_id,
+                    reply_to=caller_frame,
+                    verdict=verdict,
+                    participants=frozenset(participants),
+                ),
+            )
+        else:
+            self._finish_trace(frame.trace_id, verdict, participants)
+
+    def _answer(
+        self,
+        trace_id: TraceId,
+        parent_local: Optional[FrameId],
+        parent_remote: Optional[Tuple[SiteId, FrameId]],
+        verdict: TraceOutcome,
+    ) -> None:
+        """Deliver an immediate (frameless) verdict to whoever asked."""
+        if parent_local is not None:
+            parent = self._frames.get(parent_local)
+            if parent is not None and not parent.completed:
+                self._child_done(parent, verdict, {self.site_id})
+        elif parent_remote is not None:
+            caller_site, caller_frame = parent_remote
+            self.send(
+                caller_site,
+                BackReply(
+                    trace_id=trace_id,
+                    reply_to=caller_frame,
+                    verdict=verdict,
+                    participants=frozenset({self.site_id}),
+                ),
+            )
+        else:
+            # The root step itself resolved immediately (e.g. the outref
+            # turned clean before the trace began).
+            self._finish_trace(trace_id, verdict, {self.site_id})
+
+    # -- outcome ------------------------------------------------------------------------
+
+    def _finish_trace(
+        self, trace_id: TraceId, verdict: TraceOutcome, participants: Set[SiteId]
+    ) -> None:
+        """Report phase, run at the initiator (section 4.5)."""
+        if trace_id.initiator != self.site_id:
+            raise BackTraceError(f"{self.site_id} finishing foreign trace {trace_id}")
+        if verdict.is_garbage:
+            self.metrics.incr("backtrace.completed_garbage")
+        else:
+            self.metrics.incr("backtrace.completed_live")
+        for participant in sorted(participants):
+            if participant != self.site_id:
+                self.send(participant, BackOutcome(trace_id=trace_id, verdict=verdict))
+        self._apply_outcome(trace_id, verdict)
+
+    def _apply_outcome(self, trace_id: TraceId, verdict: TraceOutcome) -> None:
+        """Flag (Garbage) or unmark (Live) the iorefs this trace visited here."""
+        record = self._records.pop(trace_id, None)
+        if record is None:
+            return
+        record.finished = True
+        record.cancel_timeout()
+        if record.root_outref is not None:
+            self._active_roots.pop(record.root_outref, None)
+        for target in record.visited_inrefs:
+            entry = self.inrefs.get(target)
+            if entry is None:
+                continue
+            entry.visited.discard(trace_id)
+            if verdict.is_garbage:
+                if not entry.garbage:
+                    entry.garbage = True
+                    self.metrics.incr("backtrace.inrefs_flagged")
+        for target in record.visited_outrefs:
+            entry = self.outrefs.get(target)
+            if entry is not None:
+                entry.visited.discard(trace_id)
+        # Abort any frames of this trace still pending at this site: the
+        # trace is over; answering anything further is pointless.  Late
+        # messages for them are dropped as stale.
+        lingering = [f for f in self._frames.values() if f.trace_id == trace_id]
+        for frame in lingering:
+            frame.completed = True
+            frame.cancel_timeout()
+            active = self._active_by_ioref.get(frame.key)
+            if active is not None:
+                active.discard(frame.frame_id)
+                if not active:
+                    del self._active_by_ioref[frame.key]
+            del self._frames[frame.frame_id]
+        if self.on_outcome_applied is not None:
+            visited_here = len(record.visited_inrefs) + len(record.visited_outrefs)
+            self.on_outcome_applied(trace_id, verdict, visited_here)
+        if self.on_outcome is not None and record.is_initiator:
+            self.on_outcome(trace_id, verdict)

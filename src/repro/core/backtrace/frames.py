@@ -1,0 +1,77 @@
+"""Activation frames and per-trace records (section 4.4).
+
+A *frame* is created for each back-step call: it remembers who to answer
+(a local parent frame or a remote caller), how many inner calls are pending,
+the accumulated participant set, and whether the clean rule forced the result
+to Live.  Frames are owned by the site, not by the ioref, so the deletion of
+an ioref while a trace is active there never orphans a call -- the fix the
+paper credits to Boyapati.
+
+A *trace record* is a site's memory of one trace: which iorefs it marked
+visited (so the report phase can flag or unflag them) and a liveness timeout
+that conservatively assumes a Live outcome if the initiator's report never
+arrives (section 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+from ...ids import FrameId, ObjectId, SiteId, TraceId
+from ...sim.scheduler import EventHandle
+
+IorefKey = Tuple[str, ObjectId]
+"""('inref'|'outref', target) -- distinguishes the two tables' entries."""
+
+INREF = "inref"
+OUTREF = "outref"
+
+
+@dataclass
+class Frame:
+    """One pending back-step call at one site."""
+
+    frame_id: FrameId
+    trace_id: TraceId
+    kind: str
+    ioref: ObjectId
+    parent_local: Optional[FrameId] = None
+    parent_remote: Optional[Tuple[SiteId, FrameId]] = None
+    pending: int = 0
+    forced_live: bool = False
+    completed: bool = False
+    participants: Set[SiteId] = field(default_factory=set)
+    timeout: Optional[EventHandle] = None
+
+    @property
+    def is_root(self) -> bool:
+        """The frame that started the trace (no parent anywhere)."""
+        return self.parent_local is None and self.parent_remote is None
+
+    @property
+    def key(self) -> IorefKey:
+        return (self.kind, self.ioref)
+
+    def cancel_timeout(self) -> None:
+        if self.timeout is not None:
+            self.timeout.cancel()
+            self.timeout = None
+
+
+@dataclass
+class TraceRecord:
+    """A site's bookkeeping for one back trace passing through it."""
+
+    trace_id: TraceId
+    is_initiator: bool = False
+    root_outref: Optional[ObjectId] = None
+    visited_inrefs: Set[ObjectId] = field(default_factory=set)
+    visited_outrefs: Set[ObjectId] = field(default_factory=set)
+    finished: bool = False
+    outcome_timeout: Optional[EventHandle] = None
+
+    def cancel_timeout(self) -> None:
+        if self.outcome_timeout is not None:
+            self.outcome_timeout.cancel()
+            self.outcome_timeout = None

@@ -1,0 +1,114 @@
+"""Adaptive suspicion-threshold tuning (paper section 3).
+
+The paper: "The outcome of this technique may be used to tune the suspicion
+threshold.  For example, if too many suspects are found live, the threshold
+should be increased."  This module implements that feedback loop, which the
+paper leaves as policy.
+
+The controller watches completed back traces at one site:
+
+- a window with too many **Live** verdicts means live objects are being
+  suspected (the threshold sits below true live distances): raise T;
+- a window of clean **Garbage** confirmations with zero Live verdicts means
+  the threshold has slack: lower T toward its configured floor, shrinking
+  detection latency (a garbage cycle must climb past T + L before its first
+  trace).
+
+Raising T can never break completeness -- garbage distances grow without
+bound, so they cross any finite T -- and never safety, since cleanliness is
+conservative in the Live direction.  The only cost of a too-high T is
+latency, which the downward drift recovers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..gc.inrefs import InrefTable
+from ..gc.outrefs import OutrefTable
+from ..metrics import MetricsRecorder
+from .backtrace.messages import TraceOutcome
+
+
+class ThresholdTuner:
+    """Per-site feedback controller for the suspicion threshold T."""
+
+    def __init__(
+        self,
+        inrefs: InrefTable,
+        outrefs: Optional[OutrefTable] = None,
+        assumed_cycle_length: int = 8,
+        window: int = 3,
+        live_ratio_trigger: float = 0.5,
+        increase_step: int = 2,
+        decrease_step: int = 1,
+        floor: Optional[int] = None,
+        ceiling: int = 64,
+        metrics: Optional[MetricsRecorder] = None,
+    ):
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        if not 0.0 < live_ratio_trigger <= 1.0:
+            raise ConfigError("live_ratio_trigger must be in (0, 1]")
+        if increase_step < 1 or decrease_step < 0:
+            raise ConfigError("steps must be positive (decrease may be 0)")
+        self.inrefs = inrefs
+        self.outrefs = outrefs
+        self.assumed_cycle_length = assumed_cycle_length
+        self.window = window
+        self.live_ratio_trigger = live_ratio_trigger
+        self.increase_step = increase_step
+        self.decrease_step = decrease_step
+        self.floor = floor if floor is not None else inrefs.suspicion_threshold
+        self.ceiling = ceiling
+        if self.floor < 1:
+            raise ConfigError("floor must be >= 1")
+        if self.ceiling < self.floor:
+            raise ConfigError("ceiling must be >= floor")
+        self.metrics = metrics or MetricsRecorder()
+        self._recent: List[TraceOutcome] = []
+        self.adjustments_up = 0
+        self.adjustments_down = 0
+
+    @property
+    def threshold(self) -> int:
+        return self.inrefs.suspicion_threshold
+
+    def observe(self, verdict: TraceOutcome) -> None:
+        """Feed the verdict of one trace that visited suspects at this site.
+
+        Called for every completed trace that marked iorefs here, whether
+        this site initiated it or merely participated -- so "suspects found
+        live" is measured where the suspects live.
+        """
+        self._recent.append(verdict)
+        if len(self._recent) < self.window:
+            return
+        live = sum(1 for v in self._recent if v.is_live)
+        ratio = live / len(self._recent)
+        if ratio >= self.live_ratio_trigger:
+            self._adjust(+self.increase_step)
+        elif live == 0 and self.decrease_step:
+            self._adjust(-self.decrease_step)
+        self._recent.clear()
+
+    def _adjust(self, delta: int) -> None:
+        current = self.inrefs.suspicion_threshold
+        updated = max(self.floor, min(self.ceiling, current + delta))
+        if updated == current:
+            return
+        self.inrefs.suspicion_threshold = updated
+        # New iorefs trigger their first back trace at the adjusted
+        # T2 = T + L (existing entries keep their individually ratcheted
+        # thresholds).
+        self.inrefs.initial_back_threshold = updated + self.assumed_cycle_length
+        if self.outrefs is not None:
+            self.outrefs.initial_back_threshold = updated + self.assumed_cycle_length
+        if delta > 0:
+            self.adjustments_up += 1
+            self.metrics.incr("tuning.threshold_raised")
+        else:
+            self.adjustments_down += 1
+            self.metrics.incr("tuning.threshold_lowered")
+        self.metrics.observe("tuning.threshold", updated)

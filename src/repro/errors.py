@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation was driven into an invalid state."""
+
+
+class SchedulerError(SimulationError):
+    """An event was scheduled or cancelled incorrectly."""
+
+
+class NetworkError(SimulationError):
+    """A message could not be routed or addressed."""
+
+
+class UnknownSiteError(NetworkError):
+    """A message was addressed to a site id that does not exist."""
+
+
+class HeapError(ReproError):
+    """An object-store operation was invalid."""
+
+
+class UnknownObjectError(HeapError):
+    """An object id does not name an object on this heap."""
+
+
+class NotLocalError(HeapError):
+    """An operation required a local object but got a remote reference."""
+
+
+class GcError(ReproError):
+    """A garbage-collection protocol invariant was violated."""
+
+
+class GcInvariantError(GcError):
+    """An internal safety or bookkeeping invariant failed.
+
+    These indicate bugs in the collector, never user error; tests assert they
+    are not raised during randomized stress runs.
+    """
+
+
+class BackTraceError(GcError):
+    """The back-tracing protocol was driven into an invalid state."""
+
+
+class MutatorError(ReproError):
+    """An application (mutator) operation was invalid."""
+
+
+class OracleError(ReproError):
+    """The omniscient reachability oracle detected an inconsistency.
+
+    Raised by test infrastructure when the collector violates safety (a live
+    object was collected) -- the single most important failure in the system.
+    """

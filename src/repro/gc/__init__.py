@@ -1,0 +1,23 @@
+"""Local-tracing garbage collection substrate.
+
+This package implements the baseline machinery of section 2 of the paper:
+per-site mark-sweep tracing (:mod:`.localtrace`), inter-site reference
+listing via inref/outref tables (:mod:`.inrefs`, :mod:`.outrefs`), the safe
+insert protocol with the insert barrier (:mod:`.insert`), and post-trace
+update messages (:mod:`.update`).
+
+On its own this substrate collects all acyclic distributed garbage with the
+locality property, and fails to collect inter-site cycles -- exactly the gap
+the core back-tracing collector (:mod:`repro.core`) fills.
+"""
+
+from .inrefs import INFINITE_DISTANCE, InrefEntry, InrefTable
+from .outrefs import OutrefEntry, OutrefTable
+
+__all__ = [
+    "INFINITE_DISTANCE",
+    "InrefEntry",
+    "InrefTable",
+    "OutrefEntry",
+    "OutrefTable",
+]

@@ -1,0 +1,178 @@
+"""Inref table: incoming inter-site references.
+
+Each entry records one local object that remote sites hold references to,
+together with the *source list* (which sites, each with a distance estimate
+per the distance heuristic of section 3).  The local trace uses non-garbage
+inrefs as roots; back traces take *remote steps* from an inref to the
+corresponding outrefs at its source sites.
+
+Cleanliness: an inref is *clean* when its estimated distance is at or below
+the suspicion threshold, or when the transfer barrier (section 6.1.1) has
+cleaned it since the last local trace.  Otherwise it is *suspected*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from ..errors import GcInvariantError
+from ..ids import ObjectId, SiteId, TraceId
+
+INFINITE_DISTANCE = 10**9
+"""Sentinel for 'unreachable'; the paper's 'distance of garbage is infinity'."""
+
+
+@dataclass
+class InrefEntry:
+    """One incoming reference: a local object plus its remote source list."""
+
+    target: ObjectId
+    sources: Dict[SiteId, int] = field(default_factory=dict)
+    garbage: bool = False
+    barrier_clean: bool = False
+    visited: Set[TraceId] = field(default_factory=set)
+    back_threshold: int = 0
+    # Outset of this inref as of the last local trace (suspected outrefs
+    # locally reachable from it).  The transfer barrier cleans exactly these
+    # outrefs when the inref is cleaned (section 6.1.1); it is also the dual
+    # of the insets stored on outrefs.
+    outset: FrozenSet[ObjectId] = frozenset()
+
+    @property
+    def distance(self) -> int:
+        """Estimated distance: minimum over the per-source estimates."""
+        if not self.sources:
+            return INFINITE_DISTANCE
+        return min(self.sources.values())
+
+    def is_clean(self, threshold: int) -> bool:
+        """Clean iff within the suspicion threshold or barrier-cleaned."""
+        if self.garbage:
+            return False
+        return self.barrier_clean or self.distance <= threshold
+
+    def is_suspected(self, threshold: int) -> bool:
+        return not self.is_clean(threshold)
+
+    def add_source(self, site: SiteId, distance: int = 1) -> None:
+        """Insert or refresh a source site.
+
+        A *new* source is conservatively given distance 1 (section 3); an
+        existing source keeps the smaller of old and offered estimates until
+        the next update message re-propagates exact values.
+        """
+        current = self.sources.get(site)
+        if current is None:
+            self.sources[site] = distance
+        else:
+            self.sources[site] = min(current, distance)
+
+    def set_source_distance(self, site: SiteId, distance: int) -> None:
+        """Apply a distance carried by an update message (authoritative)."""
+        if site not in self.sources:
+            # The source may have been dropped concurrently; ignore stale news.
+            return
+        self.sources[site] = distance
+
+    def remove_source(self, site: SiteId) -> None:
+        self.sources.pop(site, None)
+
+    @property
+    def empty(self) -> bool:
+        """True when no source remains; the entry should then be deleted."""
+        return not self.sources
+
+
+class InrefTable:
+    """All inrefs of one site, keyed by the referenced local object."""
+
+    def __init__(self, site_id: SiteId, suspicion_threshold: int, initial_back_threshold: int):
+        self.site_id = site_id
+        self.suspicion_threshold = suspicion_threshold
+        self.initial_back_threshold = initial_back_threshold
+        self._entries: Dict[ObjectId, InrefEntry] = {}
+
+    # -- basic access ---------------------------------------------------------
+
+    def get(self, target: ObjectId) -> Optional[InrefEntry]:
+        return self._entries.get(target)
+
+    def require(self, target: ObjectId) -> InrefEntry:
+        entry = self._entries.get(target)
+        if entry is None:
+            raise GcInvariantError(f"site {self.site_id} has no inref for {target}")
+        return entry
+
+    def __contains__(self, target: ObjectId) -> bool:
+        return target in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[InrefEntry]:
+        return iter(self._entries.values())
+
+    def targets(self) -> List[ObjectId]:
+        return list(self._entries)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def ensure(self, target: ObjectId, source: SiteId, distance: int = 1) -> InrefEntry:
+        """Get-or-create the entry for ``target`` and record ``source``."""
+        if target.site != self.site_id:
+            raise GcInvariantError(
+                f"inref target {target} does not belong to site {self.site_id}"
+            )
+        entry = self._entries.get(target)
+        if entry is None:
+            entry = InrefEntry(
+                target=target, back_threshold=self.initial_back_threshold
+            )
+            self._entries[target] = entry
+        entry.add_source(source, distance)
+        return entry
+
+    def remove(self, target: ObjectId) -> None:
+        self._entries.pop(target, None)
+
+    def remove_source(self, target: ObjectId, source: SiteId) -> None:
+        """Apply an update-message removal; drop the entry when empty."""
+        entry = self._entries.get(target)
+        if entry is None:
+            return
+        entry.remove_source(source)
+        if entry.empty:
+            del self._entries[target]
+
+    # -- views used by the collector ----------------------------------------------
+
+    def root_targets(self) -> List[ObjectId]:
+        """Inref targets that serve as local-trace roots (not garbage-flagged)."""
+        return [target for target, entry in self._entries.items() if not entry.garbage]
+
+    def entries_by_distance(self) -> List[InrefEntry]:
+        """Entries ordered by increasing distance (trace order of section 3)."""
+        return sorted(
+            self._entries.values(), key=lambda entry: (entry.distance, entry.target)
+        )
+
+    def clean_entries(self) -> List[InrefEntry]:
+        return [e for e in self._entries.values() if e.is_clean(self.suspicion_threshold)]
+
+    def suspected_entries(self) -> List[InrefEntry]:
+        return [
+            e for e in self._entries.values() if e.is_suspected(self.suspicion_threshold)
+        ]
+
+    def is_clean(self, target: ObjectId) -> bool:
+        entry = self._entries.get(target)
+        return entry is not None and entry.is_clean(self.suspicion_threshold)
+
+    def reset_barrier_cleans(self) -> None:
+        """Called when a local trace completes: barrier cleans expire."""
+        for entry in self._entries.values():
+            entry.barrier_clean = False
+
+    def garbage_targets(self) -> List[ObjectId]:
+        return [t for t, e in self._entries.items() if e.garbage]

@@ -1,0 +1,291 @@
+"""The per-site local trace (sections 2, 3, 5, 6.2).
+
+One local trace performs, in order:
+
+1. **Clean phase** (:mod:`repro.core.distance`): trace from persistent roots,
+   application-variable roots, and clean inrefs in increasing distance order,
+   marking clean objects and computing clean-outref distances.
+2. **Suspected phase** (:mod:`repro.core.backinfo`): trace the remaining
+   suspected region from suspected inrefs, computing their outsets (and thus
+   the insets of suspected outrefs) for future back traces.
+3. **Outref reconciliation**: refresh distances and clean/suspected states;
+   trim outrefs reached by neither phase (unless pinned by the insert
+   barrier or held in a mutator variable) and build per-target-site update
+   messages carrying removals and distance changes.
+4. **Sweep**: delete local objects reached by neither phase.  Inrefs flagged
+   garbage by a back trace are not roots, so confirmed cycles die here; their
+   table entries persist until update messages empty their source lists.
+
+To model the non-atomic traces of section 6.2, computation (steps 1-3 deciding
+everything) is separated from **commit** (installing new tables and sweeping).
+The site keeps serving back traces from the old tables between the two, and
+replays transfer barriers that arrived in the window onto the new tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..config import GcConfig
+from ..core.backinfo import (
+    BackInfoResult,
+    TraceEnvironment,
+    compute_outsets_bottom_up,
+    compute_outsets_independent,
+    invert_outsets,
+)
+from ..core.distance import CleanPhaseResult, trace_clean_phase
+from ..ids import ObjectId, SiteId
+from ..metrics import MetricsRecorder
+from ..store.heap import Heap
+from .inrefs import InrefTable
+from .outrefs import OutrefTable
+from .update import UpdatePayload
+
+
+@dataclass
+class LocalTraceResult:
+    """Everything one local trace decided, ready to be committed."""
+
+    clean_objects: Set[ObjectId] = field(default_factory=set)
+    suspected_objects: Set[ObjectId] = field(default_factory=set)
+    outsets: Dict[ObjectId, FrozenSet[ObjectId]] = field(default_factory=dict)
+    insets: Dict[ObjectId, FrozenSet[ObjectId]] = field(default_factory=dict)
+    # outref target -> (is_clean, distance); targets absent here and in
+    # ``kept_pinned`` are trimmed.
+    outref_states: Dict[ObjectId, Tuple[bool, int]] = field(default_factory=dict)
+    kept_pinned: Set[ObjectId] = field(default_factory=set)
+    removals: List[ObjectId] = field(default_factory=list)
+    snapshot_outrefs: Set[ObjectId] = field(default_factory=set)
+    snapshot_objects: Set[ObjectId] = field(default_factory=set)
+    swept: List[ObjectId] = field(default_factory=list)
+    updates_by_site: Dict[SiteId, UpdatePayload] = field(default_factory=dict)
+    backinfo: Optional[BackInfoResult] = None
+    clean_phase: Optional[CleanPhaseResult] = None
+
+    @property
+    def live_objects(self) -> Set[ObjectId]:
+        return self.clean_objects | self.suspected_objects
+
+
+class LocalCollector:
+    """Runs local traces for one site."""
+
+    def __init__(
+        self,
+        heap: Heap,
+        inrefs: InrefTable,
+        outrefs: OutrefTable,
+        config: GcConfig,
+        metrics: Optional[MetricsRecorder] = None,
+    ):
+        self.heap = heap
+        self.inrefs = inrefs
+        self.outrefs = outrefs
+        self.config = config
+        self.metrics = metrics or MetricsRecorder()
+        self._last_reported_distance: Dict[Tuple[SiteId, ObjectId], int] = {}
+        self.traces_run = 0
+
+    # -- computation ------------------------------------------------------------
+
+    def compute(self, variable_outrefs: Iterable[ObjectId] = ()) -> LocalTraceResult:
+        """Decide the outcome of a local trace without changing any state."""
+        result = LocalTraceResult()
+        result.snapshot_outrefs = set(self.outrefs.targets())
+        result.snapshot_objects = set(self.heap.object_ids())
+        # Read the (possibly tuner-adjusted) live threshold off the table,
+        # not the static config (see repro.core.tuning).
+        threshold = self.inrefs.suspicion_threshold
+
+        # Phase 1: clean trace.  Persistent and variable roots at distance 0;
+        # clean inrefs at their estimated distances.
+        roots: List[Tuple[ObjectId, int]] = [
+            (oid, 0) for oid in sorted(self.heap.persistent_roots)
+        ]
+        roots.extend((oid, 0) for oid in sorted(self.heap.variable_roots))
+        suspected_targets: List[ObjectId] = []
+        for entry in self.inrefs.entries_by_distance():
+            if entry.garbage:
+                continue
+            if entry.is_clean(threshold):
+                roots.append((entry.target, entry.distance))
+            else:
+                suspected_targets.append(entry.target)
+        clean_phase = trace_clean_phase(
+            self.heap, roots, variable_outrefs=variable_outrefs
+        )
+        result.clean_phase = clean_phase
+        result.clean_objects = clean_phase.clean_objects
+
+        # Phase 2: suspected trace computing outsets/insets.
+        clean_outrefs = set(clean_phase.outref_distances)
+        pinned = {
+            entry.target for entry in self.outrefs.entries() if entry.pin_count > 0
+        }
+
+        def is_clean_outref(target: ObjectId) -> bool:
+            return target in clean_outrefs or target in pinned
+
+        env = TraceEnvironment(
+            heap=self.heap,
+            clean_objects=result.clean_objects,
+            is_clean_outref=is_clean_outref,
+        )
+        if self.config.backinfo_algorithm == "independent":
+            backinfo = compute_outsets_independent(env, suspected_targets)
+        else:
+            backinfo = compute_outsets_bottom_up(env, suspected_targets)
+        result.backinfo = backinfo
+        result.suspected_objects = backinfo.visited_objects
+        result.outsets = backinfo.outsets
+        result.insets = invert_outsets(backinfo.outsets)
+
+        # Phase 3: reconcile outrefs.
+        inref_distance = {
+            entry.target: entry.distance for entry in self.inrefs.entries()
+        }
+        for target, distance in clean_phase.outref_distances.items():
+            result.outref_states[target] = (True, distance)
+        for target, inset in result.insets.items():
+            distances = [inref_distance.get(i, 0) for i in inset]
+            distance = 1 + (min(distances) if distances else 0)
+            result.outref_states[target] = (False, distance)
+        result.kept_pinned = pinned - set(result.outref_states)
+        for target in result.snapshot_outrefs:
+            if target not in result.outref_states and target not in result.kept_pinned:
+                result.removals.append(target)
+
+        self._record_metrics(result)
+        return result
+
+    def _build_updates(self, result: LocalTraceResult) -> None:
+        """Batch removals and distance changes per target site.
+
+        Runs at *commit* time, against the reconciled outref table, so that a
+        full update's "complete list" semantics cannot miss entries created
+        while a non-atomic trace was computing.  Normally only changed
+        distances are sent (the paper's optimization); every
+        ``full_update_period``-th trace sends the full list, which
+        resynchronizes targets that missed earlier messages -- updates are
+        idempotent, so duplicates are harmless.
+        """
+        full_refresh = self.traces_run % self.config.full_update_period == 0
+        distances_by_site: Dict[SiteId, List[Tuple[ObjectId, int]]] = {}
+        removals_by_site: Dict[SiteId, List[ObjectId]] = {}
+        entries = sorted(self.outrefs.entries(), key=lambda entry: entry.target)
+        for entry in entries:
+            target = entry.target
+            key = (target.site, target)
+            if full_refresh or self._last_reported_distance.get(key) != entry.distance:
+                distances_by_site.setdefault(target.site, []).append(
+                    (target, entry.distance)
+                )
+                self._last_reported_distance[key] = entry.distance
+        for target in sorted(result.removals):
+            if target not in self.outrefs:  # actually removed (not pinned)
+                removals_by_site.setdefault(target.site, []).append(target)
+        sites = set(distances_by_site) | set(removals_by_site)
+        if full_refresh:
+            # A site that holds *no* outrefs toward a previous target would
+            # normally go silent; explicit removals already cover the known
+            # cases, so nothing extra is required here.
+            pass
+        for site in sorted(sites):
+            result.updates_by_site[site] = UpdatePayload(
+                distances=tuple(distances_by_site.get(site, ())),
+                removals=tuple(removals_by_site.get(site, ())),
+                full=full_refresh,
+            )
+
+    def _record_metrics(self, result: LocalTraceResult) -> None:
+        metrics = self.metrics
+        metrics.incr("gc.local_traces")
+        if result.clean_phase is not None:
+            metrics.incr("gc.clean_objects_scanned", result.clean_phase.objects_scanned)
+        if result.backinfo is not None:
+            metrics.incr("gc.suspected_objects_scanned", result.backinfo.objects_scanned)
+            metrics.incr("backinfo.unions_computed", result.backinfo.unions_computed)
+            metrics.incr("backinfo.union_memo_hits", result.backinfo.union_memo_hits)
+            metrics.observe("backinfo.distinct_outsets", result.backinfo.distinct_outsets)
+        inset_units = sum(len(inset) for inset in result.insets.values())
+        metrics.observe("backinfo.inset_storage_units", inset_units)
+
+    # -- commit --------------------------------------------------------------------
+
+    def commit(
+        self,
+        result: LocalTraceResult,
+        replay_barrier_inrefs: Iterable[ObjectId] = (),
+    ) -> List[ObjectId]:
+        """Install the trace outcome: rewrite tables and sweep the heap.
+
+        ``replay_barrier_inrefs`` are inrefs the transfer barrier cleaned
+        while this trace was computing (section 6.2): their barrier-clean
+        status and that of the outrefs in their *new* outsets is re-applied
+        on the new tables.  Returns the list of swept object ids.
+        """
+        # Rewrite outref entries.
+        for target in result.removals:
+            entry = self.outrefs.get(target)
+            if entry is None:
+                continue
+            if entry.pin_count > 0:
+                # Pinned since computation started: retain (insert barrier).
+                continue
+            self.outrefs.remove(target)
+            self._last_reported_distance.pop((target.site, target), None)
+        for target, (clean, distance) in result.outref_states.items():
+            entry = self.outrefs.get(target)
+            if entry is None:
+                # Trimmed concurrently is impossible (we are the only
+                # remover); but a brand-new entry may exist -- ensure() it.
+                entry = self.outrefs.ensure(target, clean=clean, distance=distance)
+            entry.traced_clean = clean
+            entry.distance = distance
+            entry.barrier_clean = False
+            entry.reached_by_last_trace = True
+            entry.inset = result.insets.get(target, frozenset())
+        # Entries created after the snapshot (insert protocol) keep their
+        # clean birth state; nothing to do for them.
+
+        # Refresh per-inref outsets (the dual view the transfer barrier uses).
+        for entry in self.inrefs.entries():
+            entry.outset = result.outsets.get(entry.target, frozenset())
+
+        # Inref barrier flags expire with this trace...
+        self.inrefs.reset_barrier_cleans()
+        # ...except those that must be replayed onto the new copy.
+        for inref_target in replay_barrier_inrefs:
+            entry = self.inrefs.get(inref_target)
+            if entry is not None:
+                entry.barrier_clean = True
+            for outref_target in result.outsets.get(inref_target, frozenset()):
+                out_entry = self.outrefs.get(outref_target)
+                if out_entry is not None:
+                    out_entry.barrier_clean = True
+
+        # Sweep the heap: only objects that existed when the trace computed
+        # may die; objects allocated during a non-atomic trace window were
+        # born reachable and survive unconditionally.
+        live = result.live_objects
+        dead = result.snapshot_objects - live
+        swept = self.heap.sweep_ids(dead)
+        result.swept = swept
+        self.metrics.incr("gc.objects_swept", len(swept))
+
+        # Build outgoing updates from the committed table state.
+        self._build_updates(result)
+        self.traces_run += 1
+        return swept
+
+    def run(
+        self,
+        variable_outrefs: Iterable[ObjectId] = (),
+        replay_barrier_inrefs: Iterable[ObjectId] = (),
+    ) -> LocalTraceResult:
+        """Atomic convenience wrapper: compute then commit immediately."""
+        result = self.compute(variable_outrefs=variable_outrefs)
+        self.commit(result, replay_barrier_inrefs=replay_barrier_inrefs)
+        return result

@@ -1,0 +1,128 @@
+"""Outref table: outgoing inter-site references.
+
+Each entry records one remote reference held somewhere in this site's heap.
+The local trace refreshes outref distances (one more than the distance of the
+first inref/root that reaches them) and trims entries no longer reachable,
+reporting removals and distance changes to target sites in update messages.
+
+For *suspected* outrefs the table also stores the **inset** -- the set of
+suspected inrefs the outref is locally reachable from (section 4.1) -- which
+back traces consume when taking local steps.  Insets are computed by
+:mod:`repro.core.backinfo` during the local trace.
+
+Cleanliness: an outref is clean when the last local trace reached it from a
+clean root/inref, when the transfer barrier cleaned it since then, or while
+the insert barrier pins it (section 6.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from ..errors import GcInvariantError
+from ..ids import ObjectId, SiteId, TraceId
+
+
+@dataclass
+class OutrefEntry:
+    """One outgoing reference: a remote object id plus collector state."""
+
+    target: ObjectId
+    distance: int = 1
+    traced_clean: bool = True
+    barrier_clean: bool = False
+    pin_count: int = 0
+    inset: FrozenSet[ObjectId] = frozenset()
+    visited: Set[TraceId] = field(default_factory=set)
+    back_threshold: int = 0
+    reached_by_last_trace: bool = True
+
+    @property
+    def is_clean(self) -> bool:
+        """Clean outrefs stop back traces with a Live verdict."""
+        return self.traced_clean or self.barrier_clean or self.pin_count > 0
+
+    @property
+    def is_suspected(self) -> bool:
+        return not self.is_clean
+
+    def pin(self) -> None:
+        """Insert barrier: retain this outref, clean, until the owner has
+        received the insert message (section 6.1.2)."""
+        self.pin_count += 1
+
+    def unpin(self) -> None:
+        if self.pin_count <= 0:
+            raise GcInvariantError(f"unbalanced unpin on outref {self.target}")
+        self.pin_count -= 1
+
+
+class OutrefTable:
+    """All outrefs of one site, keyed by the remote object id."""
+
+    def __init__(self, site_id: SiteId, initial_back_threshold: int):
+        self.site_id = site_id
+        self.initial_back_threshold = initial_back_threshold
+        self._entries: Dict[ObjectId, OutrefEntry] = {}
+
+    # -- basic access -----------------------------------------------------------
+
+    def get(self, target: ObjectId) -> Optional[OutrefEntry]:
+        return self._entries.get(target)
+
+    def require(self, target: ObjectId) -> OutrefEntry:
+        entry = self._entries.get(target)
+        if entry is None:
+            raise GcInvariantError(f"site {self.site_id} has no outref for {target}")
+        return entry
+
+    def __contains__(self, target: ObjectId) -> bool:
+        return target in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[OutrefEntry]:
+        return iter(self._entries.values())
+
+    def targets(self) -> List[ObjectId]:
+        return list(self._entries)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def ensure(self, target: ObjectId, clean: bool = True, distance: int = 1) -> OutrefEntry:
+        """Get-or-create the entry for a remote reference."""
+        if target.site == self.site_id:
+            raise GcInvariantError(
+                f"outref target {target} is local to site {self.site_id}"
+            )
+        entry = self._entries.get(target)
+        if entry is None:
+            entry = OutrefEntry(
+                target=target,
+                distance=distance,
+                traced_clean=clean,
+                back_threshold=self.initial_back_threshold,
+            )
+            self._entries[target] = entry
+        return entry
+
+    def remove(self, target: ObjectId) -> None:
+        self._entries.pop(target, None)
+
+    # -- views ---------------------------------------------------------------------
+
+    def suspected_entries(self) -> List[OutrefEntry]:
+        return [entry for entry in self._entries.values() if entry.is_suspected]
+
+    def clean_entries(self) -> List[OutrefEntry]:
+        return [entry for entry in self._entries.values() if entry.is_clean]
+
+    def is_clean(self, target: ObjectId) -> bool:
+        entry = self._entries.get(target)
+        return entry is not None and entry.is_clean
+
+    def inset_storage_units(self) -> int:
+        """Total inset cardinality: the O(n_i * n_o) space of section 5.2."""
+        return sum(len(entry.inset) for entry in self._entries.values())

@@ -1,0 +1,73 @@
+"""Update messages (sections 2 and 3).
+
+After a local trace, a site reports to each target site:
+
+- **removals**: outrefs the trace no longer reached (the target removes this
+  site from the source list of the matching inref; an inref whose source list
+  empties is deleted, which is how acyclic distributed garbage dies);
+- **distances**: new distance estimates for surviving outrefs (the target
+  folds them into the per-source distance of the matching inref, driving the
+  distance heuristic forward).
+
+Normally only *changed* distances are sent (the paper's optimization).  Every
+``full_update_period``-th trace a site instead sends a **full** update: the
+complete list of outrefs it holds toward the target.  Full updates are
+idempotent state transfers in the spirit of the fault-tolerant reference
+listing of [ML94]: they resynchronize a target that missed earlier messages
+(crash, partition, drop) without acknowledgement machinery.  On receiving a
+full update the target also prunes this source from any inref *not* listed --
+which is safe because the sender builds the list from its committed table at
+send time, and per-pair FIFO delivery means no insert from the same sender
+can be outstanding behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..ids import ObjectId, SiteId
+from ..net.message import Payload
+from .inrefs import InrefTable
+
+
+@dataclass(frozen=True)
+class UpdatePayload(Payload):
+    """One post-trace update batch to a single target site."""
+
+    distances: Tuple[Tuple[ObjectId, int], ...] = ()
+    removals: Tuple[ObjectId, ...] = ()
+    full: bool = False
+
+    def size_units(self) -> int:
+        return max(1, len(self.distances) + len(self.removals))
+
+
+def apply_update(inrefs: InrefTable, source: SiteId, payload: UpdatePayload) -> bool:
+    """Apply an update message at the target site.
+
+    Returns True if any inref distance changed or any source was removed,
+    which tells the caller whether suspicion states may have shifted.
+    """
+    changed = False
+    for target, distance in payload.distances:
+        entry = inrefs.get(target)
+        if entry is None or source not in entry.sources:
+            continue
+        if entry.sources[source] != distance:
+            entry.set_source_distance(source, distance)
+            changed = True
+    for target in payload.removals:
+        entry = inrefs.get(target)
+        if entry is not None and source in entry.sources:
+            inrefs.remove_source(target, source)
+            changed = True
+    if payload.full:
+        listed = {target for target, _ in payload.distances}
+        listed.update(payload.removals)
+        for target in list(inrefs.targets()):
+            entry = inrefs.get(target)
+            if entry is not None and source in entry.sources and target not in listed:
+                inrefs.remove_source(target, source)
+                changed = True
+    return changed

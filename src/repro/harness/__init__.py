@@ -1,0 +1,19 @@
+"""Experiment harness: scenario builders, runners, and report formatting."""
+
+from .scenarios import (
+    FigureScenario,
+    build_figure1,
+    build_figure2,
+    build_figure3,
+    build_figure5,
+)
+from .report import Table
+
+__all__ = [
+    "FigureScenario",
+    "build_figure1",
+    "build_figure2",
+    "build_figure3",
+    "build_figure5",
+    "Table",
+]

@@ -1,0 +1,178 @@
+"""The collector-comparison driver behind benchmark E6 and the shootout
+example.
+
+One scenario, five collectors: a two-site garbage cycle (on s0, s1) inside an
+8-site system whose remaining sites hold live inter-site structure.  Each
+collector runs on an identical fresh simulation; per run we report rounds to
+collection, protocol message count, the set of sites its protocol involved,
+and whether collection still succeeds with a crashed bystander site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.oracle import Oracle
+from ..baselines import (
+    CentralServiceCollector,
+    GlobalTraceCollector,
+    GroupTraceCollector,
+    HughesCollector,
+    MigrationCollector,
+    TrialDeletionCollector,
+)
+from ..config import GcConfig, SimulationConfig
+from ..sim.simulation import Simulation
+from ..workloads.generators import build_ring_cycle
+from ..workloads.topology import GraphBuilder
+
+N_SITES = 8
+CYCLE_SITES = ["s0", "s1"]
+
+PROTOCOL_KINDS: Dict[str, List[str]] = {
+    "backtrace": ["BackCall", "BackReply", "BackOutcome"],
+    "global": ["StartGlobalMark", "MarkBatch", "MarkAck", "SweepCommand"],
+    "hughes": ["StampUpdate", "GcTimeRequest", "GcTimeReply", "ThresholdAnnounce"],
+    "migration": ["MigrateObject", "PatchRefs"],
+    "group": [
+        "GroupDiscover",
+        "GroupDiscoverReply",
+        "GroupMarkStart",
+        "GroupMark",
+        "GroupAck",
+        "GroupSweep",
+    ],
+    "central": ["SummaryRequest", "SummaryReply", "FlagCommand"],
+    "trial": ["RedBatch", "GreenBatch", "PhaseAck", "StartGreen", "CollectCommand"],
+}
+
+
+def build_scenario(seed: int = 7, enable_backtracing: bool = True):
+    """The shared workload: cycle on s0/s1, live chain over the rest."""
+    sites = [f"s{i}" for i in range(N_SITES)]
+    gc = GcConfig(enable_backtracing=enable_backtracing)
+    sim = Simulation(SimulationConfig(seed=seed, gc=gc))
+    sim.add_sites(sites, auto_gc=False)
+    workload = build_ring_cycle(sim, CYCLE_SITES)
+    # Realistic object sizes: control messages stay unit-sized, but a
+    # collector that ships whole objects (migration) pays for the payload.
+    for member in workload.cycle:
+        sim.site(member.site).heap.get(member).payload_size = 20
+    builder = GraphBuilder(sim)
+    previous = builder.obj("s2", root=True)
+    for site_id in ("s3", "s4", "s5", "s6", "s7", "s3", "s5"):
+        nxt = builder.obj(site_id)
+        builder.link(previous, nxt)
+        previous = nxt
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    return sim, workload
+
+
+def protocol_stats(sim: Simulation, name: str, before):
+    """Message count, size units, and involved sites for one protocol.
+
+    ``units`` approximates bytes on the wire: constant-size control messages
+    count 1, bulk payloads (object migration, reachability summaries) count
+    their actual content -- which is how migration's two "cheap-looking"
+    messages reveal their real cost.
+    """
+    delta = sim.metrics.snapshot().diff(before)
+    kinds = PROTOCOL_KINDS[name]
+    messages = sum(delta.get(f"messages.{kind}", 0) for kind in kinds)
+    units = sum(delta.get(f"units.{kind}", 0) for kind in kinds)
+    involved = set()
+    for key, value in delta.items():
+        parts = key.split(".")
+        if len(parts) == 3 and parts[0] == "involve" and parts[1] in kinds and value:
+            involved.add(parts[2])
+    return messages, units, sorted(involved)
+
+
+def run_with_collector(name: str, crash_bystander: bool = False) -> Dict:
+    """Run one collector on a fresh scenario; return its comparison row."""
+    sim, workload = build_scenario(enable_backtracing=(name == "backtrace"))
+    oracle = Oracle(sim)
+    before = sim.metrics.snapshot()
+    if crash_bystander:
+        sim.site("s7").crash()
+
+    def garbage_left():
+        return {oid for oid in oracle.garbage_set() if oid.site != "s7"}
+
+    rounds: Optional[int] = None
+    if name == "backtrace":
+        for r in range(1, 61):
+            sim.run_gc_round()
+            oracle.check_safety()
+            if not garbage_left():
+                rounds = r
+                break
+    elif name == "global":
+        collector = GlobalTraceCollector(sim, coordinator="s0")
+        for r in range(1, 13):
+            collector.start_round()
+            sim.run_for(3000.0)
+            sim.settle()
+            oracle.check_safety()
+            if not garbage_left():
+                rounds = r
+                break
+    elif name == "hughes":
+        collector = HughesCollector(sim, coordinator="s0")
+        for r in range(1, 13):
+            collector.run_round()
+            oracle.check_safety()
+            if not garbage_left():
+                rounds = r
+                break
+    elif name == "migration":
+        collector = MigrationCollector(sim)
+        for r in range(1, 41):
+            collector.run_round()
+            oracle.check_safety()
+            if not garbage_left():
+                rounds = r
+                break
+    elif name == "group":
+        collector = GroupTraceCollector(sim)
+        for r in range(1, 41):
+            collector.run_round()
+            sim.run_for(3000.0)
+            sim.settle()
+            oracle.check_safety()
+            if not garbage_left():
+                rounds = r
+                break
+    elif name == "central":
+        collector = CentralServiceCollector(sim, service="s0")
+        for r in range(1, 41):
+            collector.run_round()
+            sim.run_for(3000.0)
+            sim.settle()
+            oracle.check_safety()
+            if not garbage_left():
+                rounds = r
+                break
+    elif name == "trial":
+        collector = TrialDeletionCollector(sim)
+        for r in range(1, 41):
+            collector.run_round()
+            sim.run_for(3000.0)
+            sim.settle()
+            oracle.check_safety()
+            if not garbage_left():
+                rounds = r
+                break
+    else:
+        raise ValueError(f"unknown collector {name!r}")
+
+    messages, units, involved = protocol_stats(sim, name, before)
+    return {
+        "rounds": rounds,
+        "messages": messages,
+        "units": units,
+        "involved": involved,
+        "collected": rounds is not None,
+    }

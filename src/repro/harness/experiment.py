@@ -1,0 +1,136 @@
+"""Parameter-sweep experiment runner.
+
+A thin, dependency-free harness for the kind of study the benchmarks run:
+define a function from parameters to a metrics dict, declare the grid, and
+get back a result table with deterministic per-cell seeds, CSV export, and
+aggregation over repeats.
+
+Example::
+
+    runner = ExperimentRunner(
+        name="cycle-latency",
+        run=lambda p, seed: {"rounds": measure(p["sites"], seed)},
+        parameters={"sites": [2, 4, 8]},
+        repeats=3,
+    )
+    results = runner.execute()
+    print(results.to_table("rounds").render())
+    results.write_csv("out.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+from ..errors import ConfigError
+from .report import Table
+
+RunFn = Callable[[Mapping[str, Any], int], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (parameter combination, repeat) measurement."""
+
+    parameters: Mapping[str, Any]
+    seed: int
+    metrics: Mapping[str, float]
+
+
+@dataclass
+class ExperimentResults:
+    """All cells of one executed experiment."""
+
+    name: str
+    parameter_names: List[str]
+    cells: List[CellResult] = field(default_factory=list)
+
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for cell in self.cells:
+            for key in cell.metrics:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def grouped(self) -> Dict[tuple, List[CellResult]]:
+        """Cells grouped by parameter combination (repeats together)."""
+        groups: Dict[tuple, List[CellResult]] = {}
+        for cell in self.cells:
+            key = tuple(cell.parameters[name] for name in self.parameter_names)
+            groups.setdefault(key, []).append(cell)
+        return groups
+
+    def mean(self, key: tuple, metric: str) -> float:
+        cells = self.grouped()[key]
+        values = [cell.metrics[metric] for cell in cells if metric in cell.metrics]
+        return sum(values) / len(values) if values else 0.0
+
+    def to_table(self, *metrics: str) -> Table:
+        """Aggregate repeats into means and render as a table."""
+        chosen = list(metrics) if metrics else self.metric_names()
+        table = Table(self.name, [*self.parameter_names, *chosen])
+        for key in sorted(self.grouped()):
+            row = list(key) + [self.mean(key, metric) for metric in chosen]
+            table.add_row(*row)
+        return table
+
+    def write_csv(self, path) -> None:
+        """One row per cell (repeats unaggregated), for external analysis."""
+        metric_names = self.metric_names()
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([*self.parameter_names, "seed", *metric_names])
+            for cell in self.cells:
+                writer.writerow(
+                    [cell.parameters[name] for name in self.parameter_names]
+                    + [cell.seed]
+                    + [cell.metrics.get(metric, "") for metric in metric_names]
+                )
+
+
+class ExperimentRunner:
+    """Executes ``run(parameters, seed)`` over the full parameter grid."""
+
+    def __init__(
+        self,
+        name: str,
+        run: RunFn,
+        parameters: Mapping[str, Sequence[Any]],
+        repeats: int = 1,
+        base_seed: int = 0,
+    ):
+        if repeats < 1:
+            raise ConfigError("repeats must be >= 1")
+        if not parameters:
+            raise ConfigError("at least one parameter axis is required")
+        for axis, values in parameters.items():
+            if not values:
+                raise ConfigError(f"parameter axis {axis!r} has no values")
+        self.name = name
+        self.run = run
+        self.parameters = dict(parameters)
+        self.repeats = repeats
+        self.base_seed = base_seed
+
+    def grid(self) -> Iterable[Dict[str, Any]]:
+        names = list(self.parameters)
+        for combo in itertools.product(*(self.parameters[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def execute(self) -> ExperimentResults:
+        results = ExperimentResults(
+            name=self.name, parameter_names=list(self.parameters)
+        )
+        for cell_index, parameters in enumerate(self.grid()):
+            for repeat in range(self.repeats):
+                # Deterministic but distinct per (cell, repeat).
+                seed = self.base_seed + cell_index * 1000 + repeat
+                metrics = dict(self.run(parameters, seed))
+                results.cells.append(
+                    CellResult(parameters=dict(parameters), seed=seed, metrics=metrics)
+                )
+        return results

@@ -1,0 +1,52 @@
+"""Plain-text table formatting for benchmark output.
+
+Benchmarks print the rows/series the paper's claims describe; this keeps the
+formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_fmt(value) for value in values])
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = "  ".join(
+            column.ljust(widths[index]) for index, column in enumerate(self.columns)
+        )
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+            )
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,169 @@
+"""Reconstructions of the paper's figures as runnable scenarios.
+
+Each builder returns a :class:`FigureScenario` bundling the simulation, the
+labelled object handles, and any scripted mutation steps the figure's
+narrative requires.  Integration tests assert the figure's stated outcome;
+benchmarks measure the message/step counts on the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..config import GcConfig, SimulationConfig
+from ..ids import ObjectId
+from ..sim.simulation import Simulation
+from ..workloads.topology import GraphBuilder
+
+
+@dataclass
+class FigureScenario:
+    """A built figure: simulation plus labelled objects."""
+
+    sim: Simulation
+    builder: GraphBuilder
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def __getitem__(self, label: str) -> ObjectId:
+        return self.builder[label]
+
+
+def _make_sim(seed: int, sites, gc: Optional[GcConfig]) -> Simulation:
+    config = SimulationConfig(seed=seed, gc=gc or GcConfig())
+    sim = Simulation(config)
+    sim.add_sites(list(sites), auto_gc=False)
+    return sim
+
+
+def build_figure1(seed: int = 0, gc: Optional[GcConfig] = None) -> FigureScenario:
+    """Figure 1: recording inter-site references.
+
+    Sites P, Q, R.  ``a``@P is the persistent root.  Inrefs: P has {a: root,
+    e: Q}; Q has {b: P, f: R}; R has {c: P,Q; g: Q}.  ``d``@Q is unreachable
+    garbage pointing at ``e``@P (local tracing collects both through update
+    messages).  ``f``@Q and ``g``@R form an inter-site garbage cycle local
+    tracing never collects.
+    """
+    sim = _make_sim(seed, ("P", "Q", "R"), gc)
+    b = GraphBuilder(sim)
+    b.obj("P", "a", root=True)
+    b.obj("P", "e")
+    b.obj("Q", "b")
+    b.obj("Q", "d")
+    b.obj("Q", "f")
+    b.obj("R", "c")
+    b.obj("R", "g")
+    b.link("a", "b")      # P -> Q
+    b.link("a", "c")      # P -> R
+    b.link("b", "c")      # Q -> R
+    b.link("d", "e")      # Q -> P (d is garbage; e dies once d reports)
+    b.link("f", "g")      # Q -> R \ the inter-site garbage cycle
+    b.link("g", "f")      # R -> Q /
+    return FigureScenario(
+        sim=sim,
+        builder=b,
+        notes={"cycle": "f,g", "acyclic_garbage": "d,e"},
+    )
+
+
+def build_figure2(seed: int = 0, gc: Optional[GcConfig] = None) -> FigureScenario:
+    """Figure 2: insets of suspected outrefs.
+
+    Sites P, Q, R.  Q holds objects ``a`` and ``b`` (inrefs from P and R);
+    ``a`` and ``b`` both reach Q's outref ``c`` (object at P), and ``b``
+    reaches outref ``d`` (object at R).  Also c -> a (P -> Q) and d -> b
+    (R -> Q), closing two interlocking inter-site cycles, so the whole
+    structure is garbage once unrooted -- in the figure it is garbage
+    already.
+    """
+    sim = _make_sim(seed, ("P", "Q", "R"), gc)
+    b = GraphBuilder(sim)
+    b.obj("Q", "a")
+    b.obj("Q", "b")
+    b.obj("P", "c")
+    b.obj("R", "d")
+    b.link("a", "c")
+    b.link("b", "c")
+    b.link("b", "d")
+    b.link("c", "a")
+    b.link("d", "b")
+    return FigureScenario(sim=sim, builder=b, notes={"inset_of_c": "a,b"})
+
+
+def build_figure3(seed: int = 0, gc: Optional[GcConfig] = None) -> FigureScenario:
+    """Figure 3: a back trace from ``d`` branches.
+
+    Sites P, Q, R plus S carrying the "long path from root".  R holds ``c``
+    (inref sources P and Q); a@P <-> b@Q form a cycle that also reaches c;
+    a is additionally reachable from the persistent root over a long
+    inter-site path, so the structure is *live* and a back trace must return
+    Live even though one branch dead-ends on visited marks.
+
+    One liberty vs the figure: ``d`` lives on its own site T (referenced by
+    c across sites) so that a back trace can *start* at an outref for d and
+    reach inref c, where the figure's two-way fork to P and Q happens.  With
+    d local to R (as drawn), no protocol-visible trace starts "from d" at
+    all -- the figure abstracts that away.
+    """
+    sim = _make_sim(seed, ("P", "Q", "R", "S", "T"), gc)
+    b = GraphBuilder(sim)
+    b.obj("P", "a")
+    b.obj("Q", "b")
+    b.obj("R", "c")
+    b.obj("T", "d")
+    b.obj("S", "root", root=True)
+    b.obj("S", "hop")
+    b.link("a", "b")
+    b.link("b", "a")
+    b.link("a", "c")
+    b.link("b", "c")
+    b.link("c", "d")      # R -> T: gives R an outref for d with inset {c}
+    b.link("root", "hop")
+    b.link("hop", "a")    # S -> P: the long path from the root
+    return FigureScenario(sim=sim, builder=b, notes={"live_via": "root->hop->a"})
+
+
+def build_figure5(seed: int = 0, gc: Optional[GcConfig] = None) -> FigureScenario:
+    """Figure 5: reference mutations that the transfer barrier must cover.
+
+    Sites P, Q, R, S.  The clean spine is a@P(root) -> b@Q -> y (local).
+    The suspected loop of remote references is c@R -> d@S -> e@R -> f@Q,
+    with f -> z -> x -> g@P locally at Q (so Q's outref ``g`` has inset
+    {f}).  The object ``z`` is reachable only through the suspected path
+    ... -> f -> z until the mutator copies a reference to z into y.
+
+    The figure's mutation: the mutator traverses the old path a, b, c, d, e,
+    f (firing the transfer barrier at Q when it crosses e -> f), copies z
+    into y (local copy), and then the reference d -> e is deleted.  Without
+    the barrier, a back trace from g between those steps would wrongly
+    confirm garbage.
+    """
+    sim = _make_sim(seed, ("P", "Q", "R", "S"), gc)
+    b = GraphBuilder(sim)
+    b.obj("P", "a", root=True)
+    b.obj("P", "g")
+    b.obj("Q", "b")
+    b.obj("Q", "y")
+    b.obj("Q", "f")
+    b.obj("Q", "z")
+    b.obj("Q", "x")
+    b.obj("R", "c")
+    b.obj("R", "e")
+    b.obj("S", "d")
+    # Clean spine.
+    b.link("a", "b")      # P -> Q
+    b.link("b", "y")
+    # Old (suspected) path to z.
+    b.link("b", "c")      # Q -> R: entry into the remote loop
+    b.link("c", "d")      # R -> S
+    b.link("d", "e")      # S -> R (this edge gets deleted)
+    b.link("e", "f")      # R -> Q
+    b.link("f", "z")
+    b.link("z", "x")
+    b.link("x", "g")      # Q -> P: the suspected outref g with inset {f}
+    return FigureScenario(
+        sim=sim,
+        builder=b,
+        notes={"mutation": "copy z into y; delete d->e", "watch": "g stays safe"},
+    )

@@ -1,0 +1,10 @@
+"""Instrumentation: counters and observation series.
+
+The paper's measurable claims are structural -- message counts, objects
+scanned, outset unions, storage units -- so the whole library reports through
+one :class:`MetricsRecorder` that benchmarks read after a run.
+"""
+
+from .counters import MetricsRecorder, Snapshot
+
+__all__ = ["MetricsRecorder", "Snapshot"]

@@ -1,0 +1,98 @@
+"""Counter and observation recording.
+
+Counters are plain named integers (``messages.BackCall``, ``gc.objects_scanned``).
+Observations are named value series (``backinfo.outsets_distinct``) with
+summary statistics.  A :class:`Snapshot` freezes the current state so a
+benchmark can diff before/after an operation of interest.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Immutable copy of all counters at one instant."""
+
+    counters: Mapping[str, int]
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def diff(self, earlier: "Snapshot") -> Dict[str, int]:
+        """Counter deltas since ``earlier`` (only non-zero entries)."""
+        names = set(self.counters) | set(earlier.counters)
+        deltas = {
+            name: self.counters.get(name, 0) - earlier.counters.get(name, 0)
+            for name in names
+        }
+        return {name: delta for name, delta in deltas.items() if delta}
+
+
+@dataclass
+class MetricsRecorder:
+    """Mutable sink for counters and observations."""
+
+    _counters: Counter = field(default_factory=Counter)
+    _observations: Dict[str, List[float]] = field(default_factory=dict)
+
+    # -- counters ---------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counters[name] += amount
+
+    def count(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counts_with_prefix(self, prefix: str) -> Dict[str, int]:
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    def total_with_prefix(self, prefix: str) -> int:
+        return sum(self.counts_with_prefix(prefix).values())
+
+    # -- messages ---------------------------------------------------------
+
+    def record_message(self, kind: str, units: int = 1) -> None:
+        """Count one sent message of the given payload kind."""
+        self._counters[f"messages.{kind}"] += 1
+        self._counters["messages.total"] += 1
+        self._counters["messages.units"] += units
+
+    def message_count(self, kind: str) -> int:
+        return self._counters.get(f"messages.{kind}", 0)
+
+    # -- observations -------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        self._observations.setdefault(name, []).append(value)
+
+    def observations(self, name: str) -> List[float]:
+        return list(self._observations.get(name, []))
+
+    def observation_mean(self, name: str) -> float:
+        values = self._observations.get(name)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def observation_max(self, name: str) -> float:
+        values = self._observations.get(name)
+        if not values:
+            return 0.0
+        return max(values)
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot(counters=dict(self._counters))
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._observations.clear()

@@ -1,0 +1,13 @@
+"""The application model (mutator).
+
+Mutators traverse the distributed object graph, create and delete references,
+and stash references in variables outside the object store (application
+roots, section 6.3).  Every operation goes through the site layer so the
+transfer and insert barriers fire exactly where the paper requires.
+"""
+
+from .ops import MutatorHop, RemoteCopy
+from .mutator import Mutator
+from .workload import RandomWorkload, WorkloadConfig
+
+__all__ = ["MutatorHop", "RemoteCopy", "Mutator", "RandomWorkload", "WorkloadConfig"]

@@ -1,0 +1,218 @@
+"""A mutator agent: an application navigating the distributed object graph.
+
+The mutator has a *position* (the object it is currently accessing) and a set
+of named *variables* (references held outside the object store -- application
+roots, section 6.3).  Its position is itself pinned as a variable root at the
+hosting site, so the oracle and the local collectors both see it as live.
+
+Traversing a local reference is immediate; traversing an inter-site reference
+sends a :class:`~repro.mutator.ops.MutatorHop` message, and the mutator is
+*in transit* until the target site delivers it (after applying the transfer
+barrier).  All graph edits go through the site layer, so barriers fire
+exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from ..errors import MutatorError
+from ..ids import ObjectId, SiteId
+from ..store.objects import HeapObject
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.simulation import Simulation
+
+
+class Mutator:
+    """One application thread of control."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        start: ObjectId,
+        hop_timeout: float = 100.0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.hop_timeout = hop_timeout
+        self._position = start
+        self._in_transit = False
+        self._hop_timer = None
+        self._variables: Dict[str, ObjectId] = {}
+        self._on_arrival: List[Callable[[], None]] = []
+        self.hops_taken = 0
+        self.hops_failed = 0
+        sim.register_mutator_hops(name, self._arrived)
+        self._site_of(start).pin_variable(start)
+
+    # -- position ----------------------------------------------------------------
+
+    @property
+    def position(self) -> ObjectId:
+        return self._position
+
+    @property
+    def in_transit(self) -> bool:
+        return self._in_transit
+
+    @property
+    def site_id(self) -> SiteId:
+        return self._position.site
+
+    def _site_of(self, oid: ObjectId):
+        return self.sim.site(oid.site)
+
+    @property
+    def site(self):
+        return self._site_of(self._position)
+
+    def current_object(self) -> Optional[HeapObject]:
+        return self.site.heap.maybe_get(self._position)
+
+    def current_refs(self) -> List[ObjectId]:
+        obj = self.current_object()
+        return obj.refs if obj is not None else []
+
+    # -- traversal -----------------------------------------------------------------
+
+    def traverse(self, target: ObjectId, check_held: bool = True) -> None:
+        """Move to ``target``, which the current object must reference.
+
+        Local moves complete immediately.  Remote moves put the mutator in
+        transit; it arrives when the hop message is delivered (run the
+        simulation to let that happen).  A hop lost to a crash or partition
+        strands the mutator at its old position (it "fails over").
+        """
+        if self._in_transit:
+            raise MutatorError(f"mutator {self.name} is in transit")
+        if check_held:
+            obj = self.current_object()
+            if obj is None or not obj.holds_ref(target):
+                raise MutatorError(
+                    f"mutator {self.name}: {self._position} does not hold {target}"
+                )
+        if target.site == self.site_id:
+            self._move_to(target)
+            return
+        self._in_transit = True
+        # A hop lost to a crash or partition would strand the application
+        # forever; real RPC layers surface an error instead.  Model that as
+        # a timeout: the mutator gives up and stays where it was (its old
+        # position is still pinned, so nothing unsafe can happen).
+        self._hop_timer = self.sim.scheduler.schedule(
+            self.hop_timeout, self._hop_timed_out, label=f"hop-timeout:{self.name}"
+        )
+        self.site.mutator_hop(self.name, target)
+
+    def _hop_timed_out(self) -> None:
+        if not self._in_transit:
+            return
+        self._in_transit = False
+        self._hop_timer = None
+        self.hops_failed += 1
+        callbacks, self._on_arrival = self._on_arrival, []
+        for callback in callbacks:
+            callback()
+
+    def _arrived(self, target: ObjectId) -> None:
+        if self._hop_timer is not None:
+            self._hop_timer.cancel()
+            self._hop_timer = None
+        self._in_transit = False
+        self._move_to(target)
+        self.hops_taken += 1
+        callbacks, self._on_arrival = self._on_arrival, []
+        for callback in callbacks:
+            callback()
+
+    def _move_to(self, target: ObjectId) -> None:
+        old = self._position
+        self._site_of(target).pin_variable(target)
+        self._position = target
+        self._site_of(old).unpin_variable(old)
+
+    def when_arrived(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after the pending hop completes (scripting aid)."""
+        if self._in_transit:
+            self._on_arrival.append(callback)
+        else:
+            callback()
+
+    # -- variables (application roots) ------------------------------------------------
+
+    def set_variable(self, name: str, ref: ObjectId) -> None:
+        """Stash ``ref`` in a variable, pinning it as an application root."""
+        old = self._variables.get(name)
+        self._site_of(ref).pin_variable(ref)
+        self._variables[name] = ref
+        if old is not None:
+            self._site_of(old).unpin_variable(old)
+
+    def get_variable(self, name: str) -> ObjectId:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise MutatorError(f"mutator {self.name}: no variable {name!r}") from None
+
+    def clear_variable(self, name: str) -> None:
+        old = self._variables.pop(name, None)
+        if old is not None:
+            self._site_of(old).unpin_variable(old)
+
+    @property
+    def variables(self) -> Dict[str, ObjectId]:
+        return dict(self._variables)
+
+    # -- graph edits -------------------------------------------------------------------
+
+    def store_ref(self, target: ObjectId, holder: Optional[ObjectId] = None) -> None:
+        """Copy ``target`` into ``holder`` (default: the current object).
+
+        ``holder`` must be local to the mutator's current site -- a remote
+        destination requires :meth:`copy_ref_to_remote`.
+        """
+        holder = holder or self._position
+        if holder.site != self.site_id:
+            raise MutatorError("use copy_ref_to_remote for a remote destination")
+        site = self.site
+        if target.site != site.site_id and target not in site.outrefs:
+            # Materializing a reference the mutator carried here in a
+            # variable (section 6.3): pin the object at its owner until the
+            # insert roots it through the new inref.  The owner-side pin
+            # models the application session's registration at the owner.
+            self._site_of(target).take_insert_custody(target)
+            site.mutator_add_ref(holder, target, insert_custody_taken=True)
+            return
+        site.mutator_add_ref(holder, target)
+
+    def delete_ref(self, target: ObjectId, holder: Optional[ObjectId] = None) -> None:
+        """Remove one occurrence of ``target`` from ``holder`` (default: here)."""
+        holder = holder or self._position
+        if holder.site != self.site_id:
+            raise MutatorError("can only delete from objects at the current site")
+        self.site.mutator_remove_ref(holder, target)
+
+    def copy_ref_to_remote(self, target: ObjectId, dest_holder: ObjectId) -> None:
+        """Ship ``target`` to another site, storing it into ``dest_holder``.
+
+        Runs the full remote-copy protocol of section 6.1.2, including the
+        insert barrier pin at this site when ``target`` is remote to it.
+        """
+        if dest_holder.site == self.site_id:
+            self.store_ref(target, holder=dest_holder)
+            return
+        self.site.mutator_send_ref(dest_holder.site, target, dest_holder)
+
+    def alloc(self, refs=(), link_from_current: bool = True) -> ObjectId:
+        """Allocate a fresh object at the current site.
+
+        By default the new object is immediately linked from the current
+        object, so it is born reachable (a new object modelled, per the
+        paper's footnote, as copied from a special persistent root).
+        """
+        obj = self.site.heap.alloc(refs=refs)
+        if link_from_current:
+            self.site.mutator_add_ref(self._position, obj.oid)
+        return obj.oid

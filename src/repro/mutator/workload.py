@@ -1,0 +1,195 @@
+"""Randomized mutator workloads for stress testing (benchmark E7).
+
+A :class:`RandomWorkload` drives one mutator with a stream of random
+operations -- traversals (firing transfer barriers), local copies, deletions,
+allocations, variable stashing, and remote copies (firing the insert
+barrier) -- at random intervals, all through the barrier-respecting APIs.
+Combined with concurrent local traces and back traces this exercises every
+section-6 code path; the oracle checks safety after every quiescent point.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from ..errors import ConfigError
+from ..ids import ObjectId
+from .mutator import Mutator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.simulation import Simulation
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Operation mix and pacing for a random workload."""
+
+    mean_interval: float = 5.0
+    traverse_weight: float = 5.0
+    local_copy_weight: float = 2.0
+    delete_weight: float = 1.5
+    alloc_weight: float = 1.0
+    stash_weight: float = 1.0
+    write_stash_weight: float = 1.0
+    remote_copy_weight: float = 1.0
+    go_home_weight: float = 0.5
+    max_stash: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mean_interval <= 0:
+            raise ConfigError("mean_interval must be > 0")
+        if self.max_stash < 1:
+            raise ConfigError("max_stash must be >= 1")
+
+
+class RandomWorkload:
+    """Drives one mutator with random barrier-respecting operations."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        name: str,
+        home: ObjectId,
+        config: Optional[WorkloadConfig] = None,
+        seed_stream: Optional[str] = None,
+    ):
+        self.sim = sim
+        self.config = config or WorkloadConfig()
+        self.mutator = Mutator(sim, name, home)
+        self.home = home
+        self.rng: random.Random = sim.rng.stream(seed_stream or f"workload:{name}")
+        self._stash_names: List[str] = []
+        self._stash_counter = 0
+        self._running = False
+        self.ops_executed = 0
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        delay = self.rng.expovariate(1.0 / self.config.mean_interval)
+        self.sim.scheduler.schedule(delay, self._tick, label=f"workload:{self.mutator.name}")
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if not self.mutator.in_transit:
+            self._random_op()
+            self.ops_executed += 1
+        self._schedule_next()
+
+    # -- operations ------------------------------------------------------------------
+
+    def _random_op(self) -> None:
+        cfg = self.config
+        if self.mutator.current_object() is None or self.mutator.site.crashed:
+            # Stranded (host crashed or current object edited away by another
+            # mutator and collected before our pin): respawn at home.
+            self._go_home()
+            return
+        ops = [
+            (cfg.traverse_weight, self._op_traverse),
+            (cfg.local_copy_weight, self._op_local_copy),
+            (cfg.delete_weight, self._op_delete),
+            (cfg.alloc_weight, self._op_alloc),
+            (cfg.stash_weight, self._op_stash),
+            (cfg.write_stash_weight, self._op_write_stash),
+            (cfg.remote_copy_weight, self._op_remote_copy),
+            (cfg.go_home_weight, self._op_go_home),
+        ]
+        total = sum(weight for weight, _ in ops)
+        pick = self.rng.uniform(0.0, total)
+        for weight, op in ops:
+            pick -= weight
+            if pick <= 0:
+                op()
+                return
+        ops[-1][1]()
+
+    def _go_home(self) -> None:
+        home_site = self.sim.site(self.home.site)
+        if home_site.heap.contains(self.home) and not home_site.crashed:
+            # Teleporting home models the application re-entering through a
+            # persistent root; barrier-wise it is a traversal to a root,
+            # which is always clean, so no barrier action is required.
+            self.mutator._arrived(self.home)
+
+    def _op_go_home(self) -> None:
+        self._go_home()
+
+    def _op_traverse(self) -> None:
+        refs = self._existing_refs()
+        if not refs:
+            self._go_home()
+            return
+        target = self.rng.choice(refs)
+        self.mutator.traverse(target, check_held=False)
+
+    def _op_local_copy(self) -> None:
+        refs = self.mutator.current_refs()
+        if not refs:
+            return
+        self.mutator.store_ref(self.rng.choice(refs))
+
+    def _op_delete(self) -> None:
+        refs = self.mutator.current_refs()
+        if not refs:
+            return
+        self.mutator.delete_ref(self.rng.choice(refs))
+
+    def _op_alloc(self) -> None:
+        self.mutator.alloc()
+
+    def _op_stash(self) -> None:
+        refs = self._existing_refs(include_position=True)
+        if not refs:
+            return
+        if len(self._stash_names) >= self.config.max_stash:
+            victim = self._stash_names.pop(0)
+            self.mutator.clear_variable(victim)
+        name = f"stash{self._stash_counter}"
+        self._stash_counter += 1
+        self.mutator.set_variable(name, self.rng.choice(refs))
+        self._stash_names.append(name)
+
+    def _op_write_stash(self) -> None:
+        if not self._stash_names:
+            return
+        name = self.rng.choice(self._stash_names)
+        ref = self.mutator.get_variable(name)
+        self.mutator.store_ref(ref)
+
+    def _op_remote_copy(self) -> None:
+        """Copy a reference from here into a stashed remote object."""
+        remote_holders = [
+            ref
+            for name in self._stash_names
+            for ref in [self.mutator.get_variable(name)]
+            if ref.site != self.mutator.site_id
+        ]
+        refs = self.mutator.current_refs()
+        if not remote_holders or not refs:
+            return
+        dest = self.rng.choice(remote_holders)
+        self.mutator.copy_ref_to_remote(self.rng.choice(refs), dest)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _existing_refs(self, include_position: bool = False) -> List[ObjectId]:
+        """Current object's references that still resolve somewhere."""
+        refs = []
+        for ref in self.mutator.current_refs():
+            site = self.sim.sites.get(ref.site)
+            if site is not None and site.heap.contains(ref) and not site.crashed:
+                refs.append(ref)
+        if include_position:
+            refs.append(self.mutator.position)
+        return refs

@@ -1,0 +1,21 @@
+"""Simulated message-passing network.
+
+Provides typed messages (:mod:`.message`), pluggable latency models
+(:mod:`.latency`), and the :class:`Network` itself, which supports per-pair
+FIFO delivery (the paper's relation R1), probabilistic loss, partitions, and
+crashed destinations.
+"""
+
+from .message import Message, Payload
+from .latency import ConstantLatency, ExponentialLatency, LatencyModel, UniformLatency
+from .network import Network
+
+__all__ = [
+    "Message",
+    "Payload",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "Network",
+]

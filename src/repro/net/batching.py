@@ -1,0 +1,125 @@
+"""Deferral and piggybacking of small control messages (paper section 4.6).
+
+"These messages are small and can be piggybacked on other messages", and a
+back trace costs "tenths of a second [per site] if messages are deferred and
+piggybacked" -- trading latency for message count.  This module implements
+that policy at the site boundary:
+
+- small control payloads (back-trace calls/replies/reports, update batches,
+  insert traffic) are queued per destination instead of sent immediately;
+- a queue is flushed as one :class:`Bundle` either when its deferral timer
+  expires or when *any* message departs for the same destination (the
+  piggyback case: the pending payloads ride along, in order);
+- per-pair FIFO is preserved: queued payloads always leave before or
+  together with any later message to the same destination.
+
+Deferral is safe for every queued protocol: insert custody pins hold until
+their inserts land, back-trace timeouts are far longer than deferral delays,
+and update messages are idempotent state transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from ..ids import ObjectId, SiteId
+from ..metrics import MetricsRecorder
+from ..sim.scheduler import EventHandle, Scheduler
+from .message import Payload
+
+
+@dataclass(frozen=True)
+class Bundle(Payload):
+    """Several logical payloads delivered as one physical message."""
+
+    payloads: Tuple[Payload, ...]
+
+    def size_units(self) -> int:
+        return max(1, sum(payload.size_units() for payload in self.payloads))
+
+    def carried_refs(self):
+        refs: List[ObjectId] = []
+        for payload in self.payloads:
+            refs.extend(payload.carried_refs())
+        return tuple(refs)
+
+
+SendFn = Callable[[SiteId, Payload], None]
+
+
+class DeferringSender:
+    """Per-site outgoing queue with timed flush and piggybacking."""
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        scheduler: Scheduler,
+        raw_send: SendFn,
+        deferrable: Tuple[Type[Payload], ...],
+        delay: float = 2.0,
+        max_queue: int = 64,
+        metrics: Optional[MetricsRecorder] = None,
+    ):
+        self.site_id = site_id
+        self.scheduler = scheduler
+        self.raw_send = raw_send
+        self.deferrable = deferrable
+        self.delay = delay
+        self.max_queue = max_queue
+        self.metrics = metrics or MetricsRecorder()
+        self._queues: Dict[SiteId, List[Payload]] = {}
+        self._timers: Dict[SiteId, EventHandle] = {}
+
+    def send(self, dst: SiteId, payload: Payload) -> None:
+        if isinstance(payload, self.deferrable):
+            queue = self._queues.setdefault(dst, [])
+            queue.append(payload)
+            self.metrics.incr("deferral.queued")
+            self.metrics.incr(f"deferral.logical.{payload.kind()}")
+            if len(queue) >= self.max_queue:
+                self.flush(dst)
+            elif dst not in self._timers:
+                self._timers[dst] = self.scheduler.schedule(
+                    self.delay,
+                    lambda: self._timer_fired(dst),
+                    label=f"defer-flush:{self.site_id}->{dst}",
+                )
+            return
+        # An undeferred message departs: piggyback anything pending so FIFO
+        # order to this destination is preserved.
+        pending = self._take(dst)
+        if pending:
+            self.metrics.incr("deferral.piggybacked", len(pending))
+            self.raw_send(dst, Bundle(payloads=tuple(pending + [payload])))
+        else:
+            self.raw_send(dst, payload)
+
+    def _timer_fired(self, dst: SiteId) -> None:
+        self._timers.pop(dst, None)
+        self.flush(dst)
+
+    def flush(self, dst: SiteId) -> None:
+        pending = self._take(dst)
+        if not pending:
+            return
+        if len(pending) == 1:
+            self.raw_send(dst, pending[0])
+        else:
+            self.metrics.incr("deferral.bundles")
+            self.raw_send(dst, Bundle(payloads=tuple(pending)))
+
+    def flush_all(self) -> None:
+        for dst in sorted(self._queues):
+            self.flush(dst)
+
+    def _take(self, dst: SiteId) -> List[Payload]:
+        timer = self._timers.pop(dst, None)
+        if timer is not None:
+            timer.cancel()
+        pending = self._queues.pop(dst, [])
+        return pending
+
+    @property
+    def queued(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())

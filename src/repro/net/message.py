@@ -1,0 +1,65 @@
+"""Message envelope and payload base class.
+
+Protocol modules (insert protocol, update messages, back-trace calls, the
+mutator, baseline collectors) each define their own payload dataclasses
+deriving from :class:`Payload`.  The envelope adds addressing and bookkeeping
+shared by all of them.
+
+``Payload.kind()`` is the metrics key: benchmark E1 counts back-trace call,
+reply, and report messages by this name to check the paper's 2E + N bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..ids import SiteId
+
+
+class Payload:
+    """Base class for message payloads.  Subclass per protocol message."""
+
+    @classmethod
+    def kind(cls) -> str:
+        """Short name used for metrics aggregation."""
+        return cls.__name__
+
+    def carried_refs(self):
+        """Object references this message carries to its destination.
+
+        The omniscient oracle treats in-flight carried references as roots:
+        until delivery they can still be stored into the destination's heap,
+        so the objects they name must not be collected.  Payloads that ship
+        references (mutator hops/copies, migration) override this.
+        """
+        return ()
+
+    def size_units(self) -> int:
+        """Abstract message size for bandwidth accounting.
+
+        The paper notes back-trace messages are "small and can be piggybacked
+        on other messages"; we charge one unit per payload by default and let
+        bulk payloads (e.g. object migration) override.
+        """
+        return 1
+
+
+_envelope_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """An addressed payload in flight."""
+
+    src: SiteId
+    dst: SiteId
+    payload: Payload
+    uid: int = field(default_factory=lambda: next(_envelope_counter))
+
+    @property
+    def kind(self) -> str:
+        return self.payload.kind()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.src}->{self.dst})"

@@ -1,0 +1,142 @@
+"""The simulated network.
+
+Messages are handed to :meth:`Network.send`, which draws a latency, applies
+loss/partition/crash rules, and schedules delivery through the event
+scheduler.  With ``fifo_per_pair`` enabled (the default, matching the paper's
+assumption R1 in section 6.4), delivery times between any ordered pair of
+sites are monotonic, so messages between two sites never overtake each other
+even when their sampled latencies would reorder them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from ..config import NetworkConfig
+from ..errors import UnknownSiteError
+from ..ids import SiteId
+from ..metrics import MetricsRecorder
+from ..sim.rng import RngRegistry
+from ..sim.scheduler import Scheduler
+from .latency import LatencyModel, UniformLatency
+from .message import Message, Payload
+
+DeliverFn = Callable[[Message], None]
+
+
+class Network:
+    """Routes messages between registered sites with simulated delays."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: RngRegistry,
+        metrics: MetricsRecorder,
+        config: Optional[NetworkConfig] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ):
+        self._scheduler = scheduler
+        self._rng = rng.stream("network")
+        self._metrics = metrics
+        self._config = config or NetworkConfig()
+        self._latency = latency_model or UniformLatency(
+            self._config.min_latency, self._config.max_latency
+        )
+        self._endpoints: Dict[SiteId, DeliverFn] = {}
+        self._crashed: Set[SiteId] = set()
+        self._partition: Optional[Dict[SiteId, int]] = None
+        self._last_delivery: Dict[Tuple[SiteId, SiteId], float] = {}
+        self._in_flight: Dict[int, Message] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, site_id: SiteId, deliver: DeliverFn) -> None:
+        """Attach a site's receive function to the network."""
+        self._endpoints[site_id] = deliver
+
+    def known_sites(self) -> Set[SiteId]:
+        return set(self._endpoints)
+
+    # -- failures -------------------------------------------------------------
+
+    def crash(self, site_id: SiteId) -> None:
+        """Messages to/from a crashed site are silently lost."""
+        self._crashed.add(site_id)
+
+    def recover(self, site_id: SiteId) -> None:
+        self._crashed.discard(site_id)
+
+    def is_crashed(self, site_id: SiteId) -> bool:
+        return site_id in self._crashed
+
+    def partition(self, *groups: Set[SiteId]) -> None:
+        """Split the network: messages between different groups are lost.
+
+        Sites not named in any group form one additional implicit group.
+        """
+        mapping: Dict[SiteId, int] = {}
+        for index, group in enumerate(groups):
+            for site_id in group:
+                mapping[site_id] = index
+        implicit = len(groups)
+        for site_id in self._endpoints:
+            mapping.setdefault(site_id, implicit)
+        self._partition = mapping
+
+    def heal_partition(self) -> None:
+        self._partition = None
+
+    def _partitioned(self, src: SiteId, dst: SiteId) -> bool:
+        if self._partition is None:
+            return False
+        return self._partition.get(src) != self._partition.get(dst)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, src: SiteId, dst: SiteId, payload: Payload) -> None:
+        """Send ``payload`` from ``src`` to ``dst`` (counted even if lost)."""
+        if dst not in self._endpoints:
+            raise UnknownSiteError(f"no site registered as {dst!r}")
+        message = Message(src=src, dst=dst, payload=payload)
+        self._metrics.record_message(message.kind, payload.size_units())
+        # Per-kind size units and per-site attribution: which sites a
+        # protocol involves and what it really ships (benchmark E6).
+        self._metrics.incr(f"units.{message.kind}", payload.size_units())
+        self._metrics.incr(f"involve.{message.kind}.{src}")
+        self._metrics.incr(f"involve.{message.kind}.{dst}")
+
+        if src in self._crashed or dst in self._crashed or self._partitioned(src, dst):
+            self._metrics.incr("messages.lost")
+            return
+        if self._config.drop_probability and self._rng.random() < self._config.drop_probability:
+            self._metrics.incr("messages.lost")
+            return
+
+        delay = self._latency.sample(self._rng, src, dst)
+        deliver_at = self._scheduler.now + delay
+        if self._config.fifo_per_pair:
+            pair = (src, dst)
+            floor = self._last_delivery.get(pair, 0.0)
+            deliver_at = max(deliver_at, floor)
+            self._last_delivery[pair] = deliver_at
+        self._in_flight[message.uid] = message
+        self._scheduler.schedule_at(
+            deliver_at, lambda: self._deliver(message), label=f"deliver:{message.kind}"
+        )
+
+    def in_flight_messages(self):
+        """Messages scheduled but not yet delivered (oracle support)."""
+        return list(self._in_flight.values())
+
+    def _deliver(self, message: Message) -> None:
+        self._in_flight.pop(message.uid, None)
+        # Crashes/partitions that arose while the message was in flight also
+        # destroy it -- the destination never processes it.
+        if message.dst in self._crashed or message.src in self._crashed:
+            self._metrics.incr("messages.lost")
+            return
+        if self._partitioned(message.src, message.dst):
+            self._metrics.incr("messages.lost")
+            return
+        self._metrics.incr("messages.delivered")
+        self._endpoints[message.dst](message)

@@ -1,0 +1,35 @@
+"""Named, seeded random streams.
+
+Each component (network latency, mutator at site P, GC jitter at site Q, ...)
+draws from its own stream derived from the master seed and the stream name.
+Adding a new consumer of randomness therefore never perturbs the draws seen
+by existing components, which keeps regression tests stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngRegistry:
+    """Factory of independent ``random.Random`` streams keyed by name."""
+
+    def __init__(self, seed: int):
+        self._seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+        stream = random.Random(int.from_bytes(digest[:8], "big"))
+        self._streams[name] = stream
+        return stream

@@ -1,0 +1,161 @@
+"""Priority-queue event scheduler with deterministic tie-breaking.
+
+Events at equal simulated times fire in the order they were scheduled (a
+monotonic sequence number breaks ties), so a run is fully determined by the
+sequence of ``schedule`` calls -- no dict-ordering or hash-randomization
+effects can change behaviour between runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import SchedulerError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Optional[EventCallback] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def cancel(self) -> None:
+        self.callback = None
+
+
+class EventHandle:
+    """Returned by :meth:`Scheduler.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event will fire (or would have)."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is a no-op."""
+        self._event.cancel()
+
+
+class Scheduler:
+    """A discrete-event scheduler: simulated clock plus a timed callback queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[_Event] = []
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, not-yet-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total callbacks executed so far (for progress reporting)."""
+        return self._events_fired
+
+    def schedule(self, delay: float, callback: EventCallback, label: str = "") -> EventHandle:
+        """Run ``callback`` after ``delay`` simulated time units.
+
+        ``delay`` must be non-negative; zero-delay events fire after all
+        events already scheduled for the current instant, preserving FIFO
+        order within a timestamp.
+        """
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule into the past (delay={delay})")
+        return self._push(self._now + delay, callback, label)
+
+    def schedule_at(self, time: float, callback: EventCallback, label: str = "") -> EventHandle:
+        """Run ``callback`` at absolute simulated time ``time``.
+
+        Uses the absolute timestamp *exactly* -- converting to a relative
+        delay and back loses bits to float rounding, which once broke the
+        network's per-pair FIFO clamp by landing a delivery fractionally
+        before an earlier one scheduled for the same instant.
+        """
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        return self._push(time, callback, label)
+
+    def _push(self, time: float, callback: EventCallback, label: str) -> EventHandle:
+        event = _Event(time=time, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            callback, event.callback = event.callback, None
+            assert callback is not None
+            self._events_fired += 1
+            callback()
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Fire events with timestamps <= ``time``; return how many fired.
+
+        The clock is advanced to ``time`` even if the queue drains early, so
+        periodic activities rescheduled by their own callbacks stay aligned.
+        """
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            self.step()
+            fired += 1
+        if not (max_events is not None and fired >= max_events):
+            self._now = max(self._now, time)
+        return fired
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Fire events within the next ``duration`` time units."""
+        return self.run_until(self._now + duration, max_events=max_events)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Fire events until the queue is empty (bounded by ``max_events``)."""
+        fired = 0
+        while fired < max_events and self.step():
+            fired += 1
+        if fired >= max_events and self.pending:
+            raise SchedulerError(
+                f"drain exceeded {max_events} events with {self.pending} still pending"
+            )
+        return fired

@@ -1,0 +1,5 @@
+"""Site composition: heap + tables + collector + back tracer + handlers."""
+
+from .site import Site
+
+__all__ = ["Site"]

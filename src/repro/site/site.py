@@ -1,0 +1,549 @@
+"""One site of the distributed object store.
+
+A :class:`Site` wires together a heap, the inref/outref tables, the local
+collector, the back-trace engine, the transfer barrier, and the message
+handlers for every protocol in the system.  It also owns the site-local
+policies the paper describes:
+
+- periodic local traces with jitter (section 4.7 relies on the resulting
+  timing spread to make concurrent back traces on one cycle unlikely);
+- the back-trace trigger check after each local trace (section 4.3);
+- the insert barrier on every outgoing reference transfer (section 6.1.2);
+- deferral of mutator heap writes while a non-atomic local trace is
+  in progress (section 6.2) -- incoming *messages* are still handled
+  immediately against the old copy of the back information.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..config import GcConfig
+from ..errors import GcInvariantError
+from ..core.backtrace.engine import BackTraceEngine
+from ..core.backtrace.messages import BackCall, BackOutcome, BackReply, TraceOutcome
+from ..core.barriers import TransferBarrier
+from ..gc.insert import InsertDone, InsertRequest, UnpinRequest
+from ..gc.inrefs import InrefTable
+from ..gc.localtrace import LocalCollector, LocalTraceResult
+from ..gc.outrefs import OutrefTable
+from ..gc.update import UpdatePayload, apply_update
+from ..ids import ObjectId, SiteId, TraceId
+from ..metrics import MetricsRecorder
+from ..mutator.ops import MutatorHop, RemoteCopy
+from ..net.message import Message, Payload
+from ..net.network import Network
+from ..sim.scheduler import Scheduler
+from ..store.heap import Heap
+
+HopCallback = Callable[[str, ObjectId], None]
+OutcomeCallback = Callable[[SiteId, TraceId, TraceOutcome], None]
+
+
+class Site:
+    """A single site: object store, collectors, and protocol handlers."""
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        scheduler: Scheduler,
+        network: Network,
+        config: GcConfig,
+        metrics: Optional[MetricsRecorder] = None,
+        jitter_rng=None,
+        auto_gc: bool = True,
+        on_mutator_hop: Optional[HopCallback] = None,
+        on_trace_outcome: Optional[OutcomeCallback] = None,
+    ):
+        self.site_id = site_id
+        self.scheduler = scheduler
+        self.network = network
+        self.config = config
+        self.metrics = metrics or MetricsRecorder()
+        self._jitter_rng = jitter_rng
+        self.on_mutator_hop = on_mutator_hop
+        self.on_trace_outcome = on_trace_outcome
+
+        self.heap = Heap(site_id)
+        self.inrefs = InrefTable(
+            site_id,
+            suspicion_threshold=config.suspicion_threshold,
+            initial_back_threshold=config.initial_back_threshold,
+        )
+        self.outrefs = OutrefTable(
+            site_id, initial_back_threshold=config.initial_back_threshold
+        )
+        self.collector = LocalCollector(
+            self.heap, self.inrefs, self.outrefs, config, metrics=self.metrics
+        )
+        self.engine = BackTraceEngine(
+            site_id,
+            self.inrefs,
+            self.outrefs,
+            config,
+            scheduler,
+            send=self.send,
+            metrics=self.metrics,
+            on_outcome=self._trace_outcome,
+            on_outcome_applied=self._trace_outcome_applied,
+        )
+        self.barrier = TransferBarrier(
+            self.inrefs,
+            self.outrefs,
+            engine=self.engine,
+            metrics=self.metrics,
+            enabled=config.enable_transfer_barrier,
+        )
+        self.tuner = None
+        if config.enable_threshold_tuning:
+            from ..core.tuning import ThresholdTuner
+
+            self.tuner = ThresholdTuner(
+                self.inrefs,
+                outrefs=self.outrefs,
+                assumed_cycle_length=config.assumed_cycle_length,
+                metrics=self.metrics,
+            )
+
+        self._sender = None
+        if config.defer_messages:
+            from ..net.batching import DeferringSender
+
+            self._sender = DeferringSender(
+                site_id,
+                scheduler,
+                raw_send=self._raw_send,
+                deferrable=(
+                    BackCall,
+                    BackReply,
+                    BackOutcome,
+                    UpdatePayload,
+                    InsertRequest,
+                    InsertDone,
+                    UnpinRequest,
+                ),
+                delay=config.defer_delay,
+                metrics=self.metrics,
+            )
+
+        self.crashed = False
+        self._tracing = False
+        # Objects of ours pinned while a message carrying their reference is
+        # in flight (the insert barrier, applied to the owner's own sends).
+        self._send_pins: Dict[ObjectId, int] = {}
+        # Deferred heap writes: ("add"|"remove", holder, target) tuples kept
+        # inspectable so the omniscient oracle can treat references parked in
+        # a pending add as roots.
+        self._pending_writes: List[tuple] = []
+        self._variable_outrefs: Dict[ObjectId, int] = {}
+        self._gc_timer = None
+        self._handlers = {
+            UpdatePayload: self._on_update,
+            InsertRequest: self._on_insert_request,
+            InsertDone: self._on_insert_done,
+            UnpinRequest: self._on_unpin,
+            BackCall: self._on_back_call,
+            BackReply: self._on_back_reply,
+            BackOutcome: self._on_back_outcome,
+            MutatorHop: self._on_mutator_hop,
+            RemoteCopy: self._on_remote_copy,
+        }
+        if auto_gc:
+            self.schedule_next_trace()
+
+    # -- messaging ---------------------------------------------------------------
+
+    def send(self, dst: SiteId, payload: Payload) -> None:
+        if self.crashed:
+            return
+        if self._sender is not None:
+            self._sender.send(dst, payload)
+        else:
+            self.network.send(self.site_id, dst, payload)
+
+    def _raw_send(self, dst: SiteId, payload: Payload) -> None:
+        if not self.crashed:
+            self.network.send(self.site_id, dst, payload)
+
+    def receive(self, message: Message) -> None:
+        """Network delivery entry point."""
+        if self.crashed:
+            return
+        from ..net.batching import Bundle
+
+        if isinstance(message.payload, Bundle):
+            for payload in message.payload.payloads:
+                self.receive(Message(src=message.src, dst=message.dst, payload=payload))
+            return
+        handler = self._handlers.get(type(message.payload))
+        if handler is None:
+            raise TypeError(f"site {self.site_id}: no handler for {message.kind}")
+        handler(message)
+
+    def register_handler(self, payload_type, handler) -> None:
+        """Extension point used by the baseline collectors."""
+        self._handlers[payload_type] = handler
+
+    # -- crash / recovery ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Stop processing; in-flight and future messages to us are lost."""
+        self.crashed = True
+        self.network.crash(self.site_id)
+
+    def recover(self) -> None:
+        self.crashed = False
+        self.network.recover(self.site_id)
+        self.schedule_next_trace()
+
+    # -- local tracing ------------------------------------------------------------------
+
+    def stop_auto_gc(self) -> None:
+        """Cancel the periodic local-trace timer (manual control resumes)."""
+        if self._gc_timer is not None:
+            self._gc_timer.cancel()
+            self._gc_timer = None
+
+    def schedule_next_trace(self) -> None:
+        if self._gc_timer is not None:
+            self._gc_timer.cancel()
+        jitter = 0.0
+        if self._jitter_rng is not None and self.config.local_trace_period_jitter:
+            jitter = self._jitter_rng.uniform(
+                0.0, self.config.local_trace_period_jitter
+            )
+        delay = self.config.local_trace_period + jitter
+        self._gc_timer = self.scheduler.schedule(
+            delay, self._gc_tick, label=f"gc-tick:{self.site_id}"
+        )
+
+    def _gc_tick(self) -> None:
+        self._gc_timer = None
+        if not self.crashed and not self._tracing:
+            self.run_local_trace()
+        self.schedule_next_trace()
+
+    def run_local_trace(self) -> Optional[LocalTraceResult]:
+        """Run one local trace (non-atomic if configured so)."""
+        if self.crashed or self._tracing:
+            return None
+        result = self.collector.compute(variable_outrefs=set(self._variable_outrefs))
+        if self.config.local_trace_duration > 0:
+            self._tracing = True
+            self.barrier.begin_trace_window()
+            self.scheduler.schedule(
+                self.config.local_trace_duration,
+                lambda: self._commit_trace(result),
+                label=f"gc-commit:{self.site_id}",
+            )
+            return result
+        self._finalize_trace(result, replay=())
+        return result
+
+    def _commit_trace(self, result: LocalTraceResult) -> None:
+        replay = self.barrier.end_trace_window()
+        self._tracing = False
+        if self.crashed:
+            return
+        self._finalize_trace(result, replay=replay)
+        self._flush_pending_writes()
+
+    def _finalize_trace(self, result: LocalTraceResult, replay) -> None:
+        self.collector.commit(result, replay_barrier_inrefs=replay)
+        for dst, payload in sorted(result.updates_by_site.items()):
+            self.send(dst, payload)
+        self.check_backtrace_triggers()
+
+    @property
+    def is_tracing(self) -> bool:
+        return self._tracing
+
+    # -- back-trace triggering (section 4.3) -----------------------------------------------
+
+    def check_backtrace_triggers(self) -> List[ObjectId]:
+        """Start a back trace from each suspected outref past its threshold."""
+        started: List[ObjectId] = []
+        if not self.config.enable_backtracing:
+            return started
+        for entry in sorted(self.outrefs.suspected_entries(), key=lambda e: e.target):
+            if entry.distance > entry.back_threshold:
+                if self.engine.start_trace(entry.target) is not None:
+                    started.append(entry.target)
+                    if len(started) >= self.config.max_traces_per_trigger_check:
+                        break
+        return started
+
+    def _trace_outcome(self, trace_id: TraceId, verdict: TraceOutcome) -> None:
+        if self.on_trace_outcome is not None:
+            self.on_trace_outcome(self.site_id, trace_id, verdict)
+
+    def _trace_outcome_applied(
+        self, trace_id: TraceId, verdict: TraceOutcome, visited_here: int
+    ) -> None:
+        # Every participant site observes the verdict of traces that passed
+        # through it -- the "suspects found live" signal of section 3.
+        if self.tuner is not None and visited_here > 0:
+            self.tuner.observe(verdict)
+
+    # -- mutator-facing API --------------------------------------------------------------------
+    #
+    # These are the operations an application running *at this site* may
+    # perform.  Heap writes are deferred while a local trace is computing;
+    # table updates and barriers apply immediately (section 6.2).
+
+    def _deferred(self, write: tuple) -> None:
+        if self._tracing:
+            self._pending_writes.append(write)
+        else:
+            self._apply_write(write)
+
+    def _apply_write(self, write: tuple) -> None:
+        kind, holder, target = write
+        if kind == "add":
+            self._apply_add_ref(holder, target)
+        else:
+            self._apply_remove_ref(holder, target)
+
+    def _flush_pending_writes(self) -> None:
+        pending, self._pending_writes = self._pending_writes, []
+        for write in pending:
+            self._apply_write(write)
+
+    def pending_carried_refs(self) -> List[ObjectId]:
+        """References held only inside deferred writes (oracle roots)."""
+        refs: List[ObjectId] = []
+        for kind, holder, target in self._pending_writes:
+            if kind == "add":
+                refs.append(holder)
+                refs.append(target)
+        return refs
+
+    def mutator_add_ref(
+        self, holder: ObjectId, target: ObjectId, insert_custody_taken: bool = False
+    ) -> None:
+        """Store ``target`` into local object ``holder`` (local copy).
+
+        Per section 6.1.1, a local copy needs no barrier action at copy time:
+        the transfer barrier already fired when the mutator traversed into
+        this site.  A remote target normally already has an outref here (the
+        mutator read it out of a local object or received it via the
+        remote-copy protocol).  The exception is a reference the mutator
+        carried here in a variable (section 6.3): materializing it creates a
+        brand-new inter-site reference, so the full insert protocol runs --
+        a pinned clean outref plus an insert to the owner.  Callers that
+        pre-pinned the object at its owner (:meth:`take_insert_custody`) pass
+        ``insert_custody_taken=True`` so the owner releases that pin once the
+        insert roots the object through the new inref.
+        """
+        if target.site != self.site_id and target not in self.outrefs:
+            entry = self.outrefs.ensure(target, clean=True)
+            entry.pin()
+            self.metrics.incr("barrier.insert_pins")
+            self.send(
+                target.site,
+                InsertRequest(
+                    target=target,
+                    pin_holder=self.site_id,
+                    release_owner_custody=insert_custody_taken,
+                ),
+            )
+        self._deferred(("add", holder, target))
+
+    def _apply_add_ref(self, holder: ObjectId, target: ObjectId) -> None:
+        obj = self.heap.maybe_get(holder)
+        if obj is None:
+            self.metrics.incr("mutator.writes_to_dead_objects")
+            return
+        obj.add_ref(target)
+
+    def mutator_remove_ref(self, holder: ObjectId, target: ObjectId) -> None:
+        """Delete one occurrence of ``target`` from ``holder``.
+
+        Deletions need no barrier (section 6.1: ignoring them preserves
+        safety; the next local trace reflects them).
+        """
+        self._deferred(("remove", holder, target))
+
+    def _apply_remove_ref(self, holder: ObjectId, target: ObjectId) -> None:
+        obj = self.heap.maybe_get(holder)
+        if obj is None or not obj.holds_ref(target):
+            self.metrics.incr("mutator.writes_to_dead_objects")
+            return
+        obj.remove_ref(target)
+
+    def mutator_send_ref(self, dst: SiteId, ref: ObjectId, dest_holder: ObjectId) -> None:
+        """Copy ``ref`` into ``dest_holder`` at site ``dst`` (remote copy).
+
+        Applies the insert barrier: if ``ref`` is remote to us we pin our
+        outref until its owner confirms the insert (or the destination tells
+        us no insert was needed).  If we own ``ref`` we pin the object itself
+        instead -- the destination's insert (or no-insert ack) releases it.
+        Either way the object named by ``ref`` cannot be collected while the
+        reference is in flight, which is the remote safety invariant of
+        section 6.1.2.
+        """
+        if ref.site == self.site_id:
+            self._send_pins[ref] = self._send_pins.get(ref, 0) + 1
+            self.heap.pin_variable(ref)
+            # Conservatively treat handing out our own object as a transfer
+            # touching its inref (it will gain a holder shortly).
+            self.barrier.on_reference_arrival(ref)
+        else:
+            entry = self.outrefs.get(ref)
+            if entry is None:
+                entry = self.outrefs.ensure(ref, clean=True)
+            entry.pin()
+        pin_holder = self.site_id
+        self.metrics.incr("barrier.insert_pins")
+        self.send(dst, RemoteCopy(ref=ref, dest_holder=dest_holder, pin_holder=pin_holder))
+
+    def mutator_hop(self, mutator: str, target: ObjectId) -> None:
+        """The mutator traverses an inter-site reference to ``target``."""
+        self.send(target.site, MutatorHop(mutator=mutator, target=target))
+
+    # -- variables (application roots, section 6.3) ------------------------------------------------
+
+    def take_insert_custody(self, target: ObjectId) -> None:
+        """Pin a local object while a materializing insert is in flight.
+
+        Called (through the simulator's application-session abstraction) by a
+        mutator about to store a variable-held reference to our object at
+        another site; the matching :class:`InsertRequest` with
+        ``release_owner_custody`` releases the pin once the new inref exists.
+        """
+        if target.site != self.site_id:
+            raise GcInvariantError(f"custody pin for non-local {target}")
+        self._send_pins[target] = self._send_pins.get(target, 0) + 1
+        self.heap.pin_variable(target)
+
+    def pin_variable(self, ref: ObjectId) -> None:
+        """A mutator variable now holds ``ref``."""
+        if ref.site == self.site_id:
+            self.heap.pin_variable(ref)
+        else:
+            self._variable_outrefs[ref] = self._variable_outrefs.get(ref, 0) + 1
+            if ref not in self.outrefs:
+                self.outrefs.ensure(ref, clean=True)
+
+    def unpin_variable(self, ref: ObjectId) -> None:
+        if ref.site == self.site_id:
+            self.heap.unpin_variable(ref)
+        else:
+            count = self._variable_outrefs.get(ref, 0)
+            if count <= 1:
+                self._variable_outrefs.pop(ref, None)
+            else:
+                self._variable_outrefs[ref] = count - 1
+
+    @property
+    def variable_outrefs(self) -> Set[ObjectId]:
+        return set(self._variable_outrefs)
+
+    # -- handlers ------------------------------------------------------------------------------------
+
+    def _on_update(self, message: Message) -> None:
+        apply_update(self.inrefs, message.src, message.payload)
+
+    def _on_insert_request(self, message: Message) -> None:
+        payload: InsertRequest = message.payload
+        if not self.heap.contains(payload.target):
+            # The object is already gone: the sender's reference dangles into
+            # garbage (its holder must itself be unreachable).  Registering a
+            # source for a nonexistent object would resurrect nothing.
+            if payload.pin_holder is not None and payload.pin_holder != self.site_id:
+                self.send(payload.pin_holder, InsertDone(target=payload.target))
+            return
+        # The new holder is the sender of the insert (section 2): record it
+        # with the conservative new-source distance of 1, then apply the
+        # transfer barrier to the inref (section 6.1.2 case 4).
+        self.inrefs.ensure(payload.target, source=message.src, distance=1)
+        self.barrier.on_reference_arrival(payload.target)
+        if payload.release_owner_custody:
+            self._release_pin(payload.target)
+        if payload.pin_holder is not None and payload.pin_holder != self.site_id:
+            self.send(payload.pin_holder, InsertDone(target=payload.target))
+        elif payload.pin_holder == self.site_id:
+            self._release_pin(payload.target)
+
+    def _on_insert_done(self, message: Message) -> None:
+        self._release_pin(message.payload.target)
+
+    def _on_unpin(self, message: Message) -> None:
+        self._release_pin(message.payload.target)
+
+    def _release_pin(self, target: ObjectId) -> None:
+        if target.site == self.site_id:
+            count = self._send_pins.get(target, 0)
+            if count > 0:
+                if count == 1:
+                    self._send_pins.pop(target)
+                else:
+                    self._send_pins[target] = count - 1
+                self.heap.unpin_variable(target)
+            return
+        entry = self.outrefs.get(target)
+        if entry is not None and entry.pin_count > 0:
+            entry.unpin()
+
+    def _on_back_call(self, message: Message) -> None:
+        self.engine.handle_back_call(message.src, message.payload)
+
+    def _on_back_reply(self, message: Message) -> None:
+        self.engine.handle_back_reply(message.src, message.payload)
+
+    def _on_back_outcome(self, message: Message) -> None:
+        self.engine.handle_back_outcome(message.src, message.payload)
+
+    def _on_mutator_hop(self, message: Message) -> None:
+        payload: MutatorHop = message.payload
+        # Transfer barrier fires before the mutator proceeds (section 6.1.1).
+        self.barrier.on_reference_arrival(payload.target)
+        if self.on_mutator_hop is not None:
+            self.on_mutator_hop(payload.mutator, payload.target)
+
+    def _on_remote_copy(self, message: Message) -> None:
+        payload: RemoteCopy = message.payload
+        ref = payload.ref
+        if ref.site == self.site_id:
+            # Case 1: we own the object -- the transfer barrier applies.
+            self.barrier.on_reference_arrival(ref)
+            # The sender held (an outref for) the reference, so it is already
+            # in our source list unless it owned a transient copy; make sure.
+            if message.src != self.site_id:
+                self.inrefs.ensure(ref, source=message.src, distance=1)
+            self._maybe_unpin_sender(payload)
+        else:
+            entry = self.outrefs.get(ref)
+            if entry is not None:
+                # Cases 2 and 3: clean a suspected outref; nothing otherwise.
+                if not entry.is_clean:
+                    self.barrier.clean_outref(ref)
+                self._maybe_unpin_sender(payload)
+            else:
+                # Case 4: create a clean outref and tell the owner.
+                self.outrefs.ensure(ref, clean=True)
+                self.metrics.incr("gc.inserts_sent")
+                self.send(
+                    ref.site,
+                    InsertRequest(target=ref, pin_holder=payload.pin_holder),
+                )
+        self._deferred(("add", payload.dest_holder, ref))
+
+    def _maybe_unpin_sender(self, payload: RemoteCopy) -> None:
+        if payload.pin_holder is None:
+            return
+        if payload.pin_holder == self.site_id:
+            self._release_pin(payload.ref)
+        else:
+            self.send(payload.pin_holder, UnpinRequest(target=payload.ref))
+
+    # -- introspection -------------------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "objects": len(self.heap),
+            "inrefs": len(self.inrefs),
+            "outrefs": len(self.outrefs),
+            "allocated": self.heap.objects_allocated,
+            "collected": self.heap.objects_collected,
+        }

@@ -1,0 +1,12 @@
+"""Per-site object store: heaps, objects, and references.
+
+Objects live on exactly one site and hold references (object ids) that may
+point to local or remote objects.  The heap knows nothing about garbage
+collection; the collector layers (:mod:`repro.gc`, :mod:`repro.core`) observe
+and sweep it.
+"""
+
+from .objects import HeapObject
+from .heap import Heap
+
+__all__ = ["HeapObject", "Heap"]

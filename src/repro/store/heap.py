@@ -1,0 +1,173 @@
+"""Per-site heap.
+
+The heap owns object allocation, persistent roots, and *application roots*
+(references the mutator holds in variables outside the object store --
+section 6.3 of the paper).  The local collector treats both root kinds as
+trace roots; application roots additionally keep the transfer-barrier story
+safe when a mutator stashes a reference and reuses it later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..errors import NotLocalError, UnknownObjectError
+from ..ids import ObjectId, SiteId
+from .objects import HeapObject
+
+
+class Heap:
+    """All objects owned by one site."""
+
+    def __init__(self, site_id: SiteId):
+        self.site_id = site_id
+        self._objects: Dict[ObjectId, HeapObject] = {}
+        self._persistent_roots: Set[ObjectId] = set()
+        self._variable_roots: Dict[ObjectId, int] = {}
+        self._next_serial = 0
+        self.objects_allocated = 0
+        self.objects_collected = 0
+
+    # -- allocation -----------------------------------------------------------
+
+    def alloc(
+        self,
+        refs: Optional[Iterable[ObjectId]] = None,
+        persistent_root: bool = False,
+        payload_size: int = 1,
+    ) -> HeapObject:
+        """Create a new object on this site."""
+        oid = ObjectId(site=self.site_id, serial=self._next_serial)
+        self._next_serial += 1
+        obj = HeapObject(oid, refs=refs, payload_size=payload_size)
+        self._objects[oid] = obj
+        self.objects_allocated += 1
+        if persistent_root:
+            self._persistent_roots.add(oid)
+        return obj
+
+    def adopt(self, obj: HeapObject) -> HeapObject:
+        """Install an object migrated from another site under a fresh id.
+
+        Used by the migration baseline.  Returns the new resident object; the
+        caller is responsible for reference patching.
+        """
+        clone = self.alloc(refs=obj.refs, payload_size=obj.payload_size)
+        return clone
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, oid: ObjectId) -> HeapObject:
+        if oid.site != self.site_id:
+            raise NotLocalError(f"{oid} is not local to site {self.site_id}")
+        obj = self._objects.get(oid)
+        if obj is None:
+            raise UnknownObjectError(f"{oid} not present on site {self.site_id}")
+        return obj
+
+    def maybe_get(self, oid: ObjectId) -> Optional[HeapObject]:
+        return self._objects.get(oid)
+
+    def contains(self, oid: ObjectId) -> bool:
+        return oid in self._objects
+
+    def objects(self) -> Iterator[HeapObject]:
+        return iter(self._objects.values())
+
+    def object_ids(self) -> List[ObjectId]:
+        return list(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # -- roots ----------------------------------------------------------------
+
+    @property
+    def persistent_roots(self) -> Set[ObjectId]:
+        return set(self._persistent_roots)
+
+    def make_persistent_root(self, oid: ObjectId) -> None:
+        self.get(oid)  # validate
+        self._persistent_roots.add(oid)
+
+    def drop_persistent_root(self, oid: ObjectId) -> None:
+        self._persistent_roots.discard(oid)
+
+    @property
+    def variable_roots(self) -> Set[ObjectId]:
+        """Local objects currently pinned by mutator variables."""
+        return set(self._variable_roots)
+
+    def pin_variable(self, oid: ObjectId) -> None:
+        """Record that a mutator variable holds a reference to ``oid``.
+
+        Only local targets are pinned here; a variable holding a *remote*
+        reference is represented by pinning the local outref instead (handled
+        by the site layer).  Pins are counted so nested holds unpin correctly.
+        """
+        self._variable_roots[oid] = self._variable_roots.get(oid, 0) + 1
+
+    def unpin_variable(self, oid: ObjectId) -> None:
+        count = self._variable_roots.get(oid, 0)
+        if count <= 1:
+            self._variable_roots.pop(oid, None)
+        else:
+            self._variable_roots[oid] = count - 1
+
+    # -- mutation helpers -------------------------------------------------------
+
+    def add_ref(self, holder: ObjectId, target: ObjectId) -> None:
+        self.get(holder).add_ref(target)
+
+    def remove_ref(self, holder: ObjectId, target: ObjectId) -> None:
+        self.get(holder).remove_ref(target)
+
+    # -- reachability (local, used by collectors) --------------------------------
+
+    def objects_holding(self, ref: ObjectId) -> List[HeapObject]:
+        """All local objects with at least one reference slot equal to ``ref``."""
+        return [obj for obj in self._objects.values() if obj.holds_ref(ref)]
+
+    def locally_reachable_from(self, roots: Iterable[ObjectId]) -> Set[ObjectId]:
+        """All local objects reachable from ``roots`` via local references.
+
+        Remote references are not followed (they terminate local paths), and
+        root ids that are remote or absent are ignored -- convenient for
+        callers passing raw inref keys.
+        """
+        seen: Set[ObjectId] = set()
+        stack = [oid for oid in roots if oid.site == self.site_id and oid in self._objects]
+        while stack:
+            oid = stack.pop()
+            if oid in seen:
+                continue
+            seen.add(oid)
+            for ref in self._objects[oid].iter_refs():
+                if ref.site == self.site_id and ref in self._objects and ref not in seen:
+                    stack.append(ref)
+        return seen
+
+    # -- sweeping -----------------------------------------------------------------
+
+    def sweep(self, live: Set[ObjectId]) -> List[ObjectId]:
+        """Delete every object not in ``live``; return the deleted ids."""
+        return self.sweep_ids([oid for oid in self._objects if oid not in live])
+
+    def sweep_ids(self, dead: Iterable[ObjectId]) -> List[ObjectId]:
+        """Delete exactly the listed objects (ids not present are skipped)."""
+        deleted: List[ObjectId] = []
+        for oid in dead:
+            if oid not in self._objects:
+                continue
+            del self._objects[oid]
+            self._persistent_roots.discard(oid)
+            self._variable_roots.pop(oid, None)
+            deleted.append(oid)
+        self.objects_collected += len(deleted)
+        return deleted
+
+    def delete(self, oid: ObjectId) -> None:
+        """Remove a single object (migration baseline support)."""
+        self._objects.pop(oid, None)
+        self._persistent_roots.discard(oid)
+        self._variable_roots.pop(oid, None)

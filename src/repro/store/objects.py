@@ -1,0 +1,64 @@
+"""Heap objects.
+
+An object is a mutable container of references.  References are
+:class:`~repro.ids.ObjectId` values; a reference whose ``site`` differs from
+the holder's site is an inter-site (remote) reference.  Duplicate references
+are allowed, as in real object fields/arrays, so removal must delete one
+occurrence at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from ..errors import HeapError
+from ..ids import ObjectId
+
+
+class HeapObject:
+    """One object in a site's heap."""
+
+    __slots__ = ("oid", "_refs", "payload_size")
+
+    def __init__(
+        self,
+        oid: ObjectId,
+        refs: Optional[Iterable[ObjectId]] = None,
+        payload_size: int = 1,
+    ):
+        self.oid = oid
+        self._refs: List[ObjectId] = list(refs or [])
+        self.payload_size = payload_size
+
+    @property
+    def refs(self) -> List[ObjectId]:
+        """A copy of the reference slots (mutate via add_ref/remove_ref)."""
+        return list(self._refs)
+
+    def iter_refs(self) -> Iterator[ObjectId]:
+        return iter(self._refs)
+
+    def add_ref(self, target: ObjectId) -> None:
+        self._refs.append(target)
+
+    def remove_ref(self, target: ObjectId) -> None:
+        """Remove one occurrence of ``target``; error if absent."""
+        try:
+            self._refs.remove(target)
+        except ValueError:
+            raise HeapError(f"{self.oid} holds no reference to {target}") from None
+
+    def holds_ref(self, target: ObjectId) -> bool:
+        return target in self._refs
+
+    def remote_refs(self) -> List[ObjectId]:
+        """References to objects on other sites."""
+        return [ref for ref in self._refs if ref.site != self.oid.site]
+
+    def local_refs(self) -> List[ObjectId]:
+        """References to objects on this object's own site."""
+        return [ref for ref in self._refs if ref.site == self.oid.site]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        targets = ",".join(str(ref) for ref in self._refs)
+        return f"<obj {self.oid} -> [{targets}]>"

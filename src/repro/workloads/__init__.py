@@ -1,0 +1,28 @@
+"""Workload construction: object-graph builders and generators.
+
+:class:`GraphBuilder` creates objects and references with consistent
+inref/outref tables, for scripted scenarios (the paper's figures) and for
+the generators in :mod:`.generators` (multi-site cycles, clustered random
+graphs) and :mod:`.hypertext` (the paper's motivating hypertext workload).
+"""
+
+from .topology import GraphBuilder
+from .generators import (
+    build_chain_across_sites,
+    build_clique_cycle,
+    build_ring_cycle,
+    build_random_clustered_graph,
+)
+from .hypertext import build_hypertext_web
+from .oodb import ObjectDatabase, build_object_database
+
+__all__ = [
+    "GraphBuilder",
+    "build_ring_cycle",
+    "build_clique_cycle",
+    "build_chain_across_sites",
+    "build_random_clustered_graph",
+    "build_hypertext_web",
+    "ObjectDatabase",
+    "build_object_database",
+]

@@ -1,0 +1,179 @@
+"""Parametric workload generators.
+
+Each generator returns a small result object naming the interesting pieces
+(the root, the cycle members, the edge whose deletion makes the cycle
+garbage) so experiments can script the "becomes garbage" moment explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..ids import ObjectId, SiteId
+from ..sim.simulation import Simulation
+from .topology import GraphBuilder
+
+
+@dataclass
+class CycleWorkload:
+    """A distributed cycle hanging off a persistent root by one edge."""
+
+    root: ObjectId
+    anchor: ObjectId
+    cycle: List[ObjectId] = field(default_factory=list)
+    sites: List[SiteId] = field(default_factory=list)
+    inter_site_edges: int = 0
+
+    def make_garbage(self, sim: Simulation) -> None:
+        """Cut the anchoring edge: the whole cycle becomes garbage."""
+        site = sim.site(self.anchor.site)
+        site.mutator_remove_ref(self.anchor, self.cycle[0])
+
+
+def build_ring_cycle(
+    sim: Simulation,
+    sites: Sequence[SiteId],
+    objects_per_site: int = 1,
+    rooted: bool = True,
+) -> CycleWorkload:
+    """A simple ring: one chain segment per site, closed into a cycle.
+
+    With ``objects_per_site`` > 1 each site contributes a local chain, so the
+    cycle has ``len(sites)`` inter-site references regardless.  ``rooted``
+    attaches the first cycle object to a persistent root at the first site
+    through an *anchor* object; cutting that edge makes the ring garbage.
+    """
+    builder = GraphBuilder(sim)
+    members: List[ObjectId] = []
+    for site_id in sites:
+        for _ in range(objects_per_site):
+            members.append(builder.obj(site_id))
+    builder.link_cycle(members)
+
+    first_site = sites[0]
+    root = builder.obj(first_site, root=True)
+    anchor = builder.obj(first_site)
+    builder.link(root, anchor)
+    if rooted:
+        builder.link(anchor, members[0])
+    return CycleWorkload(
+        root=root,
+        anchor=anchor,
+        cycle=members,
+        sites=list(sites),
+        inter_site_edges=len(sites) if len(sites) > 1 else 0,
+    )
+
+
+def build_clique_cycle(
+    sim: Simulation, sites: Sequence[SiteId], rooted: bool = True
+) -> CycleWorkload:
+    """A dense garbage structure: one object per site, all-to-all references.
+
+    With N sites this has N*(N-1) inter-site references -- the worst case
+    for back-trace message counts at a given site count (benchmark E1).
+    """
+    builder = GraphBuilder(sim)
+    members = [builder.obj(site_id) for site_id in sites]
+    for src in members:
+        for dst in members:
+            if src != dst:
+                builder.link(src, dst)
+    first_site = sites[0]
+    root = builder.obj(first_site, root=True)
+    anchor = builder.obj(first_site)
+    builder.link(root, anchor)
+    if rooted:
+        builder.link(anchor, members[0])
+    return CycleWorkload(
+        root=root,
+        anchor=anchor,
+        cycle=members,
+        sites=list(sites),
+        inter_site_edges=len(sites) * (len(sites) - 1),
+    )
+
+
+def build_chain_across_sites(
+    sim: Simulation, sites: Sequence[SiteId], rooted: bool = True
+) -> CycleWorkload:
+    """An acyclic chain across sites (collected by plain local tracing).
+
+    Returned in the :class:`CycleWorkload` shape for uniform harness code;
+    ``cycle`` holds the chain members and ``inter_site_edges`` the hops.
+    """
+    builder = GraphBuilder(sim)
+    members = [builder.obj(site_id) for site_id in sites]
+    builder.link_chain(members)
+    first_site = sites[0]
+    root = builder.obj(first_site, root=True)
+    anchor = builder.obj(first_site)
+    builder.link(root, anchor)
+    if rooted:
+        builder.link(anchor, members[0])
+    return CycleWorkload(
+        root=root,
+        anchor=anchor,
+        cycle=members,
+        sites=list(sites),
+        inter_site_edges=len(sites) - 1,
+    )
+
+
+@dataclass
+class ClusteredGraphWorkload:
+    """A random clustered graph: mostly-local references, a few remote."""
+
+    roots: List[ObjectId] = field(default_factory=list)
+    objects: List[ObjectId] = field(default_factory=list)
+    inter_site_edges: List[Tuple[ObjectId, ObjectId]] = field(default_factory=list)
+    local_edges: int = 0
+
+
+def build_random_clustered_graph(
+    sim: Simulation,
+    sites: Sequence[SiteId],
+    objects_per_site: int = 50,
+    local_out_degree: float = 2.0,
+    remote_edge_fraction: float = 0.05,
+    seed: int = 0,
+    root_fraction: float = 0.05,
+) -> ClusteredGraphWorkload:
+    """Random graph matching the paper's clustering assumption.
+
+    Objects are clustered within sites so inter-site references are
+    relatively uncommon (``remote_edge_fraction`` of all edges).  A fraction
+    of objects at each site are persistent roots; the rest may or may not be
+    reachable, giving a natural mix of live objects, acyclic garbage, and
+    (occasionally) distributed cyclic garbage.
+    """
+    rng = random.Random(seed)
+    builder = GraphBuilder(sim)
+    result = ClusteredGraphWorkload()
+    per_site: Dict[SiteId, List[ObjectId]] = {}
+    for site_id in sites:
+        per_site[site_id] = [builder.obj(site_id) for _ in range(objects_per_site)]
+        result.objects.extend(per_site[site_id])
+        root_count = max(1, int(objects_per_site * root_fraction))
+        for oid in rng.sample(per_site[site_id], root_count):
+            sim.site(site_id).heap.make_persistent_root(oid)
+            result.roots.append(oid)
+
+    total_edges = int(len(result.objects) * local_out_degree)
+    remote_edges = int(total_edges * remote_edge_fraction)
+    local_edges = total_edges - remote_edges
+    for _ in range(local_edges):
+        site_id = rng.choice(list(sites))
+        src = rng.choice(per_site[site_id])
+        dst = rng.choice(per_site[site_id])
+        builder.link(src, dst)
+        result.local_edges += 1
+    for _ in range(remote_edges):
+        src_site, dst_site = rng.sample(list(sites), 2)
+        src = rng.choice(per_site[src_site])
+        dst = rng.choice(per_site[dst_site])
+        builder.link(src, dst)
+        result.inter_site_edges.append((src, dst))
+    return result

@@ -1,0 +1,128 @@
+"""An object-database workload (the paper's deployment target, Thor [LAC+96]).
+
+Models a persistent object database partitioned across sites the way OODBs
+actually shard: each entity class lives in its own partition (customers on
+one site, orders on another, products on a third), with an *extent* object
+(the class's index, a persistent root) per partition.
+
+Inter-site cycles arise exactly where they do in real schemas -- from
+**bidirectional associations**: every order points at its customer, and the
+customer's order-list points back at each order.  Deleting a customer from
+the extent (the only root path) strands the whole customer<->orders cluster
+as a distributed garbage cycle, which plain local tracing can never reclaim.
+Products are referenced one-way (no back-pointer), so dropped products are
+ordinary acyclic garbage -- the workload mixes both kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import random
+
+from ..ids import ObjectId, SiteId
+from ..sim.simulation import Simulation
+from .topology import GraphBuilder
+
+
+@dataclass
+class Customer:
+    record: ObjectId          # the customer entity
+    order_list: ObjectId      # its (local) collection of order back-refs
+    orders: List[ObjectId] = field(default_factory=list)
+
+
+@dataclass
+class ObjectDatabase:
+    """Handles into the built database."""
+
+    customer_site: SiteId
+    order_site: SiteId
+    product_site: SiteId
+    customer_extent: ObjectId
+    order_extent: ObjectId
+    product_extent: ObjectId
+    customers: List[Customer] = field(default_factory=list)
+    orders: List[ObjectId] = field(default_factory=list)
+    products: List[ObjectId] = field(default_factory=list)
+
+    def delete_customer(self, sim: Simulation, index: int) -> Customer:
+        """Remove a customer from its extent: the customer record, its order
+        list, and all its orders (each in a customer<->order cycle) become
+        distributed cyclic garbage.  The orders also leave the order extent,
+        as a cascading business rule."""
+        customer = self.customers[index]
+        site = sim.site(self.customer_site)
+        if site.heap.maybe_get(self.customer_extent) is not None and site.heap.get(
+            self.customer_extent
+        ).holds_ref(customer.record):
+            site.mutator_remove_ref(self.customer_extent, customer.record)
+        order_site = sim.site(self.order_site)
+        for order in customer.orders:
+            extent_obj = order_site.heap.maybe_get(self.order_extent)
+            if extent_obj is not None and extent_obj.holds_ref(order):
+                order_site.mutator_remove_ref(self.order_extent, order)
+        return customer
+
+    def discontinue_product(self, sim: Simulation, index: int) -> ObjectId:
+        """Drop a product from its extent: acyclic garbage *only if* no
+        order still references it."""
+        product = self.products[index]
+        site = sim.site(self.product_site)
+        extent_obj = site.heap.maybe_get(self.product_extent)
+        if extent_obj is not None and extent_obj.holds_ref(product):
+            site.mutator_remove_ref(self.product_extent, product)
+        return product
+
+    def customer_cluster_objects(self, index: int) -> List[ObjectId]:
+        customer = self.customers[index]
+        return [customer.record, customer.order_list, *customer.orders]
+
+
+def build_object_database(
+    sim: Simulation,
+    customer_site: SiteId,
+    order_site: SiteId,
+    product_site: SiteId,
+    n_customers: int = 5,
+    orders_per_customer: int = 3,
+    n_products: int = 8,
+    products_per_order: int = 2,
+    seed: int = 0,
+) -> ObjectDatabase:
+    """Build the partitioned schema with bidirectional associations."""
+    rng = random.Random(seed)
+    builder = GraphBuilder(sim)
+    db = ObjectDatabase(
+        customer_site=customer_site,
+        order_site=order_site,
+        product_site=product_site,
+        customer_extent=builder.obj(customer_site, root=True),
+        order_extent=builder.obj(order_site, root=True),
+        product_extent=builder.obj(product_site, root=True),
+    )
+    for _ in range(n_products):
+        product = builder.obj(product_site)
+        builder.link(db.product_extent, product)
+        db.products.append(product)
+    for _ in range(n_customers):
+        record = builder.obj(customer_site)
+        order_list = builder.obj(customer_site)
+        builder.link(db.customer_extent, record)
+        builder.link(record, order_list)
+        customer = Customer(record=record, order_list=order_list)
+        for _ in range(orders_per_customer):
+            order = builder.obj(order_site)
+            builder.link(db.order_extent, order)
+            # The bidirectional association: order -> customer record, and
+            # the customer's order list -> order.  This is the inter-site
+            # cycle (customer partition <-> order partition).
+            builder.link(order, record)
+            builder.link(order_list, order)
+            for product in rng.sample(db.products, min(products_per_order, n_products)):
+                builder.link(order, product)
+            customer.orders.append(order)
+            db.orders.append(order)
+        db.customers.append(customer)
+    return db

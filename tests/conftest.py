@@ -1,0 +1,63 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GcConfig, NetworkConfig, Simulation, SimulationConfig
+from repro.analysis import Oracle
+from repro.workloads import GraphBuilder
+
+
+def make_sim(
+    seed: int = 0,
+    sites=("P", "Q", "R"),
+    auto_gc: bool = False,
+    gc: GcConfig = None,
+    network: NetworkConfig = None,
+    latency_model=None,
+) -> Simulation:
+    """A simulation with the given sites and controlled (manual) GC."""
+    config = SimulationConfig(
+        seed=seed,
+        gc=gc or GcConfig(),
+        network=network or NetworkConfig(),
+    )
+    sim = Simulation(config, latency_model=latency_model)
+    sim.add_sites(list(sites), auto_gc=auto_gc)
+    return sim
+
+
+def collect_until_clean(
+    sim: Simulation, oracle: Oracle, max_rounds: int = 60, check_safety: bool = True
+) -> int:
+    """Run GC rounds until no garbage remains; return rounds used.
+
+    Raises AssertionError if garbage persists after ``max_rounds``.
+    """
+    for round_number in range(1, max_rounds + 1):
+        sim.run_gc_round()
+        if check_safety:
+            oracle.check_safety()
+        if not oracle.garbage_set():
+            return round_number
+    remaining = oracle.garbage_set()
+    raise AssertionError(
+        f"{len(remaining)} garbage objects remain after {max_rounds} rounds: "
+        f"{sorted(remaining)[:8]}"
+    )
+
+
+@pytest.fixture
+def sim():
+    return make_sim()
+
+
+@pytest.fixture
+def builder(sim):
+    return GraphBuilder(sim)
+
+
+@pytest.fixture
+def oracle(sim):
+    return Oracle(sim)

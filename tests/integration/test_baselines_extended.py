@@ -1,0 +1,203 @@
+"""Tests for the central-service and trial-deletion baselines (section 7)."""
+
+import pytest
+
+from repro import GcConfig
+from repro.analysis import Oracle
+from repro.baselines import CentralServiceCollector, TrialDeletionCollector
+from repro.workloads import GraphBuilder, build_ring_cycle
+
+from ..conftest import make_sim
+
+NO_BT = GcConfig(enable_backtracing=False)
+
+
+def cycle_sim(sites, seed=0):
+    sim = make_sim(seed=seed, sites=sites, gc=NO_BT)
+    workload = build_ring_cycle(sim, list(sites))
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    return sim, workload
+
+
+class TestCentralService:
+    def test_collects_cycle(self):
+        sim, workload = cycle_sim(["a", "b", "c"])
+        oracle = Oracle(sim)
+        collector = CentralServiceCollector(sim, service="a")
+        for _ in range(6):
+            collector.run_round()
+            oracle.check_safety()
+            if not oracle.garbage_set():
+                break
+        assert not oracle.garbage_set()
+        assert collector.inrefs_flagged >= 3
+
+    def test_live_objects_survive(self):
+        sim, workload = cycle_sim(["a", "b", "c"])
+        collector = CentralServiceCollector(sim, service="a")
+        for _ in range(4):
+            collector.run_round()
+        assert sim.site("a").heap.contains(workload.root)
+        assert sim.site("a").heap.contains(workload.anchor)
+        Oracle(sim).check_safety()
+
+    def test_crashed_site_stalls_every_round(self):
+        sim, workload = cycle_sim(["a", "b", "c", "d"])
+        sim.site("d").crash()  # a bystander, not on the cycle
+        oracle = Oracle(sim)
+        collector = CentralServiceCollector(sim, service="a")
+        for _ in range(4):
+            collector.run_round()
+        assert collector.rounds_completed == 0
+        assert oracle.garbage_set()  # nothing collected anywhere
+
+    def test_crashed_service_stalls_everything(self):
+        sim, workload = cycle_sim(["a", "b", "c"])
+        collector = CentralServiceCollector(sim, service="a")
+        sim.site("a").crash()
+        collector.start_round()
+        sim.run_for(3000.0)
+        assert collector.rounds_completed == 0
+
+    def test_service_is_message_hotspot(self):
+        """Summaries scale with the system's ioref population, all of it
+        converging on one site."""
+        sim, workload = cycle_sim(["a", "b", "c", "d"])
+        # Extra live inter-site structure: the service pays for it too.
+        b = GraphBuilder(sim)
+        root = b.obj("b", root=True)
+        previous = root
+        for site_id in ("c", "d", "c", "d"):
+            nxt = b.obj(site_id)
+            b.link(previous, nxt)
+            previous = nxt
+        before = sim.metrics.snapshot()
+        collector = CentralServiceCollector(sim, service="a")
+        collector.run_round()
+        delta = sim.metrics.snapshot().diff(before)
+        # Every site sent a summary; every site got a request.
+        assert delta.get("messages.SummaryRequest", 0) == 4
+        assert delta.get("messages.SummaryReply", 0) == 4
+        # Summary volume (units) reflects all iorefs, live ones included.
+        units = sum(
+            v for k, v in delta.items() if k == "messages.units"
+        )
+        assert units > 8
+
+    def test_epoch_guard_skips_stale_flags(self):
+        sim, workload = cycle_sim(["a", "b"])
+        collector = CentralServiceCollector(sim, service="a")
+        collector.start_round()
+        # While summaries are in flight, run an extra local trace at b: its
+        # epoch moves on, so b must skip the flag command.
+        sim.run_for(3.0)
+        sim.site("b").run_local_trace()
+        sim.settle()
+        # Nothing at b was flagged this round (epoch mismatch) -- but the
+        # cycle is still collected by later rounds.
+        oracle = Oracle(sim)
+        for _ in range(6):
+            collector.run_round()
+            oracle.check_safety()
+            if not oracle.garbage_set():
+                break
+        assert not oracle.garbage_set()
+
+
+class TestTrialDeletion:
+    def test_collects_cycle(self):
+        sim, workload = cycle_sim(["a", "b", "c"])
+        oracle = Oracle(sim)
+        collector = TrialDeletionCollector(sim)
+        for _ in range(30):
+            collector.run_round()
+            oracle.check_safety()
+            if not oracle.garbage_set():
+                break
+        assert not oracle.garbage_set()
+        assert collector.trials_completed >= 1
+
+    def test_live_cycle_survives_trial(self):
+        """A trial on a live structure must rescue everything (green)."""
+        sim = make_sim(sites=("a", "b"), gc=NO_BT)
+        b = GraphBuilder(sim)
+        root = b.obj("a", "root", root=True)
+        p, q = b.obj("a", "p"), b.obj("b", "q")
+        b.link(root, p)
+        b.link_cycle([p, q])
+        # Force a trial despite liveness (stale suspicion).
+        sim.site("a").inrefs.require(p).sources["b"] = 99
+        collector = TrialDeletionCollector(sim)
+        assert collector.maybe_initiate("a")
+        sim.settle()
+        assert collector.trials_completed == 1
+        assert sim.site("a").heap.contains(p)
+        assert sim.site("b").heap.contains(q)
+        Oracle(sim).check_safety()
+
+    def test_subgraph_includes_live_structure_no_locality(self):
+        """The paper's criticism: the red phase spreads into live objects
+        reachable from the cycle, dragging their sites into the subgraph."""
+        sim = make_sim(sites=("a", "b", "c", "d"), gc=NO_BT)
+        b = GraphBuilder(sim)
+        b.obj("a", "root", root=True)
+        p, q = b.obj("a", "p"), b.obj("b", "q")
+        b.link_cycle([p, q])
+        # The cycle points into a live chain over c and d.
+        keeper_root = b.obj("c", root=True)
+        live_c, live_d = b.obj("c"), b.obj("d")
+        b.link(keeper_root, live_c)
+        b.link(q, live_c)
+        b.link(live_c, live_d)
+        for _ in range(2):
+            sim.run_gc_round()
+        oracle = Oracle(sim)
+        collector = TrialDeletionCollector(sim)
+        for _ in range(30):
+            collector.run_round()
+            oracle.check_safety()
+            if not oracle.garbage_set():
+                break
+        assert not oracle.garbage_set()
+        # The 2-site cycle's trial touched at least 4 objects on 4 sites.
+        assert max(collector.subgraph_sizes) >= 4
+        assert max(collector.subgraph_site_counts) >= 4
+        # And the live chain survived the trial.
+        assert sim.site("c").heap.contains(live_c)
+        assert sim.site("d").heap.contains(live_d)
+
+    def test_garbage_tail_collected_with_cycle(self):
+        sim = make_sim(sites=("a", "b", "c"), gc=NO_BT)
+        b = GraphBuilder(sim)
+        b.obj("a", "root", root=True)
+        p, q = b.obj("a", "p"), b.obj("b", "q")
+        b.link_cycle([p, q])
+        tail = b.obj("c")
+        b.link(q, tail)
+        oracle = Oracle(sim)
+        collector = TrialDeletionCollector(sim)
+        for _ in range(30):
+            collector.run_round()
+            oracle.check_safety()
+            if not oracle.garbage_set():
+                break
+        assert not oracle.garbage_set()
+
+    def test_crashed_member_stalls_trial(self):
+        sim, workload = cycle_sim(["a", "b", "c"])
+        collector = TrialDeletionCollector(sim)
+        for _ in range(14):
+            sim.run_gc_round()
+        sim.site("c").crash()
+        started = any(
+            collector.maybe_initiate(site_id) for site_id in ("a", "b")
+        )
+        sim.run_for(3000.0)
+        if started:
+            assert collector.trial_in_progress or collector.trials_completed == 0
+        # Survivor members intact; nothing unsafe happened.
+        for member in workload.cycle:
+            if member.site != "c":
+                assert sim.site(member.site).heap.contains(member)

@@ -1,0 +1,165 @@
+"""Randomized whole-system stress (section 6 end-to-end; benchmark E7).
+
+Everything runs at once: automatic jittered local traces (non-atomic, so back
+traces and barriers hit mid-trace windows), multiple random mutators firing
+transfer and insert barriers, and the back-trace trigger policy.  The oracle
+checks after every quiescent slice that no live object was ever collected;
+after the mutators stop, completeness is checked: all remaining garbage --
+including whatever inter-site cycles the churn created -- is collected.
+"""
+
+import pytest
+
+from repro import GcConfig
+from repro.analysis import Oracle
+from repro.mutator import RandomWorkload, WorkloadConfig
+from repro.workloads import build_hypertext_web, build_random_clustered_graph
+
+from ..conftest import make_sim
+
+# T = 1 makes everything beyond one inter-site hop suspected, maximizing
+# barrier/clean-rule traffic (this configuration caught a real protocol bug:
+# variable-carried references materialized without the insert protocol).
+STRESS_GC = GcConfig(
+    suspicion_threshold=1,
+    assumed_cycle_length=4,
+    local_trace_period=60.0,
+    local_trace_period_jitter=20.0,
+    local_trace_duration=5.0,
+    backtrace_timeout=200.0,
+)
+
+
+def drive(sim, oracle, duration, slices=20):
+    for _ in range(slices):
+        sim.run_for(duration / slices)
+        oracle.check_safety()
+
+
+def drain_to_completion(sim, oracle, max_rounds=120):
+    """After mutators stop: converge to zero garbage via manual rounds."""
+    for _ in range(max_rounds):
+        sim.run_gc_round()
+        oracle.check_safety()
+        if not oracle.garbage_set():
+            return
+    remaining = oracle.garbage_set()
+    raise AssertionError(f"{len(remaining)} garbage objects persist: {sorted(remaining)[:6]}")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_clustered_graph_churn_safety_and_completeness(seed):
+    sites = [f"s{i}" for i in range(4)]
+    sim = make_sim(seed=seed, sites=sites, auto_gc=True, gc=STRESS_GC)
+    workload = build_random_clustered_graph(
+        sim, sites, objects_per_site=25, seed=seed
+    )
+    oracle = Oracle(sim)
+    mutators = [
+        RandomWorkload(
+            sim,
+            f"m{i}",
+            workload.roots[i % len(workload.roots)],
+            config=WorkloadConfig(mean_interval=3.0),
+        )
+        for i in range(3)
+    ]
+    for mutator in mutators:
+        mutator.start()
+    drive(sim, oracle, duration=3000.0)
+    for mutator in mutators:
+        mutator.stop()
+    sim.quiesce_auto_gc()
+    sim.settle(quiet_time=30.0, max_rounds=3000)
+    oracle.check_safety()
+    assert sum(m.ops_executed for m in mutators) > 200
+    drain_to_completion(sim, oracle)
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_hypertext_churn(seed):
+    sites = [f"w{i}" for i in range(3)]
+    sim = make_sim(seed=seed, sites=sites, auto_gc=True, gc=STRESS_GC)
+    web = build_hypertext_web(
+        sim, sites, documents_per_site=3, citations_per_document=2,
+        back_link_probability=0.7, catalog_fraction=0.8, seed=seed,
+    )
+    oracle = Oracle(sim)
+    mutator = RandomWorkload(
+        sim, "reader", web.catalog, config=WorkloadConfig(mean_interval=4.0)
+    )
+    mutator.start()
+    # Periodically unlink catalog entries while the reader churns.
+    entries = list(web.catalog_entries)
+
+    def unlink_next():
+        if entries:
+            web.unlink_from_catalog(sim, entries.pop())
+            sim.scheduler.schedule(400.0, unlink_next)
+
+    sim.scheduler.schedule(400.0, unlink_next)
+    drive(sim, oracle, duration=4000.0)
+    mutator.stop()
+    sim.quiesce_auto_gc()
+    sim.settle(quiet_time=30.0, max_rounds=3000)
+    drain_to_completion(sim, oracle)
+
+
+def test_stress_with_nonfifo_network_is_still_safe():
+    """Without FIFO delivery some protocol assumptions (R1) are void; the
+    system may leak conservatively but must never collect a live object."""
+    from repro import NetworkConfig
+
+    sites = [f"s{i}" for i in range(3)]
+    sim = make_sim(
+        seed=9,
+        sites=sites,
+        auto_gc=True,
+        gc=STRESS_GC,
+        network=NetworkConfig(fifo_per_pair=False),
+    )
+    workload = build_random_clustered_graph(sim, sites, objects_per_site=20, seed=9)
+    oracle = Oracle(sim)
+    mutator = RandomWorkload(
+        sim, "m", workload.roots[0], config=WorkloadConfig(mean_interval=3.0)
+    )
+    mutator.start()
+    drive(sim, oracle, duration=2500.0)
+    mutator.stop()
+    sim.quiesce_auto_gc()
+    sim.settle(quiet_time=30.0, max_rounds=3000)
+    oracle.check_safety()
+
+
+def test_stress_with_crashes_and_recoveries():
+    sites = [f"s{i}" for i in range(4)]
+    sim = make_sim(seed=11, sites=sites, auto_gc=True, gc=STRESS_GC)
+    workload = build_random_clustered_graph(sim, sites, objects_per_site=20, seed=11)
+    oracle = Oracle(sim)
+    mutator = RandomWorkload(
+        sim, "m", workload.roots[0], config=WorkloadConfig(mean_interval=3.0)
+    )
+    mutator.start()
+    rng = sim.rng.stream("chaos")
+
+    def chaos():
+        victim = rng.choice(sites)
+        site = sim.site(victim)
+        # Never crash the mutator's current host (a real app would fail over;
+        # our scripted one would dangle).
+        if victim != mutator.mutator.site_id:
+            if site.crashed:
+                site.recover()
+            else:
+                site.crash()
+        sim.scheduler.schedule(500.0, chaos)
+
+    sim.scheduler.schedule(500.0, chaos)
+    drive(sim, oracle, duration=4000.0)
+    mutator.stop()
+    for site_id in sites:
+        if sim.site(site_id).crashed:
+            sim.site(site_id).recover()
+    sim.quiesce_auto_gc()
+    sim.settle(quiet_time=30.0, max_rounds=3000)
+    oracle.check_safety()

@@ -1,0 +1,196 @@
+"""End-to-end cycle collection across topologies (E1, E5, completeness)."""
+
+import pytest
+
+from repro import GcConfig
+from repro.analysis import Oracle
+from repro.core.backtrace.messages import TraceOutcome
+from repro.workloads import (
+    GraphBuilder,
+    build_clique_cycle,
+    build_hypertext_web,
+    build_ring_cycle,
+)
+
+from ..conftest import collect_until_clean, make_sim
+
+
+@pytest.mark.parametrize("n_sites", [2, 3, 4, 6, 10])
+def test_ring_cycles_collected(n_sites):
+    sites = [f"s{i}" for i in range(n_sites)]
+    sim = make_sim(sites=sites)
+    workload = build_ring_cycle(sim, sites)
+    oracle = Oracle(sim)
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+
+
+@pytest.mark.parametrize("n_sites", [2, 3, 5])
+def test_clique_cycles_collected(n_sites):
+    sites = [f"s{i}" for i in range(n_sites)]
+    sim = make_sim(sites=sites)
+    workload = build_clique_cycle(sim, sites)
+    oracle = Oracle(sim)
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+
+
+def test_ring_with_local_chains_collected():
+    sites = ["a", "b", "c"]
+    sim = make_sim(sites=sites)
+    workload = build_ring_cycle(sim, sites, objects_per_site=5)
+    oracle = Oracle(sim)
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+
+
+def test_cycle_pointing_to_live_objects_spares_them():
+    """A garbage cycle referencing live objects must not drag them down."""
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    root = b.obj("P", "root", root=True)
+    keeper = b.obj("Q", "keeper")
+    b.link(root, keeper)
+    p, q = b.obj("P", "p"), b.obj("Q", "q")
+    b.link_cycle([p, q])
+    b.link(q, keeper)  # the cycle points at a live object
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+    assert sim.site("Q").heap.contains(keeper)
+
+
+def test_cycle_with_garbage_tail_collected_entirely():
+    sim = make_sim(sites=("P", "Q", "R"))
+    b = GraphBuilder(sim)
+    b.obj("P", "root", root=True)
+    p, q = b.obj("P", "p"), b.obj("Q", "q")
+    b.link_cycle([p, q])
+    tail1 = b.obj("R", "tail1")
+    tail2 = b.obj("R", "tail2")
+    b.link(q, tail1)
+    b.link(tail1, tail2)
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+
+
+def test_two_disjoint_cycles_collected_independently():
+    sim = make_sim(sites=("P", "Q", "R", "S"))
+    b = GraphBuilder(sim)
+    b.obj("P", "root", root=True)
+    c1 = [b.obj("P"), b.obj("Q")]
+    c2 = [b.obj("R"), b.obj("S")]
+    b.link_cycle(c1)
+    b.link_cycle(c2)
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+
+
+def test_interlocked_cycles_sharing_a_site():
+    """Two cycles sharing an object: the SCC spans three sites."""
+    sim = make_sim(sites=("P", "Q", "R"))
+    b = GraphBuilder(sim)
+    hub = b.obj("P", "hub")
+    left = b.obj("Q", "left")
+    right = b.obj("R", "right")
+    b.link(hub, left)
+    b.link(left, hub)
+    b.link(hub, right)
+    b.link(right, hub)
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+
+
+def test_hypertext_web_leak_collected():
+    sites = ["w0", "w1", "w2", "w3"]
+    sim = make_sim(sites=sites)
+    web = build_hypertext_web(
+        sim, sites, documents_per_site=2, citations_per_document=2,
+        back_link_probability=0.8, catalog_fraction=1.0, seed=7,
+    )
+    oracle = Oracle(sim)
+    for _ in range(3):
+        sim.run_gc_round()
+    # Unlink half the catalog: cross-site citation cycles become garbage.
+    for index in list(web.catalog_entries)[::2]:
+        web.unlink_from_catalog(sim, index)
+    collect_until_clean(sim, oracle, max_rounds=80)
+
+
+def test_message_complexity_formula():
+    """Section 4.6: a confirming trace costs 2E + (N - 1) messages, where E
+    counts traversed inter-site references and N the participant sites (the
+    initiator reports to the N-1 others)."""
+    for n_sites in (2, 4, 8):
+        sites = [f"s{i}" for i in range(n_sites)]
+        sim = make_sim(sites=sites)
+        workload = build_ring_cycle(sim, sites)
+        for _ in range(2):
+            sim.run_gc_round()
+        workload.make_garbage(sim)
+        oracle = Oracle(sim)
+        # Run until just before the trace triggers, then snapshot.
+        for _ in range(60):
+            before = sim.metrics.snapshot()
+            sim.run_gc_round()
+            if sim.metrics.count("backtrace.started") > 0:
+                break
+        delta = sim.metrics.snapshot().diff(before)
+        edges = n_sites  # a ring has one inter-site reference per site
+        assert delta.get("messages.BackCall", 0) == edges
+        assert delta.get("messages.BackReply", 0) == edges
+        assert delta.get("messages.BackOutcome", 0) == n_sites - 1
+
+
+def test_exactly_one_trace_confirms_default_config():
+    """With T2 = T + L and L at least the cycle length, the first trace
+    confirms garbage -- no abortive Live attempts (section 4.3)."""
+    sites = [f"s{i}" for i in range(4)]
+    sim = make_sim(sites=sites, gc=GcConfig(assumed_cycle_length=8))
+    workload = build_ring_cycle(sim, sites)
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+    assert sim.metrics.count("backtrace.completed_garbage") >= 1
+    assert sim.metrics.count("backtrace.completed_live") == 0
+
+
+def test_premature_threshold_causes_abortive_traces_but_converges():
+    """With T2 too low for the cycle, early traces return Live; collection
+    still completes (the back threshold ratchets up, later traces confirm)."""
+    sites = [f"s{i}" for i in range(6)]
+    sim = make_sim(
+        sites=sites,
+        gc=GcConfig(assumed_cycle_length=1, back_threshold_increment=2),
+    )
+    workload = build_ring_cycle(sim, sites)
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=80)
+    assert sim.metrics.count("backtrace.completed_live") >= 1
+    assert sim.metrics.count("backtrace.completed_garbage") >= 1
+
+
+def test_acyclic_garbage_never_needs_backtracing():
+    sim = make_sim(sites=("P", "Q", "R"))
+    b = GraphBuilder(sim)
+    root = b.obj("P", "root", root=True)
+    chain = [b.obj("P"), b.obj("Q"), b.obj("R")]
+    b.link(root, chain[0])
+    b.link(chain[0], chain[1])
+    b.link(chain[1], chain[2])
+    for _ in range(2):
+        sim.run_gc_round()
+    sim.site("P").mutator_remove_ref(root, chain[0])
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=10)
+    assert sim.metrics.count("backtrace.started") == 0

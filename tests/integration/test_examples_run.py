@@ -1,0 +1,34 @@
+"""Every example program must run green -- examples are part of the API.
+
+Each runs in a subprocess with the repository root on the path, exactly as
+a user would invoke it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        cwd=tmp_path,  # artifacts (CSV etc.) land in a scratch dir
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{example} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example} printed nothing"

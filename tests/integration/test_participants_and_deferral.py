@@ -1,0 +1,70 @@
+"""Cross-cutting integration checks: report-phase participant sets, and the
+insert barrier operating through the deferral layer."""
+
+from repro import GcConfig
+from repro.analysis import Oracle
+from repro.core.backtrace.messages import BackOutcome
+from repro.workloads import GraphBuilder, build_ring_cycle
+
+from ..conftest import collect_until_clean, make_sim
+
+
+def test_outcome_reports_reach_exactly_the_participants():
+    """A confirming trace over a 3-site ring reports to the two non-initiator
+    participants and nobody else."""
+    sites = ["a", "b", "c", "d"]  # d is a bystander
+    sim = make_sim(sites=sites)
+    workload = build_ring_cycle(sim, ["a", "b", "c"])
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+    outcome_targets = {
+        key.split(".")[2]
+        for key, value in sim.metrics.counts_with_prefix("involve.BackOutcome.").items()
+        if value
+    }
+    assert "d" not in outcome_targets
+    assert outcome_targets <= {"a", "b", "c"}
+    assert sim.metrics.count("messages.BackOutcome") == 2
+
+
+def test_insert_barrier_pin_survives_deferral():
+    """With deferral on, the RemoteCopy and its eventual insert are queued;
+    the pins must hold across the (longer) in-flight window."""
+    gc = GcConfig(defer_messages=True, defer_delay=4.0)
+    sim = make_sim(sites=("X", "Y", "Z"), gc=gc)
+    b = GraphBuilder(sim)
+    z_obj = b.obj("Z", "z")
+    x_holder = b.obj("X", "xh", root=True)
+    b.link(x_holder, z_obj)
+    y_dest = b.obj("Y", "yd", root=True)
+    for site_id in ("X", "Y", "Z"):
+        sim.sites[site_id].run_local_trace()
+    sim.settle()
+    sim.site("X").mutator_send_ref("Y", b["z"], y_dest)
+    sim.site("X").mutator_remove_ref(x_holder, b["z"])
+    # Trace X immediately: the pinned outref must survive even though the
+    # copy is still sitting in X's deferral queue.
+    sim.site("X").run_local_trace()
+    assert b["z"] in sim.site("X").outrefs
+    sim.settle()
+    Oracle(sim).check_safety()
+    assert sim.site("Y").heap.get(y_dest).holds_ref(b["z"])
+    assert "Y" in sim.site("Z").inrefs.require(b["z"]).sources
+    # Pins all released once the protocol completed.
+    assert sim.site("X").outrefs.require(b["z"]).pin_count == 0
+
+
+def test_deferred_outcome_still_flags_participants():
+    gc = GcConfig(defer_messages=True, defer_delay=2.0)
+    sim = make_sim(sites=("a", "b"), gc=gc)
+    workload = build_ring_cycle(sim, ["a", "b"])
+    for _ in range(2):
+        sim.run_gc_round()
+    workload.make_garbage(sim)
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=60)
+    # The outcome may have travelled inside a Bundle; it still worked.
+    assert sim.metrics.count("backtrace.completed_garbage") >= 1

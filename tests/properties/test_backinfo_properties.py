@@ -1,0 +1,150 @@
+"""Property-based tests for back-information computation.
+
+The central invariant of section 5: both algorithms compute *exact*
+reachability from suspected inrefs to suspected outrefs.  We generate random
+local heaps with remote references and check the algorithms against each
+other and against a brute-force reachability oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backinfo import (
+    TraceEnvironment,
+    compute_outsets_bottom_up,
+    compute_outsets_independent,
+    invert_outsets,
+)
+from repro.ids import ObjectId
+from repro.store.heap import Heap
+
+
+@st.composite
+def local_graphs(draw):
+    """A random local heap with remote refs, clean marks, and inref roots."""
+    n_objects = draw(st.integers(min_value=1, max_value=24))
+    n_remote = draw(st.integers(min_value=0, max_value=6))
+    heap = Heap("Q")
+    objects = [heap.alloc() for _ in range(n_objects)]
+    remotes = [ObjectId("P", i) for i in range(n_remote)]
+
+    n_edges = draw(st.integers(min_value=0, max_value=3 * n_objects))
+    for _ in range(n_edges):
+        src = draw(st.integers(0, n_objects - 1))
+        if remotes and draw(st.booleans()) and draw(st.booleans()):
+            objects[src].add_ref(draw(st.sampled_from(remotes)))
+        else:
+            dst = draw(st.integers(0, n_objects - 1))
+            objects[src].add_ref(objects[dst].oid)
+
+    clean_objects = {
+        obj.oid for obj in objects if draw(st.integers(0, 4)) == 0
+    }
+    clean_remotes = {r for r in remotes if draw(st.integers(0, 3)) == 0}
+    roots = [
+        obj.oid
+        for obj in objects
+        if obj.oid not in clean_objects and draw(st.integers(0, 2)) == 0
+    ]
+    return heap, clean_objects, clean_remotes, roots
+
+
+def brute_force_outsets(heap, clean_objects, clean_remotes, roots):
+    """Reference implementation: per-root BFS over suspected objects."""
+    outsets = {}
+    for root in roots:
+        reach: Set[ObjectId] = set()
+        found: Set[ObjectId] = set()
+        if root in clean_objects or not heap.contains(root):
+            outsets[root] = frozenset()
+            continue
+        stack = [root]
+        while stack:
+            oid = stack.pop()
+            if oid in reach:
+                continue
+            reach.add(oid)
+            for ref in heap.get(oid).iter_refs():
+                if ref.site != "Q":
+                    if ref not in clean_remotes:
+                        found.add(ref)
+                elif (
+                    ref not in clean_objects
+                    and heap.contains(ref)
+                    and ref not in reach
+                ):
+                    stack.append(ref)
+        outsets[root] = frozenset(found)
+    return outsets
+
+
+def make_env(heap, clean_objects, clean_remotes):
+    return TraceEnvironment(
+        heap=heap,
+        clean_objects=set(clean_objects),
+        is_clean_outref=lambda ref: ref in clean_remotes,
+    )
+
+
+@given(local_graphs())
+@settings(max_examples=200, deadline=None)
+def test_bottom_up_matches_brute_force(data):
+    heap, clean_objects, clean_remotes, roots = data
+    expected = brute_force_outsets(heap, clean_objects, clean_remotes, roots)
+    result = compute_outsets_bottom_up(make_env(heap, clean_objects, clean_remotes), roots)
+    assert result.outsets == expected
+
+
+@given(local_graphs())
+@settings(max_examples=200, deadline=None)
+def test_independent_matches_brute_force(data):
+    heap, clean_objects, clean_remotes, roots = data
+    expected = brute_force_outsets(heap, clean_objects, clean_remotes, roots)
+    result = compute_outsets_independent(
+        make_env(heap, clean_objects, clean_remotes), roots
+    )
+    assert result.outsets == expected
+
+
+@given(local_graphs())
+@settings(max_examples=200, deadline=None)
+def test_algorithms_agree(data):
+    heap, clean_objects, clean_remotes, roots = data
+    bottom_up = compute_outsets_bottom_up(
+        make_env(heap, clean_objects, clean_remotes), roots
+    )
+    independent = compute_outsets_independent(
+        make_env(heap, clean_objects, clean_remotes), roots
+    )
+    assert bottom_up.outsets == independent.outsets
+
+
+@given(local_graphs())
+@settings(max_examples=100, deadline=None)
+def test_bottom_up_visits_each_object_at_most_once(data):
+    heap, clean_objects, clean_remotes, roots = data
+    result = compute_outsets_bottom_up(
+        make_env(heap, clean_objects, clean_remotes), roots
+    )
+    assert result.objects_scanned == len(result.visited_objects)
+    assert result.objects_scanned <= len(heap)
+
+
+@given(local_graphs())
+@settings(max_examples=100, deadline=None)
+def test_insets_are_exact_inverse(data):
+    heap, clean_objects, clean_remotes, roots = data
+    result = compute_outsets_bottom_up(
+        make_env(heap, clean_objects, clean_remotes), roots
+    )
+    insets = invert_outsets(result.outsets)
+    for outref, inset in insets.items():
+        for inref in inset:
+            assert outref in result.outsets[inref]
+    for inref, outset in result.outsets.items():
+        for outref in outset:
+            assert inref in insets[outref]

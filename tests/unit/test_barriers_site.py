@@ -1,0 +1,300 @@
+"""Unit tests for the transfer barrier, insert barrier, and site protocols
+(sections 2, 6.1, 6.2)."""
+
+from repro import GcConfig
+from repro.analysis import Oracle
+from repro.core.backtrace.messages import TraceOutcome
+from repro.workloads import GraphBuilder
+
+from ..conftest import make_sim
+
+SUSPECT = 9
+
+
+def suspect_and_trace(sim, only=None):
+    """Force all inref distances above the threshold, then run local traces.
+
+    ``only`` limits which sites trace -- useful when the holders are rooted
+    and tracing them would propagate fresh (small) distances that would undo
+    the forced suspicion.
+    """
+    for site in sim.sites.values():
+        for entry in site.inrefs.entries():
+            for source in entry.sources:
+                entry.sources[source] = SUSPECT
+    for site_id in sorted(sim.sites) if only is None else only:
+        sim.sites[site_id].run_local_trace()
+    sim.settle()
+
+
+# -- transfer barrier -----------------------------------------------------------
+
+
+def test_transfer_barrier_cleans_inref_and_outset():
+    sim = make_sim(sites=("P", "Q", "R"))
+    b = GraphBuilder(sim)
+    entry_obj = b.obj("Q", "entry")
+    inner = b.obj("Q", "inner")
+    b.link(entry_obj, inner)
+    downstream = b.obj("R", "downstream")
+    b.link(inner, downstream)
+    holder = b.obj("P", "holder", root=True)
+    b.link(holder, entry_obj)
+    suspect_and_trace(sim, only=["Q"])
+    q = sim.site("Q")
+    assert q.inrefs.require(b["entry"]).is_suspected(4)
+    assert not q.outrefs.require(b["downstream"]).is_clean
+
+    q.barrier.on_reference_arrival(b["entry"])
+    assert q.inrefs.require(b["entry"]).is_clean(4)
+    assert q.outrefs.require(b["downstream"]).is_clean
+
+
+def test_transfer_barrier_noop_for_clean_inref():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    target = b.obj("Q", "t")
+    holder = b.obj("P", "h")
+    b.link(holder, target)
+    for site_id in sorted(sim.sites):
+        sim.sites[site_id].run_local_trace()
+    q = sim.site("Q")
+    assert q.inrefs.require(b["t"]).is_clean(4)
+    before = sim.metrics.count("barrier.transfer_applied")
+    q.barrier.on_reference_arrival(b["t"])
+    assert sim.metrics.count("barrier.transfer_applied") == before
+
+
+def test_transfer_barrier_noop_without_inref():
+    sim = make_sim(sites=("P",))
+    b = GraphBuilder(sim)
+    lone = b.obj("P", "lone")
+    sim.site("P").barrier.on_reference_arrival(lone)  # must not raise
+
+
+def test_barrier_clean_expires_at_next_trace():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    target = b.obj("Q", "t")
+    holder = b.obj("P", "h", root=True)
+    b.link(holder, target)
+    suspect_and_trace(sim, only=["Q"])
+    q = sim.site("Q")
+    q.barrier.on_reference_arrival(b["t"])
+    assert q.inrefs.require(b["t"]).is_clean(4)
+    q.run_local_trace()
+    # Distance estimate is still large, so the inref reverts to suspected.
+    assert q.inrefs.require(b["t"]).is_suspected(4)
+
+
+def test_clean_rule_forces_active_trace_live():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    p, q = b.obj("P", "p"), b.obj("Q", "q")
+    b.link(p, q)
+    b.link(q, p)
+    suspect_and_trace(sim)
+    engine = sim.site("P").engine
+    engine.start_trace(b["q"])
+    # Before any message is delivered, the trace is active at P's outref q
+    # and inref p.  Clean inref p via the barrier: the clean rule must force
+    # the trace Live even though the cycle "looks" garbage.
+    sim.site("P").barrier.on_reference_arrival(b["p"])
+    sim.settle()
+    assert sim.trace_outcomes[-1][3] is TraceOutcome.LIVE
+    assert sim.metrics.count("backtrace.clean_rule_hits") >= 1
+    assert not sim.site("Q").inrefs.require(b["q"]).garbage
+
+
+# -- remote copy & insert protocol (section 6.1.2) ------------------------------------
+
+
+def test_remote_copy_case4_creates_outref_and_insert():
+    """Y had no outref: clean outref born at Y, insert recorded at owner Z,
+    pin released at sender X."""
+    sim = make_sim(sites=("X", "Y", "Z"))
+    b = GraphBuilder(sim)
+    z_obj = b.obj("Z", "z")
+    x_holder = b.obj("X", "xh")
+    b.link(x_holder, z_obj)
+    y_dest = b.obj("Y", "yd", root=True)
+    sim.site("X").mutator_send_ref("Y", b["z"], y_dest)
+    # Pin held while in flight.
+    assert sim.site("X").outrefs.require(b["z"]).pin_count == 1
+    sim.settle()
+    assert sim.site("Y").outrefs.require(b["z"]).is_clean
+    assert sim.site("Y").heap.get(y_dest).holds_ref(b["z"])
+    assert "Y" in sim.site("Z").inrefs.require(b["z"]).sources
+    assert sim.site("X").outrefs.require(b["z"]).pin_count == 0
+
+
+def test_remote_copy_case3_cleans_suspected_outref():
+    sim = make_sim(sites=("X", "Y", "Z"))
+    b = GraphBuilder(sim)
+    z_obj = b.obj("Z", "z")
+    x_holder = b.obj("X", "xh", root=True)
+    y_holder = b.obj("Y", "yh", root=True)
+    b.link(x_holder, z_obj)
+    b.link(y_holder, z_obj)
+    # Force Y's outref for z into the suspected state directly (as if Y's
+    # last trace had reached it only from a suspected inref).
+    sim.site("Y").outrefs.require(b["z"]).traced_clean = False
+    assert not sim.site("Y").outrefs.require(b["z"]).is_clean
+    y_dest = b.obj("Y", "yd", root=True)
+    sim.site("X").mutator_send_ref("Y", b["z"], y_dest)
+    sim.settle()
+    assert sim.site("Y").outrefs.require(b["z"]).is_clean
+    assert sim.site("X").outrefs.require(b["z"]).pin_count == 0
+
+
+def test_remote_copy_case1_owner_applies_barrier():
+    sim = make_sim(sites=("X", "Y"))
+    b = GraphBuilder(sim)
+    y_obj = b.obj("Y", "y")
+    x_holder = b.obj("X", "xh", root=True)
+    b.link(x_holder, y_obj)
+    suspect_and_trace(sim, only=["Y"])
+    assert sim.site("Y").inrefs.require(b["y"]).is_suspected(4)
+    y_dest = b.obj("Y", "yd", root=True)
+    sim.site("X").mutator_send_ref("Y", b["y"], y_dest)
+    sim.settle()
+    assert sim.site("Y").inrefs.require(b["y"]).is_clean(4)
+    assert sim.site("Y").heap.get(y_dest).holds_ref(b["y"])
+    assert sim.site("X").outrefs.require(b["y"]).pin_count == 0
+
+
+def test_send_own_object_pins_until_insert_returns():
+    sim = make_sim(sites=("X", "Y"))
+    b = GraphBuilder(sim)
+    x_obj = b.obj("X", "xo")
+    y_dest = b.obj("Y", "yd", root=True)
+    sim.site("X").mutator_send_ref("Y", b["xo"], y_dest)
+    # While the copy is in flight the object is pinned at its owner, so the
+    # remote safety invariant cannot be violated by an intervening trace.
+    assert b["xo"] in sim.site("X").heap.variable_roots
+    sim.site("X").run_local_trace()
+    assert sim.site("X").heap.contains(b["xo"])
+    sim.settle()
+    # The insert registered Y and released the pin.
+    assert "Y" in sim.site("X").inrefs.require(b["xo"]).sources
+    assert b["xo"] not in sim.site("X").heap.variable_roots
+    assert sim.site("Y").outrefs.require(b["xo"]).is_clean
+    assert sim.site("Y").heap.get(y_dest).holds_ref(b["xo"])
+
+
+def test_pinned_outref_survives_local_trace_until_insert_done():
+    """The insert barrier: X's outref must survive X's local trace while the
+    insert is in flight, even if X's heap no longer references z."""
+    sim = make_sim(sites=("X", "Y", "Z"))
+    b = GraphBuilder(sim)
+    z_obj = b.obj("Z", "z")
+    x_holder = b.obj("X", "xh", root=True)
+    b.link(x_holder, z_obj)
+    y_dest = b.obj("Y", "yd", root=True)
+    for site_id in sorted(sim.sites):
+        sim.sites[site_id].run_local_trace()
+    sim.settle()
+    sim.site("X").mutator_send_ref("Y", b["z"], y_dest)
+    # X drops its own reference immediately.
+    sim.site("X").mutator_remove_ref(x_holder, b["z"])
+    # X runs a local trace while the copy is still in flight.
+    sim.site("X").run_local_trace()
+    assert b["z"] in sim.site("X").outrefs
+    sim.settle()
+    # After the insert lands and the pin is released, X's next trace trims.
+    sim.site("X").run_local_trace()
+    sim.settle()
+    assert b["z"] not in sim.site("X").outrefs
+    # Y keeps z alive; the oracle agrees nothing live was lost.
+    Oracle(sim).check_safety()
+    sources = sim.site("Z").inrefs.require(b["z"]).sources
+    assert "Y" in sources
+
+
+def test_update_messages_remove_sources_and_collect():
+    """Figure 1's d/e story: dropping the last reference propagates removal
+    through update messages and the target collects."""
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    root_q = b.obj("Q", "rootq", root=True)
+    d = b.obj("Q", "d")
+    e = b.obj("P", "e")
+    b.link(root_q, d)
+    b.link(d, e)
+    for site_id in sorted(sim.sites):
+        sim.sites[site_id].run_local_trace()
+    sim.settle()
+    # Cut d from the root: d is garbage at Q.
+    sim.site("Q").mutator_remove_ref(root_q, d)
+    sim.run_gc_round()  # Q collects d, drops outref e, sends update to P
+    sim.run_gc_round()  # P removes inref e and collects e
+    assert not sim.site("Q").heap.contains(d)
+    assert not sim.site("P").heap.contains(e)
+    assert e not in sim.site("P").inrefs
+
+
+# -- non-atomic local traces (section 6.2) ----------------------------------------------
+
+
+def test_nonatomic_trace_defers_mutator_writes():
+    gc = GcConfig(local_trace_duration=10.0)
+    sim = make_sim(sites=("P",), gc=gc)
+    site = sim.site("P")
+    root = site.heap.alloc(persistent_root=True)
+    other = site.heap.alloc()
+    root.add_ref(other.oid)
+    site.run_local_trace()
+    assert site.is_tracing
+    site.mutator_remove_ref(root.oid, other.oid)
+    # Write deferred: the heap still holds the reference.
+    assert site.heap.get(root.oid).holds_ref(other.oid)
+    sim.run_for(20.0)
+    assert not site.is_tracing
+    assert not site.heap.get(root.oid).holds_ref(other.oid)
+
+
+def test_nonatomic_trace_replays_barrier_on_new_copy():
+    gc = GcConfig(local_trace_duration=10.0)
+    sim = make_sim(sites=("P", "Q"), gc=gc)
+    b = GraphBuilder(sim)
+    target = b.obj("Q", "t")
+    inner_remote = b.obj("P", "ir")
+    b.link(target, inner_remote)
+    holder = b.obj("P", "h")
+    b.link(holder, target)
+    # Suspect everything, then run atomic traces once to compute outsets.
+    for site in sim.sites.values():
+        for entry in site.inrefs.entries():
+            for source in entry.sources:
+                entry.sources[source] = SUSPECT
+    q = sim.site("Q")
+    q.run_local_trace()
+    sim.run_for(20.0)  # commit
+    assert q.inrefs.require(b["t"]).is_suspected(4)
+    # Start another (non-atomic) trace, apply the barrier mid-window.
+    q.run_local_trace()
+    assert q.is_tracing
+    q.barrier.on_reference_arrival(b["t"])
+    assert q.inrefs.require(b["t"]).is_clean(4)  # old copy cleaned
+    sim.run_for(20.0)  # commit + replay
+    # New copy still records the barrier clean (until the *next* trace).
+    assert q.inrefs.require(b["t"]).barrier_clean
+    assert q.outrefs.require(b["ir"]).barrier_clean
+
+
+def test_crash_drops_messages_and_recovery_resumes_gc():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    root = b.obj("P", "root", root=True)
+    target = b.obj("Q", "t")
+    b.link(root, target)
+    sim.site("Q").crash()
+    sim.site("P").run_local_trace()
+    sim.settle()
+    # Q heard nothing.
+    assert sim.site("Q").inrefs.require(b["t"]).sources == {"P": 1}
+    sim.site("Q").recover()
+    sim.site("P").collector._last_reported_distance.clear()
+    sim.site("P").run_local_trace()
+    sim.settle()
+    assert sim.site("Q").inrefs.require(b["t"]).sources == {"P": 1}

@@ -1,0 +1,156 @@
+"""Unit and integration tests for message deferral/piggybacking (section 4.6)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import GcConfig
+from repro.analysis import Oracle
+from repro.errors import ConfigError
+from repro.metrics import MetricsRecorder
+from repro.net.batching import Bundle, DeferringSender
+from repro.net.message import Payload
+from repro.sim.scheduler import Scheduler
+from repro.workloads import build_ring_cycle
+
+from ..conftest import collect_until_clean, make_sim
+
+
+@dataclass(frozen=True)
+class Small(Payload):
+    n: int = 0
+
+
+@dataclass(frozen=True)
+class Big(Payload):
+    n: int = 0
+
+
+def make_sender(delay=2.0, max_queue=64):
+    sched = Scheduler()
+    sent = []
+    sender = DeferringSender(
+        "P",
+        sched,
+        raw_send=lambda dst, payload: sent.append((dst, payload)),
+        deferrable=(Small,),
+        delay=delay,
+        max_queue=max_queue,
+        metrics=MetricsRecorder(),
+    )
+    return sched, sender, sent
+
+
+def test_small_messages_deferred_until_timer():
+    sched, sender, sent = make_sender(delay=5.0)
+    sender.send("Q", Small(1))
+    sender.send("Q", Small(2))
+    assert sent == []
+    sched.run_for(5.0)
+    assert len(sent) == 1
+    dst, payload = sent[0]
+    assert isinstance(payload, Bundle)
+    assert [p.n for p in payload.payloads] == [1, 2]
+
+
+def test_single_queued_payload_flushes_unbundled():
+    sched, sender, sent = make_sender(delay=1.0)
+    sender.send("Q", Small(7))
+    sched.run_for(1.0)
+    assert len(sent) == 1
+    assert isinstance(sent[0][1], Small)
+
+
+def test_big_message_piggybacks_pending():
+    sched, sender, sent = make_sender(delay=100.0)
+    sender.send("Q", Small(1))
+    sender.send("Q", Small(2))
+    sender.send("Q", Big(3))
+    assert len(sent) == 1
+    bundle = sent[0][1]
+    assert isinstance(bundle, Bundle)
+    # FIFO preserved: queued payloads first, the trigger last.
+    assert [p.n for p in bundle.payloads] == [1, 2, 3]
+    # Timer cancelled: nothing further.
+    sched.run_for(200.0)
+    assert len(sent) == 1
+
+
+def test_queues_are_per_destination():
+    sched, sender, sent = make_sender(delay=100.0)
+    sender.send("Q", Small(1))
+    sender.send("R", Small(2))
+    sender.send("Q", Big(3))
+    assert len(sent) == 1 and sent[0][0] == "Q"
+    assert sender.queued == 1  # R's payload still waiting
+    sched.run_for(100.0)
+    assert len(sent) == 2 and sent[1][0] == "R"
+
+
+def test_overflow_flushes_immediately():
+    sched, sender, sent = make_sender(delay=100.0, max_queue=3)
+    for n in range(3):
+        sender.send("Q", Small(n))
+    assert len(sent) == 1
+    assert len(sent[0][1].payloads) == 3
+
+
+def test_flush_all():
+    sched, sender, sent = make_sender(delay=100.0)
+    sender.send("Q", Small(1))
+    sender.send("R", Small(2))
+    sender.flush_all()
+    assert {dst for dst, _ in sent} == {"Q", "R"}
+    assert sender.queued == 0
+
+
+def test_bundle_size_and_refs_aggregate():
+    from repro.ids import ObjectId
+    from repro.mutator.ops import MutatorHop
+
+    hop = MutatorHop(mutator="m", target=ObjectId("P", 1))
+    bundle = Bundle(payloads=(Small(1), hop))
+    assert bundle.size_units() == 2
+    assert bundle.carried_refs() == (ObjectId("P", 1),)
+
+
+def test_defer_delay_validation():
+    with pytest.raises(ConfigError):
+        GcConfig(defer_messages=True, defer_delay=0.0)
+    with pytest.raises(ConfigError):
+        GcConfig(defer_messages=True, defer_delay=200.0, backtrace_timeout=500.0)
+
+
+def _parallel_cycles_run(defer, n_cycles=8):
+    """Many independent 2-site cycles: their traces' calls and replies
+    cluster per destination, which is where bundling pays off."""
+    gc = GcConfig(
+        defer_messages=defer,
+        defer_delay=2.0,
+        max_traces_per_trigger_check=n_cycles,
+    )
+    sim = make_sim(sites=("a", "b"), gc=gc)
+    workloads = [build_ring_cycle(sim, ["a", "b"]) for _ in range(n_cycles)]
+    oracle = Oracle(sim)
+    for _ in range(2):
+        sim.run_gc_round()
+    for workload in workloads:
+        workload.make_garbage(sim)
+    rounds = collect_until_clean(sim, oracle, max_rounds=80)
+    return sim, rounds
+
+
+def test_system_with_deferral_still_collects_cycles():
+    sim, rounds = _parallel_cycles_run(defer=True)
+    assert sim.metrics.count("deferral.queued") > 0
+    assert sim.metrics.count("messages.Bundle") > 0
+
+
+def test_deferral_reduces_physical_messages():
+    plain_sim, plain_rounds = _parallel_cycles_run(defer=False)
+    deferred_sim, deferred_rounds = _parallel_cycles_run(defer=True)
+    assert deferred_sim.metrics.count("messages.total") < plain_sim.metrics.count(
+        "messages.total"
+    )
+    # Latency cost is bounded (deferral delays are tiny vs round length).
+    assert deferred_rounds <= plain_rounds + 2

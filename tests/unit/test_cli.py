@@ -1,0 +1,36 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_exits_zero(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "collected after" in out
+
+
+def test_figures_runs(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out and "Figure 3" in out
+
+
+def test_stress_short_run(capsys):
+    assert main(["--seed", "1", "stress", "--duration", "600"]) == 0
+    out = capsys.readouterr().out
+    assert "zero residual garbage" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_seed_flag_replays_identically(capsys):
+    main(["--seed", "7", "demo"])
+    first = capsys.readouterr().out
+    main(["--seed", "7", "demo"])
+    second = capsys.readouterr().out
+    assert first == second

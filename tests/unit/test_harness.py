@@ -1,0 +1,82 @@
+"""Unit tests for the harness: report tables and figure scenarios."""
+
+import pytest
+
+from repro.harness.report import Table
+from repro.harness.scenarios import (
+    build_figure1,
+    build_figure2,
+    build_figure3,
+    build_figure5,
+)
+
+
+class TestTable:
+    def test_render_contains_title_and_cells(self):
+        table = Table("My Title", ["col a", "col b"])
+        table.add_row("x", 3)
+        rendered = table.render()
+        assert "My Title" in rendered
+        assert "col a" in rendered and "col b" in rendered
+        assert "x" in rendered and "3" in rendered
+
+    def test_floats_formatted(self):
+        table = Table("t", ["v"])
+        table.add_row(1.23456)
+        assert "1.23" in table.render()
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only one")
+
+    def test_column_width_adapts(self):
+        table = Table("t", ["c"])
+        table.add_row("a-very-long-cell-value")
+        lines = table.render().splitlines()
+        header_line = next(line for line in lines if "c" in line)
+        assert len(header_line) >= len("a-very-long-cell-value")
+
+
+class TestScenarios:
+    def test_figure1_tables_consistent(self):
+        scenario = build_figure1()
+        sim = scenario.sim
+        # P's outrefs: b and c; Q's: c, e, g; R's: f (per the figure).
+        assert set(sim.site("P").outrefs.targets()) == {scenario["b"], scenario["c"]}
+        assert set(sim.site("Q").outrefs.targets()) == {
+            scenario["c"], scenario["e"], scenario["g"],
+        }
+        assert set(sim.site("R").outrefs.targets()) == {scenario["f"]}
+        # Inref source lists match the figure.
+        assert set(sim.site("R").inrefs.require(scenario["c"]).sources) == {"P", "Q"}
+        assert set(sim.site("P").inrefs.require(scenario["e"]).sources) == {"Q"}
+
+    def test_figure2_structure(self):
+        scenario = build_figure2()
+        sim = scenario.sim
+        assert set(sim.site("P").inrefs.require(scenario["c"]).sources) == {"Q"}
+        assert sim.site("Q").heap.get(scenario["b"]).holds_ref(scenario["d"])
+
+    def test_figure3_has_root_path(self):
+        scenario = build_figure3()
+        sim = scenario.sim
+        root = scenario["root"]
+        assert root in sim.site("S").heap.persistent_roots
+
+    def test_figure5_spine_and_loop(self):
+        scenario = build_figure5()
+        sim = scenario.sim
+        assert sim.site("Q").heap.get(scenario["f"]).holds_ref(scenario["z"])
+        assert sim.site("Q").heap.get(scenario["x"]).holds_ref(scenario["g"])
+        assert set(sim.site("P").inrefs.require(scenario["g"]).sources) == {"Q"}
+
+    def test_scenarios_are_seed_deterministic(self):
+        first = build_figure1(seed=5)
+        second = build_figure1(seed=5)
+        assert first.builder.labels == second.builder.labels
+
+    def test_label_lookup_raises_for_unknown(self):
+        scenario = build_figure1()
+        with pytest.raises(Exception):
+            scenario["nonexistent"]

@@ -1,0 +1,175 @@
+"""Unit tests for the inref and outref tables."""
+
+import pytest
+
+from repro.errors import GcInvariantError
+from repro.gc.inrefs import INFINITE_DISTANCE, InrefTable
+from repro.gc.outrefs import OutrefTable
+from repro.ids import ObjectId, TraceId
+
+
+def make_inrefs(threshold=4, back=12):
+    return InrefTable("R", suspicion_threshold=threshold, initial_back_threshold=back)
+
+
+def make_outrefs(back=12):
+    return OutrefTable("P", initial_back_threshold=back)
+
+
+# -- inrefs ---------------------------------------------------------------------
+
+
+def test_inref_ensure_creates_with_conservative_distance():
+    table = make_inrefs()
+    entry = table.ensure(ObjectId("R", 0), source="P")
+    assert entry.sources == {"P": 1}
+    assert entry.distance == 1
+    assert entry.back_threshold == 12
+
+
+def test_inref_rejects_foreign_target():
+    table = make_inrefs()
+    with pytest.raises(GcInvariantError):
+        table.ensure(ObjectId("Q", 0), source="P")
+
+
+def test_inref_distance_is_min_over_sources():
+    table = make_inrefs()
+    entry = table.ensure(ObjectId("R", 0), source="P", distance=7)
+    entry.add_source("Q", 3)
+    assert entry.distance == 3
+
+
+def test_add_source_keeps_smaller_estimate():
+    table = make_inrefs()
+    entry = table.ensure(ObjectId("R", 0), source="P", distance=2)
+    entry.add_source("P", 9)
+    assert entry.sources["P"] == 2
+
+
+def test_set_source_distance_is_authoritative_increase():
+    table = make_inrefs()
+    entry = table.ensure(ObjectId("R", 0), source="P", distance=2)
+    entry.set_source_distance("P", 9)
+    assert entry.sources["P"] == 9
+
+
+def test_set_source_distance_ignores_unknown_source():
+    table = make_inrefs()
+    entry = table.ensure(ObjectId("R", 0), source="P")
+    entry.set_source_distance("Q", 5)
+    assert "Q" not in entry.sources
+
+
+def test_empty_inref_has_infinite_distance():
+    table = make_inrefs()
+    entry = table.ensure(ObjectId("R", 0), source="P")
+    entry.remove_source("P")
+    assert entry.distance == INFINITE_DISTANCE
+    assert entry.empty
+
+
+def test_remove_source_drops_empty_entry():
+    table = make_inrefs()
+    target = ObjectId("R", 0)
+    table.ensure(target, source="P")
+    table.remove_source(target, "P")
+    assert target not in table
+
+
+def test_clean_vs_suspected_by_threshold():
+    table = make_inrefs(threshold=4)
+    near = table.ensure(ObjectId("R", 0), source="P", distance=4)
+    far = table.ensure(ObjectId("R", 1), source="P", distance=5)
+    assert near.is_clean(4) and not near.is_suspected(4)
+    assert far.is_suspected(4) and not far.is_clean(4)
+    assert {e.target for e in table.suspected_entries()} == {far.target}
+
+
+def test_barrier_clean_overrides_distance():
+    table = make_inrefs(threshold=4)
+    entry = table.ensure(ObjectId("R", 0), source="P", distance=99)
+    entry.barrier_clean = True
+    assert entry.is_clean(4)
+    table.reset_barrier_cleans()
+    assert entry.is_suspected(4)
+
+
+def test_garbage_flag_is_never_clean():
+    table = make_inrefs(threshold=4)
+    entry = table.ensure(ObjectId("R", 0), source="P", distance=1)
+    entry.garbage = True
+    assert not entry.is_clean(4)
+    assert entry.target not in set(table.root_targets())
+    assert table.garbage_targets() == [entry.target]
+
+
+def test_entries_by_distance_ordering():
+    table = make_inrefs()
+    table.ensure(ObjectId("R", 0), source="P", distance=9)
+    table.ensure(ObjectId("R", 1), source="P", distance=2)
+    table.ensure(ObjectId("R", 2), source="P", distance=5)
+    distances = [e.distance for e in table.entries_by_distance()]
+    assert distances == [2, 5, 9]
+
+
+# -- outrefs ---------------------------------------------------------------------
+
+
+def test_outref_ensure_and_lookup():
+    table = make_outrefs()
+    entry = table.ensure(ObjectId("R", 0))
+    assert entry.is_clean
+    assert ObjectId("R", 0) in table
+    assert entry.back_threshold == 12
+
+
+def test_outref_rejects_local_target():
+    table = make_outrefs()
+    with pytest.raises(GcInvariantError):
+        table.ensure(ObjectId("P", 0))
+
+
+def test_outref_cleanliness_sources():
+    table = make_outrefs()
+    entry = table.ensure(ObjectId("R", 0), clean=False)
+    assert entry.is_suspected
+    entry.barrier_clean = True
+    assert entry.is_clean
+    entry.barrier_clean = False
+    entry.pin()
+    assert entry.is_clean
+    entry.unpin()
+    assert entry.is_suspected
+
+
+def test_unbalanced_unpin_raises():
+    table = make_outrefs()
+    entry = table.ensure(ObjectId("R", 0))
+    with pytest.raises(GcInvariantError):
+        entry.unpin()
+
+
+def test_visited_marks_are_per_trace():
+    table = make_outrefs()
+    entry = table.ensure(ObjectId("R", 0), clean=False)
+    t1, t2 = TraceId("P", 0), TraceId("Q", 0)
+    entry.visited.add(t1)
+    assert t1 in entry.visited and t2 not in entry.visited
+
+
+def test_inset_storage_units():
+    table = make_outrefs()
+    e1 = table.ensure(ObjectId("R", 0), clean=False)
+    e2 = table.ensure(ObjectId("R", 1), clean=False)
+    e1.inset = frozenset({ObjectId("P", 1), ObjectId("P", 2)})
+    e2.inset = frozenset({ObjectId("P", 1)})
+    assert table.inset_storage_units() == 3
+
+
+def test_suspected_entries_view():
+    table = make_outrefs()
+    table.ensure(ObjectId("R", 0), clean=False)
+    table.ensure(ObjectId("R", 1), clean=True)
+    assert [e.target for e in table.suspected_entries()] == [ObjectId("R", 0)]
+    assert [e.target for e in table.clean_entries()] == [ObjectId("R", 1)]

@@ -1,0 +1,142 @@
+"""Remaining small-surface tests: latency model validation, remote-copy
+case 2, and heap sweep properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.net.latency import ConstantLatency, ExponentialLatency, UniformLatency
+from repro.sim.rng import RngRegistry
+from repro.store.heap import Heap
+from repro.workloads import GraphBuilder
+
+from ..conftest import make_sim
+
+
+# -- latency models -------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: ConstantLatency(-1.0),
+        lambda: UniformLatency(-1.0, 2.0),
+        lambda: UniformLatency(5.0, 2.0),
+        lambda: ExponentialLatency(base=-0.1),
+        lambda: ExponentialLatency(mean=0.0),
+    ],
+)
+def test_latency_validation(factory):
+    with pytest.raises(ConfigError):
+        factory()
+
+
+def test_exponential_latency_at_least_base():
+    rng = RngRegistry(0).stream("lat")
+    model = ExponentialLatency(base=2.5, mean=1.0)
+    assert all(model.sample(rng, "A", "B") >= 2.5 for _ in range(200))
+
+
+def test_constant_latency_is_constant():
+    rng = RngRegistry(0).stream("lat")
+    model = ConstantLatency(3.0)
+    assert {model.sample(rng, "A", "B") for _ in range(10)} == {3.0}
+
+
+# -- remote copy case 2 (section 6.1.2) ----------------------------------------------
+
+
+def test_remote_copy_case2_clean_outref_no_insert():
+    """Y already holds a *clean* outref for z: no insert, no barrier work --
+    just the unpin ack back to the sender."""
+    sim = make_sim(sites=("X", "Y", "Z"))
+    b = GraphBuilder(sim)
+    z_obj = b.obj("Z", "z")
+    x_holder = b.obj("X", "xh", root=True)
+    y_holder = b.obj("Y", "yh", root=True)
+    b.link(x_holder, z_obj)
+    b.link(y_holder, z_obj)   # Y's clean outref exists already
+    y_dest = b.obj("Y", "yd", root=True)
+    before = sim.metrics.snapshot()
+    sim.site("X").mutator_send_ref("Y", b["z"], y_dest)
+    sim.settle()
+    delta = sim.metrics.snapshot().diff(before)
+    assert delta.get("messages.InsertRequest", 0) == 0
+    assert delta.get("messages.UnpinRequest", 0) == 1
+    assert sim.site("X").outrefs.require(b["z"]).pin_count == 0
+    assert sim.site("Y").heap.get(y_dest).holds_ref(b["z"])
+
+
+# -- heap sweep properties -----------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=30),
+    st.sets(st.integers(0, 29)),
+)
+@settings(max_examples=100, deadline=None)
+def test_sweep_removes_exactly_the_complement(n_objects, live_indices):
+    heap = Heap("P")
+    objects = [heap.alloc() for _ in range(n_objects)]
+    live = {obj.oid for index, obj in enumerate(objects) if index in live_indices}
+    dead = heap.sweep(live)
+    assert set(dead) == {obj.oid for obj in objects} - live
+    assert set(heap.object_ids()) == live
+    assert heap.objects_collected == len(dead)
+
+
+@given(st.integers(min_value=1, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_alloc_serials_never_reused_after_sweep(n_objects):
+    heap = Heap("P")
+    first_batch = [heap.alloc().oid for _ in range(n_objects)]
+    heap.sweep(set())
+    second_batch = [heap.alloc().oid for _ in range(n_objects)]
+    assert not set(first_batch) & set(second_batch)
+
+
+# -- public API hygiene -----------------------------------------------------------------
+
+
+def test_every_public_module_has_a_docstring():
+    import importlib
+    import pkgutil
+
+    import repro
+
+    missing = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        if not (module.__doc__ or "").strip():
+            missing.append(info.name)
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_all_payload_classes_have_unique_kinds():
+    """Metrics and the comparison driver key on payload class names; a
+    duplicate would silently merge two protocols' counters."""
+    import importlib
+    import pkgutil
+
+    import repro
+    from repro.net.message import Payload
+
+    kinds = {}
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        for name in dir(module):
+            attr = getattr(module, name)
+            if (
+                isinstance(attr, type)
+                and issubclass(attr, Payload)
+                and attr is not Payload
+            ):
+                existing = kinds.get(attr.kind())
+                if existing is not None and existing is not attr:
+                    raise AssertionError(
+                        f"duplicate payload kind {attr.kind()!r}: "
+                        f"{existing.__module__} vs {attr.__module__}"
+                    )
+                kinds[attr.kind()] = attr
+    assert len(kinds) >= 25  # the full protocol surface is registered

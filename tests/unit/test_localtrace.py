@@ -1,0 +1,225 @@
+"""Unit tests for the local collector (sections 2, 3, 5)."""
+
+import dataclasses
+
+from repro import GcConfig
+from repro.gc.localtrace import LocalCollector
+from repro.gc.inrefs import InrefTable
+from repro.gc.outrefs import OutrefTable
+from repro.ids import ObjectId
+from repro.metrics import MetricsRecorder
+from repro.store.heap import Heap
+
+
+def make_collector(threshold=4, algorithm="bottomup"):
+    config = GcConfig(suspicion_threshold=threshold, backinfo_algorithm=algorithm)
+    heap = Heap("Q")
+    inrefs = InrefTable("Q", threshold, config.initial_back_threshold)
+    outrefs = OutrefTable("Q", config.initial_back_threshold)
+    collector = LocalCollector(heap, inrefs, outrefs, config, metrics=MetricsRecorder())
+    return collector
+
+
+def test_sweeps_unreachable_objects():
+    c = make_collector()
+    root = c.heap.alloc(persistent_root=True)
+    kept = c.heap.alloc()
+    root.add_ref(kept.oid)
+    lost = c.heap.alloc()
+    result = c.run()
+    assert lost.oid in result.swept
+    assert c.heap.contains(kept.oid)
+
+
+def test_inrefs_are_roots():
+    c = make_collector()
+    held = c.heap.alloc()
+    c.inrefs.ensure(held.oid, source="P", distance=1)
+    result = c.run()
+    assert held.oid not in result.swept
+
+
+def test_garbage_flagged_inref_is_not_a_root():
+    c = make_collector()
+    held = c.heap.alloc()
+    entry = c.inrefs.ensure(held.oid, source="P", distance=9)
+    entry.garbage = True
+    result = c.run()
+    assert held.oid in result.swept
+    # The entry itself survives for referential integrity (section 4.5).
+    assert held.oid in c.inrefs
+
+
+def test_variable_roots_keep_objects():
+    c = make_collector()
+    pinned = c.heap.alloc()
+    c.heap.pin_variable(pinned.oid)
+    result = c.run()
+    assert pinned.oid not in result.swept
+
+
+def test_outref_distance_from_persistent_root():
+    c = make_collector()
+    root = c.heap.alloc(persistent_root=True)
+    remote = ObjectId("R", 0)
+    root.add_ref(remote)
+    c.outrefs.ensure(remote)
+    result = c.run()
+    entry = c.outrefs.require(remote)
+    assert entry.distance == 1
+    assert entry.is_clean
+    assert result.updates_by_site["R"].distances == ((remote, 1),)
+
+
+def test_outref_distance_from_inref_chain():
+    c = make_collector(threshold=4)
+    held = c.heap.alloc()
+    remote = ObjectId("R", 0)
+    held.add_ref(remote)
+    c.inrefs.ensure(held.oid, source="P", distance=3)
+    c.outrefs.ensure(remote)
+    c.run()
+    assert c.outrefs.require(remote).distance == 4
+    assert c.outrefs.require(remote).is_clean  # 3 <= threshold: clean trace
+
+
+def test_suspected_outref_gets_inset_and_distance():
+    c = make_collector(threshold=4)
+    held = c.heap.alloc()
+    remote = ObjectId("R", 0)
+    held.add_ref(remote)
+    c.inrefs.ensure(held.oid, source="P", distance=7)  # suspected
+    c.outrefs.ensure(remote)
+    c.run()
+    entry = c.outrefs.require(remote)
+    assert not entry.is_clean
+    assert entry.inset == {held.oid}
+    assert entry.distance == 8
+    inref_entry = c.inrefs.require(held.oid)
+    assert inref_entry.outset == {remote}
+
+
+def test_untraced_outref_is_trimmed_and_reported():
+    c = make_collector()
+    remote = ObjectId("R", 0)
+    c.outrefs.ensure(remote)  # nothing in the heap references it
+    result = c.run()
+    assert remote not in c.outrefs
+    assert result.updates_by_site["R"].removals == (remote,)
+
+
+def test_pinned_outref_survives_trim():
+    c = make_collector()
+    remote = ObjectId("R", 0)
+    c.outrefs.ensure(remote).pin()
+    result = c.run()
+    assert remote in c.outrefs
+    assert not result.removals or remote not in result.removals
+
+
+def test_variable_outref_survives_and_is_clean():
+    c = make_collector(threshold=4)
+    remote = ObjectId("R", 0)
+    c.outrefs.ensure(remote, clean=False)
+    c.run(variable_outrefs=[remote])
+    entry = c.outrefs.require(remote)
+    assert entry.is_clean
+    assert entry.distance == 1
+
+
+def test_distance_not_resent_when_unchanged():
+    c = make_collector()
+    root = c.heap.alloc(persistent_root=True)
+    remote = ObjectId("R", 0)
+    root.add_ref(remote)
+    c.outrefs.ensure(remote)
+    first = c.run()
+    second = c.run()
+    assert "R" in first.updates_by_site
+    assert "R" not in second.updates_by_site
+
+
+def test_mixed_clean_and_suspected_reachability():
+    """An object reachable from both a clean and a suspected inref is clean,
+    and the suspected inref's outset stops at it."""
+    c = make_collector(threshold=4)
+    shared = c.heap.alloc()
+    remote = ObjectId("R", 0)
+    shared.add_ref(remote)
+    suspect_head = c.heap.alloc()
+    suspect_head.add_ref(shared.oid)
+    c.inrefs.ensure(shared.oid, source="P", distance=2)  # clean
+    c.inrefs.ensure(suspect_head.oid, source="S", distance=9)  # suspected
+    c.outrefs.ensure(remote)
+    c.run()
+    entry = c.outrefs.require(remote)
+    assert entry.is_clean
+    assert c.inrefs.require(suspect_head.oid).outset == frozenset()
+
+
+def test_barrier_clean_inref_traced_as_clean_root():
+    c = make_collector(threshold=4)
+    held = c.heap.alloc()
+    remote = ObjectId("R", 0)
+    held.add_ref(remote)
+    entry = c.inrefs.ensure(held.oid, source="P", distance=9)
+    entry.barrier_clean = True
+    c.outrefs.ensure(remote, clean=False)
+    c.run()
+    out = c.outrefs.require(remote)
+    assert out.is_clean
+    assert out.distance == 10  # distance still propagates the big estimate
+    # The barrier flag expires with the trace.
+    assert not c.inrefs.require(held.oid).barrier_clean
+
+
+def test_commit_replays_barrier_on_new_copy():
+    c = make_collector(threshold=4)
+    held = c.heap.alloc()
+    remote = ObjectId("R", 0)
+    held.add_ref(remote)
+    c.inrefs.ensure(held.oid, source="P", distance=9)
+    c.outrefs.ensure(remote, clean=False)
+    result = c.compute()
+    c.commit(result, replay_barrier_inrefs=[held.oid])
+    assert c.inrefs.require(held.oid).barrier_clean
+    assert c.outrefs.require(remote).barrier_clean
+
+
+def test_objects_allocated_in_window_survive_commit():
+    c = make_collector()
+    result = c.compute()
+    newborn = c.heap.alloc()  # allocated mid-window
+    c.commit(result)
+    assert c.heap.contains(newborn.oid)
+
+
+def test_outref_created_in_window_survives_commit():
+    c = make_collector()
+    result = c.compute()
+    late = ObjectId("R", 9)
+    c.outrefs.ensure(late, clean=True)
+    c.commit(result)
+    assert late in c.outrefs
+
+
+def test_independent_algorithm_config_selected():
+    c = make_collector(algorithm="independent")
+    held = c.heap.alloc()
+    remote = ObjectId("R", 0)
+    held.add_ref(remote)
+    c.inrefs.ensure(held.oid, source="P", distance=9)
+    c.outrefs.ensure(remote)
+    c.run()
+    assert c.outrefs.require(remote).inset == {held.oid}
+
+
+def test_suspected_cycle_objects_survive_sweep():
+    c = make_collector(threshold=4)
+    a, b = c.heap.alloc(), c.heap.alloc()
+    a.add_ref(b.oid)
+    b.add_ref(a.oid)
+    c.inrefs.ensure(a.oid, source="P", distance=9)
+    result = c.run()
+    assert not result.swept
+    assert c.heap.contains(a.oid) and c.heap.contains(b.oid)

@@ -1,0 +1,166 @@
+"""Unit tests for the simulated network."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import UnknownSiteError
+from repro.metrics import MetricsRecorder
+from repro.net.latency import ConstantLatency, ExponentialLatency, UniformLatency
+from repro.net.message import Payload
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class Ping(Payload):
+    n: int = 0
+
+
+def make_net(config=None, latency=None, sites=("A", "B", "C")):
+    sched = Scheduler()
+    metrics = MetricsRecorder()
+    net = Network(
+        sched,
+        RngRegistry(0),
+        metrics,
+        config=config or NetworkConfig(),
+        latency_model=latency or ConstantLatency(1.0),
+    )
+    inboxes = {s: [] for s in sites}
+    for s in sites:
+        net.register(s, (lambda sid: (lambda msg: inboxes[sid].append(msg)))(s))
+    return sched, net, inboxes, metrics
+
+
+def test_basic_delivery():
+    sched, net, inboxes, _ = make_net()
+    net.send("A", "B", Ping(1))
+    sched.drain()
+    assert [m.payload.n for m in inboxes["B"]] == [1]
+
+
+def test_unknown_destination_raises():
+    _, net, _, _ = make_net()
+    with pytest.raises(UnknownSiteError):
+        net.send("A", "Z", Ping())
+
+
+def test_fifo_per_pair_even_with_variable_latency():
+    sched, net, inboxes, _ = make_net(
+        latency=ExponentialLatency(base=0.1, mean=10.0)
+    )
+    for i in range(50):
+        net.send("A", "B", Ping(i))
+    sched.drain()
+    assert [m.payload.n for m in inboxes["B"]] == list(range(50))
+
+
+def test_non_fifo_allows_reordering():
+    config = NetworkConfig(fifo_per_pair=False)
+    sched, net, inboxes, _ = make_net(
+        config=config, latency=ExponentialLatency(base=0.1, mean=10.0)
+    )
+    for i in range(50):
+        net.send("A", "B", Ping(i))
+    sched.drain()
+    received = [m.payload.n for m in inboxes["B"]]
+    assert sorted(received) == list(range(50))
+    assert received != list(range(50))
+
+
+def test_crashed_destination_loses_messages():
+    sched, net, inboxes, metrics = make_net()
+    net.crash("B")
+    net.send("A", "B", Ping())
+    sched.drain()
+    assert inboxes["B"] == []
+    assert metrics.count("messages.lost") == 1
+    # Message is still counted as sent (the sender paid for it).
+    assert metrics.count("messages.Ping") == 1
+
+
+def test_crash_in_flight_loses_message():
+    sched, net, inboxes, metrics = make_net()
+    net.send("A", "B", Ping())
+    net.crash("B")  # after send, before delivery
+    sched.drain()
+    assert inboxes["B"] == []
+    assert metrics.count("messages.lost") == 1
+
+
+def test_recover_restores_delivery():
+    sched, net, inboxes, _ = make_net()
+    net.crash("B")
+    net.recover("B")
+    net.send("A", "B", Ping(3))
+    sched.drain()
+    assert [m.payload.n for m in inboxes["B"]] == [3]
+
+
+def test_partition_blocks_cross_group_traffic():
+    sched, net, inboxes, _ = make_net()
+    net.partition({"A"}, {"B", "C"})
+    net.send("A", "B", Ping(1))
+    net.send("B", "C", Ping(2))
+    sched.drain()
+    assert inboxes["B"] == []
+    assert [m.payload.n for m in inboxes["C"]] == [2]
+
+
+def test_heal_partition():
+    sched, net, inboxes, _ = make_net()
+    net.partition({"A"}, {"B"})
+    net.heal_partition()
+    net.send("A", "B", Ping())
+    sched.drain()
+    assert len(inboxes["B"]) == 1
+
+
+def test_implicit_partition_group():
+    sched, net, inboxes, _ = make_net()
+    # C is not named: it forms its own implicit group.
+    net.partition({"A", "B"})
+    net.send("A", "C", Ping())
+    net.send("A", "B", Ping())
+    sched.drain()
+    assert inboxes["C"] == []
+    assert len(inboxes["B"]) == 1
+
+
+def test_drop_probability_drops_some():
+    config = NetworkConfig(drop_probability=0.5)
+    sched, net, inboxes, metrics = make_net(config=config)
+    for i in range(200):
+        net.send("A", "B", Ping(i))
+    sched.drain()
+    delivered = len(inboxes["B"])
+    assert 0 < delivered < 200
+    assert metrics.count("messages.lost") == 200 - delivered
+
+
+def test_in_flight_tracking():
+    sched, net, _, _ = make_net()
+    net.send("A", "B", Ping())
+    assert len(net.in_flight_messages()) == 1
+    sched.drain()
+    assert net.in_flight_messages() == []
+
+
+def test_message_metrics_by_kind():
+    sched, net, _, metrics = make_net()
+    net.send("A", "B", Ping())
+    net.send("B", "A", Ping())
+    sched.drain()
+    assert metrics.message_count("Ping") == 2
+    assert metrics.count("messages.total") == 2
+    assert metrics.count("messages.delivered") == 2
+
+
+def test_uniform_latency_within_bounds():
+    rng = RngRegistry(0).stream("x")
+    model = UniformLatency(2.0, 5.0)
+    for _ in range(100):
+        assert 2.0 <= model.sample(rng, "A", "B") <= 5.0

@@ -1,0 +1,109 @@
+"""Unit tests for the omniscient reachability oracle."""
+
+import pytest
+
+from repro.analysis import Oracle
+from repro.errors import OracleError
+from repro.mutator import Mutator
+from repro.workloads import GraphBuilder
+
+from ..conftest import make_sim
+
+
+def test_live_set_spans_sites():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    root = b.obj("P", "root", root=True)
+    far = b.obj("Q", "far")
+    b.link(root, far)
+    oracle = Oracle(sim)
+    assert oracle.live_set() == {b["root"], b["far"]}
+
+
+def test_garbage_set_complements_live():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    b.obj("P", "root", root=True)
+    stray = b.obj("Q", "stray")
+    oracle = Oracle(sim)
+    assert oracle.garbage_set() == {stray}
+
+
+def test_variable_roots_counted():
+    sim = make_sim(sites=("P",))
+    b = GraphBuilder(sim)
+    lone = b.obj("P", "lone")
+    sim.site("P").pin_variable(lone)
+    assert lone in Oracle(sim).live_set()
+
+
+def test_variable_outref_counted():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    remote = b.obj("Q", "remote")
+    sim.site("P").pin_variable(remote)
+    assert remote in Oracle(sim).live_set()
+
+
+def test_in_flight_refs_are_roots():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    home = b.obj("P", "home", root=True)
+    target = b.obj("Q", "target")
+    b.link(home, target)
+    m = Mutator(sim, "m", home)
+    m.traverse(target)
+    # Cut the only stored path while the hop is in flight.
+    sim.site("P").mutator_remove_ref(home, target)
+    oracle = Oracle(sim)
+    assert target in oracle.live_set()
+    sim.settle()
+    assert m.position == target
+    oracle.check_safety()
+
+
+def test_check_safety_detects_collected_live_object():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    root = b.obj("P", "root", root=True)
+    victim = b.obj("Q", "victim")
+    b.link(root, victim)
+    sim.site("Q").heap.delete(victim)  # simulate an unsafe collector
+    with pytest.raises(OracleError):
+        Oracle(sim).check_safety()
+
+
+def test_distributed_cyclic_garbage_detection():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    b.obj("P", "root", root=True)
+    p, q = b.obj("P", "p"), b.obj("Q", "q")
+    b.link(p, q)
+    b.link(q, p)
+    tail = b.obj("Q", "tail")
+    b.link(q, tail)  # acyclic garbage hanging off the cycle
+    lone = b.obj("P", "lone")  # acyclic garbage not on a cycle
+    oracle = Oracle(sim)
+    cyclic = oracle.distributed_cyclic_garbage()
+    assert cyclic == {p, q, tail}
+    assert lone in oracle.garbage_set()
+    assert lone not in cyclic
+
+
+def test_local_cycle_not_distributed():
+    sim = make_sim(sites=("P",))
+    b = GraphBuilder(sim)
+    a, c = b.obj("P", "a"), b.obj("P", "c")
+    b.link(a, c)
+    b.link(c, a)
+    oracle = Oracle(sim)
+    assert oracle.garbage_set() == {a, c}
+    assert oracle.distributed_cyclic_garbage() == set()
+
+
+def test_assert_no_garbage_raises_when_garbage():
+    sim = make_sim(sites=("P",))
+    b = GraphBuilder(sim)
+    b.obj("P", "stray")
+    with pytest.raises(OracleError):
+        Oracle(sim).assert_no_garbage()

@@ -1,0 +1,80 @@
+"""Unit tests for the canonical outset store (section 5.2 optimizations)."""
+
+from repro.core.backinfo.outsets import OutsetStore
+from repro.ids import ObjectId
+
+
+def oid(n):
+    return ObjectId("X", n)
+
+
+def test_empty_is_interned_at_zero():
+    store = OutsetStore()
+    assert store.get(OutsetStore.EMPTY) == frozenset()
+    assert store.intern(frozenset()) == OutsetStore.EMPTY
+
+
+def test_intern_is_idempotent():
+    store = OutsetStore()
+    members = frozenset({oid(1), oid(2)})
+    first = store.intern(members)
+    second = store.intern(members)
+    assert first == second
+    assert store.get(first) == members
+
+
+def test_add_creates_superset():
+    store = OutsetStore()
+    a = store.add(OutsetStore.EMPTY, oid(1))
+    ab = store.add(a, oid(2))
+    assert store.get(ab) == {oid(1), oid(2)}
+
+
+def test_add_existing_member_is_identity():
+    store = OutsetStore()
+    a = store.add(OutsetStore.EMPTY, oid(1))
+    assert store.add(a, oid(1)) == a
+
+
+def test_union_with_empty_is_identity():
+    store = OutsetStore()
+    a = store.add(OutsetStore.EMPTY, oid(1))
+    assert store.union(a, OutsetStore.EMPTY) == a
+    assert store.union(OutsetStore.EMPTY, a) == a
+    assert store.unions_computed == 0
+
+
+def test_union_of_subsets_reuses_superset_id():
+    store = OutsetStore()
+    a = store.intern(frozenset({oid(1)}))
+    ab = store.intern(frozenset({oid(1), oid(2)}))
+    assert store.union(a, ab) == ab
+
+
+def test_union_is_memoized_and_symmetric():
+    store = OutsetStore()
+    a = store.intern(frozenset({oid(1)}))
+    b = store.intern(frozenset({oid(2)}))
+    first = store.union(a, b)
+    assert store.unions_computed == 1
+    second = store.union(b, a)  # reversed order hits the memo
+    assert second == first
+    assert store.union_memo_hits == 1
+    assert store.unions_computed == 1
+    assert store.get(first) == {oid(1), oid(2)}
+
+
+def test_sharing_one_copy_per_distinct_set():
+    store = OutsetStore()
+    a1 = store.intern(frozenset({oid(1), oid(2)}))
+    a2 = store.union(store.intern(frozenset({oid(1)})), store.intern(frozenset({oid(2)})))
+    assert a1 == a2
+    # empty + {1} + {2} + {1,2} = 4 distinct sets stored.
+    assert len(store) == 4
+
+
+def test_storage_units_counts_elements():
+    store = OutsetStore()
+    store.intern(frozenset({oid(1), oid(2)}))
+    store.intern(frozenset({oid(3)}))
+    assert store.storage_units() == 3

@@ -1,0 +1,123 @@
+"""Focused tests for the random workload's individual operations and the
+mutator's hop-failure handling."""
+
+import pytest
+
+from repro.analysis import Oracle
+from repro.mutator import Mutator, RandomWorkload, WorkloadConfig
+from repro.workloads import GraphBuilder
+
+from ..conftest import make_sim
+
+
+def setup():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    home = b.obj("P", "home", root=True)
+    local = b.obj("P", "local")
+    remote = b.obj("Q", "remote")
+    b.link(home, local)
+    b.link(home, remote)
+    workload = RandomWorkload(sim, "w", home)
+    return sim, b, workload
+
+
+def test_hop_to_crashed_site_times_out_and_mutator_recovers():
+    sim, b, _ = setup()
+    mutator = Mutator(sim, "m", b["home"], hop_timeout=20.0)
+    sim.site("Q").crash()
+    mutator.traverse(b["remote"])
+    assert mutator.in_transit
+    sim.run_for(50.0)
+    assert not mutator.in_transit
+    assert mutator.position == b["home"]  # stayed put
+    assert mutator.hops_failed == 1
+    # Still operational: a local traverse works.
+    mutator.traverse(b["local"])
+    assert mutator.position == b["local"]
+    Oracle(sim).check_safety()
+
+
+def test_hop_timeout_cancelled_on_arrival():
+    sim, b, _ = setup()
+    mutator = Mutator(sim, "m", b["home"], hop_timeout=1000.0)
+    mutator.traverse(b["remote"])
+    sim.settle()
+    assert mutator.position == b["remote"]
+    sim.run_for(2000.0)  # the stale timer must not fire destructively
+    assert mutator.hops_failed == 0
+    assert mutator.position == b["remote"]
+
+
+def test_when_arrived_fires_on_failed_hop_too():
+    sim, b, _ = setup()
+    mutator = Mutator(sim, "m", b["home"], hop_timeout=20.0)
+    sim.site("Q").crash()
+    fired = []
+    mutator.traverse(b["remote"])
+    mutator.when_arrived(lambda: fired.append(mutator.position))
+    sim.run_for(50.0)
+    assert fired == [b["home"]]
+
+
+def test_op_stash_evicts_oldest():
+    sim, b, workload = setup()
+    workload.config = WorkloadConfig(max_stash=2)
+    for _ in range(5):
+        workload._op_stash()
+    assert len(workload._stash_names) <= 2
+    # The surviving stashes resolve.
+    for name in workload._stash_names:
+        workload.mutator.get_variable(name)
+
+
+def test_op_write_stash_without_stash_is_noop():
+    sim, b, workload = setup()
+    before = workload.mutator.current_refs()
+    workload._op_write_stash()
+    assert workload.mutator.current_refs() == before
+
+
+def test_op_remote_copy_uses_stashed_remote_holder():
+    sim, b, workload = setup()
+    workload.mutator.set_variable("stash0", b["remote"])
+    workload._stash_names.append("stash0")
+    workload._op_remote_copy()
+    sim.settle()
+    # Some reference of home was copied into the remote object.
+    copied = sim.site("Q").heap.get(b["remote"]).refs
+    assert copied
+    Oracle(sim).check_safety()
+
+
+def test_op_delete_and_alloc():
+    sim, b, workload = setup()
+    workload._op_alloc()
+    heap = sim.site("P").heap
+    assert len(heap.get(b["home"]).refs) == 3  # local, remote, newborn
+    before = len(heap.get(b["home"]).refs)
+    workload._op_delete()
+    assert len(heap.get(b["home"]).refs) == before - 1
+
+
+def test_go_home_when_current_object_collected():
+    sim, b, workload = setup()
+    mutator = workload.mutator
+    mutator.traverse(b["local"])
+    # Cut 'local' loose and force-collect it out from under the mutator by
+    # dropping its pin (simulating another app component freeing it).
+    sim.site("P").mutator_remove_ref(b["home"], b["local"])
+    sim.site("P").heap.unpin_variable(b["local"])
+    sim.site("P").run_local_trace()
+    assert mutator.current_object() is None
+    workload._random_op()  # must not raise; respawns at home
+    assert mutator.position == b["home"]
+
+
+def test_workload_on_crashed_home_site_is_inert():
+    sim, b, workload = setup()
+    sim.site("P").crash()
+    workload.start()
+    sim.run_for(200.0)
+    # No exceptions; ops executed but all degraded to no-ops/go-home tries.
+    assert workload.mutator.position == b["home"]

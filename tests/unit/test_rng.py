@@ -1,0 +1,37 @@
+"""Unit tests for named seeded RNG streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_same_stream_object():
+    reg = RngRegistry(7)
+    assert reg.stream("a") is reg.stream("a")
+
+
+def test_streams_deterministic_across_registries():
+    first = RngRegistry(7).stream("net").random()
+    second = RngRegistry(7).stream("net").random()
+    assert first == second
+
+
+def test_different_names_are_independent():
+    reg = RngRegistry(7)
+    a = [reg.stream("a").random() for _ in range(5)]
+    b = [RngRegistry(7).stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("x").random()
+    b = RngRegistry(2).stream("x").random()
+    assert a != b
+
+
+def test_new_stream_does_not_perturb_existing():
+    reg1 = RngRegistry(5)
+    s = reg1.stream("main")
+    first = s.random()
+    reg2 = RngRegistry(5)
+    reg2.stream("other")  # extra stream created first
+    s2 = reg2.stream("main")
+    assert s2.random() == first

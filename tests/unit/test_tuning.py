@@ -1,0 +1,149 @@
+"""Unit and integration tests for adaptive threshold tuning (section 3)."""
+
+import pytest
+
+from repro import GcConfig
+from repro.analysis import Oracle
+from repro.core.backtrace.messages import TraceOutcome
+from repro.core.tuning import ThresholdTuner
+from repro.errors import ConfigError
+from repro.gc.inrefs import InrefTable
+from repro.gc.outrefs import OutrefTable
+from repro.workloads import GraphBuilder, build_ring_cycle
+
+from ..conftest import collect_until_clean, make_sim
+
+
+def make_tuner(threshold=4, **kwargs):
+    inrefs = InrefTable("P", suspicion_threshold=threshold, initial_back_threshold=12)
+    outrefs = OutrefTable("P", initial_back_threshold=12)
+    return ThresholdTuner(inrefs, outrefs=outrefs, assumed_cycle_length=8, **kwargs), inrefs, outrefs
+
+
+def test_live_heavy_window_raises_threshold():
+    tuner, inrefs, outrefs = make_tuner(window=4)
+    for _ in range(4):
+        tuner.observe(TraceOutcome.LIVE)
+    assert inrefs.suspicion_threshold == 6
+    assert inrefs.initial_back_threshold == 14
+    assert outrefs.initial_back_threshold == 14
+    assert tuner.adjustments_up == 1
+
+
+def test_garbage_only_window_lowers_toward_floor():
+    tuner, inrefs, _ = make_tuner(window=2)
+    # Raise first.
+    tuner.observe(TraceOutcome.LIVE)
+    tuner.observe(TraceOutcome.LIVE)
+    assert inrefs.suspicion_threshold == 6
+    # Two garbage-only windows drift back to the floor.
+    for _ in range(4):
+        tuner.observe(TraceOutcome.GARBAGE)
+    assert inrefs.suspicion_threshold == 4
+    assert tuner.adjustments_down == 2
+
+
+def test_never_below_floor_or_above_ceiling():
+    tuner, inrefs, _ = make_tuner(window=1, ceiling=7)
+    for _ in range(10):
+        tuner.observe(TraceOutcome.GARBAGE)
+    assert inrefs.suspicion_threshold == 4  # the floor
+    for _ in range(10):
+        tuner.observe(TraceOutcome.LIVE)
+    assert inrefs.suspicion_threshold == 7  # the ceiling
+
+
+def test_mixed_window_below_trigger_no_change():
+    tuner, inrefs, _ = make_tuner(window=4, live_ratio_trigger=0.75)
+    for verdict in (TraceOutcome.LIVE, TraceOutcome.GARBAGE,
+                    TraceOutcome.LIVE, TraceOutcome.GARBAGE):
+        tuner.observe(verdict)
+    assert inrefs.suspicion_threshold == 4
+    assert tuner.adjustments_up == 0 and tuner.adjustments_down == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"window": 0},
+        {"live_ratio_trigger": 0.0},
+        {"live_ratio_trigger": 1.5},
+        {"increase_step": 0},
+        {"ceiling": 1},
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        make_tuner(**kwargs)
+
+
+def _churn_live_chains(tuning_enabled, generations=6):
+    """Repeatedly build fresh live chains (new iorefs trigger abortive
+    traces each time); return (sim, abortive trace count, raises)."""
+    gc = GcConfig(
+        suspicion_threshold=2,
+        assumed_cycle_length=1,   # trigger early: abortive traces abound
+        enable_threshold_tuning=tuning_enabled,
+    )
+    sites = [f"s{i}" for i in range(6)]
+    sim = make_sim(sites=sites, gc=gc)
+    b = GraphBuilder(sim)
+    root = b.obj("s0", root=True)
+    previous_head = None
+    for _ in range(generations):
+        members = [b.obj(site) for site in sites[1:]]
+        sim.site("s0").mutator_add_ref(root, members[0])
+        b.link(members[0], members[1])
+        for left, right in zip(members[1:], members[2:]):
+            b.link(left, right)
+        if previous_head is not None:
+            sim.site("s0").mutator_remove_ref(root, previous_head)
+        previous_head = members[0]
+        for _ in range(6):
+            sim.run_gc_round()
+    raises = sum(
+        site.tuner.adjustments_up
+        for site in sim.sites.values()
+        if site.tuner is not None
+    )
+    return sim, sim.metrics.count("backtrace.completed_live"), raises
+
+
+def test_tuning_reduces_abortive_traces_on_live_churn():
+    """End to end A/B: recurring fresh live chains provoke abortive traces;
+    the tuner raises T so later generations are no longer suspected, cutting
+    the abortive trace count versus the untuned system."""
+    _, abortive_untuned, _ = _churn_live_chains(tuning_enabled=False)
+    sim, abortive_tuned, raises = _churn_live_chains(tuning_enabled=True)
+    assert raises >= 1
+    assert abortive_tuned < abortive_untuned
+    # At least one site now holds a raised threshold.
+    assert any(
+        site.inrefs.suspicion_threshold > 2 for site in sim.sites.values()
+    )
+
+
+def test_tuning_preserves_completeness():
+    """Raised thresholds must not stop garbage collection: distances grow
+    past any finite T."""
+    gc = GcConfig(
+        suspicion_threshold=2,
+        assumed_cycle_length=1,
+        enable_threshold_tuning=True,
+    )
+    sites = [f"s{i}" for i in range(5)]
+    sim = make_sim(sites=sites, gc=gc)
+    # A live chain that provokes upward tuning...
+    b = GraphBuilder(sim)
+    root = b.obj("s0", "root", root=True)
+    members = [b.obj(site) for site in sites[1:]]
+    b.link(root, members[0])
+    for left, right in zip(members, members[1:]):
+        b.link(left, right)
+    # ...plus a garbage ring that must still die.
+    ring = build_ring_cycle(sim, sites)
+    for _ in range(3):
+        sim.run_gc_round()
+    ring.make_garbage(sim)
+    oracle = Oracle(sim)
+    collect_until_clean(sim, oracle, max_rounds=100)

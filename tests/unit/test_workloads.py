@@ -1,0 +1,135 @@
+"""Unit tests for workload generators and the graph builder."""
+
+import pytest
+
+from repro.analysis import Oracle
+from repro.errors import SimulationError
+from repro.workloads import (
+    GraphBuilder,
+    build_chain_across_sites,
+    build_clique_cycle,
+    build_hypertext_web,
+    build_random_clustered_graph,
+    build_ring_cycle,
+)
+
+from ..conftest import make_sim
+
+
+def test_builder_labels_and_resolution():
+    sim = make_sim(sites=("P",))
+    b = GraphBuilder(sim)
+    oid = b.obj("P", "a")
+    assert b["a"] == oid
+    assert b.resolve("a") == oid
+    assert b.resolve(oid) == oid
+    with pytest.raises(SimulationError):
+        b["nope"]
+    with pytest.raises(SimulationError):
+        b.obj("P", "a")
+
+
+def test_builder_link_maintains_tables():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    src = b.obj("P", "src")
+    dst = b.obj("Q", "dst")
+    b.link(src, dst)
+    assert dst in sim.site("P").outrefs
+    assert "P" in sim.site("Q").inrefs.require(dst).sources
+
+
+def test_builder_local_link_no_tables():
+    sim = make_sim(sites=("P",))
+    b = GraphBuilder(sim)
+    src, dst = b.obj("P", "s"), b.obj("P", "d")
+    b.link(src, dst)
+    assert len(sim.site("P").outrefs) == 0
+    assert len(sim.site("P").inrefs) == 0
+
+
+def test_link_cycle_closes_loop():
+    sim = make_sim(sites=("P", "Q"))
+    b = GraphBuilder(sim)
+    x, y = b.obj("P", "x"), b.obj("Q", "y")
+    b.link_cycle([x, y])
+    assert sim.site("P").heap.get(x).holds_ref(y)
+    assert sim.site("Q").heap.get(y).holds_ref(x)
+
+
+def test_ring_cycle_shape():
+    sim = make_sim(sites=("P", "Q", "R"))
+    w = build_ring_cycle(sim, ["P", "Q", "R"], objects_per_site=2)
+    assert len(w.cycle) == 6
+    assert w.inter_site_edges == 3
+    oracle = Oracle(sim)
+    assert oracle.garbage_set() == set()
+    w.make_garbage(sim)
+    assert set(w.cycle) <= oracle.garbage_set()
+    assert oracle.distributed_cyclic_garbage() >= set(w.cycle)
+
+
+def test_clique_cycle_edge_count():
+    sim = make_sim(sites=("P", "Q", "R"))
+    w = build_clique_cycle(sim, ["P", "Q", "R"])
+    assert w.inter_site_edges == 6
+    outref_counts = sum(len(sim.site(s).outrefs) for s in ("P", "Q", "R"))
+    assert outref_counts == 6
+
+
+def test_chain_is_acyclic_garbage_when_cut():
+    sim = make_sim(sites=("P", "Q", "R"))
+    w = build_chain_across_sites(sim, ["P", "Q", "R"])
+    oracle = Oracle(sim)
+    w.make_garbage(sim)
+    assert set(w.cycle) <= oracle.garbage_set()
+    assert oracle.distributed_cyclic_garbage() == set()
+
+
+def test_random_clustered_graph_statistics():
+    sim = make_sim(sites=("A", "B", "C", "D"))
+    w = build_random_clustered_graph(
+        sim, ["A", "B", "C", "D"], objects_per_site=30, seed=3
+    )
+    assert len(w.objects) == 120
+    assert w.roots
+    total_remote = len(w.inter_site_edges)
+    assert 0 < total_remote < w.local_edges
+
+
+def test_random_clustered_graph_deterministic():
+    sim1 = make_sim(sites=("A", "B"))
+    sim2 = make_sim(sites=("A", "B"))
+    w1 = build_random_clustered_graph(sim1, ["A", "B"], seed=5)
+    w2 = build_random_clustered_graph(sim2, ["A", "B"], seed=5)
+    assert w1.inter_site_edges == w2.inter_site_edges
+
+
+def test_hypertext_web_structure():
+    sim = make_sim(sites=("P", "Q", "R"))
+    web = build_hypertext_web(sim, ["P", "Q", "R"], documents_per_site=2, seed=1)
+    assert len(web.documents) == 6
+    assert web.catalog in sim.site("P").heap.persistent_roots
+    assert web.catalog_entries
+    # Every document has its sections linked both ways.
+    doc = web.documents[0]
+    heap = sim.site(doc.site).heap
+    for section in doc.sections:
+        assert heap.get(doc.title_page).holds_ref(section)
+        assert heap.get(section).holds_ref(doc.title_page)
+
+
+def test_hypertext_unlink_creates_garbage_sometimes():
+    sim = make_sim(sites=("P", "Q", "R"))
+    web = build_hypertext_web(
+        sim, ["P", "Q", "R"], documents_per_site=3, citations_per_document=1,
+        catalog_fraction=1.0, seed=2,
+    )
+    oracle = Oracle(sim)
+    assert oracle.garbage_set() == set()
+    for index in list(web.catalog_entries):
+        web.unlink_from_catalog(sim, index)
+    # With every catalog entry cut, all documents are garbage.
+    garbage = oracle.garbage_set()
+    for doc in web.documents:
+        assert set(doc.objects) <= garbage
