@@ -63,8 +63,10 @@ def cmd_figures(args: argparse.Namespace) -> int:
     scenario = build_figure2(seed=args.seed)
     sim = scenario.sim
     for entry in sim.site("Q").inrefs.entries():
-        for source in entry.sources:
-            entry.sources[source] = 9
+        for source in list(entry.sources):
+            # Through the entry API so the table's distance epoch advances
+            # and the incremental trace below sees the change.
+            entry.set_source_distance(source, 9)
     sim.site("Q").run_local_trace()
     for entry in sim.site("Q").outrefs.entries():
         inset = ",".join(str(x) for x in sorted(entry.inset))

@@ -91,6 +91,15 @@ class GcConfig:
     # over the same cycle.  Disjoint cycles still each get a trace, since
     # every site checks after every local trace.
     max_traces_per_trigger_check: int = 1
+    # Incremental local traces: sites track mutation epochs on the heap and
+    # the ioref tables, cache the last committed trace result, and skip (or
+    # distance-only fast-path) a gc tick when nothing relevant changed since.
+    # ``full_trace_every_n`` is the safety net: at most that many consecutive
+    # ticks may resolve incrementally before a full trace (which also sends a
+    # full update refresh) is forced, bounding the lifetime of any state a
+    # missed invalidation could leave stale.
+    incremental_traces: bool = True
+    full_trace_every_n: int = 8
     # Every n-th local trace resends the distances of *all* outrefs instead
     # of only the changed ones.  Update messages are idempotent state
     # transfers (the fault-tolerant reference listing of [ML94]), so this
@@ -117,6 +126,8 @@ class GcConfig:
             raise ConfigError("backtrace_timeout must be > 0")
         if self.full_update_period < 1:
             raise ConfigError("full_update_period must be >= 1")
+        if self.full_trace_every_n < 1:
+            raise ConfigError("full_trace_every_n must be >= 1")
         if self.max_traces_per_trigger_check < 1:
             raise ConfigError("max_traces_per_trigger_check must be >= 1")
         if self.defer_delay <= 0:

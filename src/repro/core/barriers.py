@@ -20,6 +20,11 @@ path, and the overlap forces Live.
 Non-atomic local traces (section 6.2): while a trace is computing, barriers
 clean the *old* copy as usual, and this module additionally records the
 cleaned inrefs so the site can replay them onto the *new* copy at commit.
+
+Incremental traces: every barrier clean flows through the ioref entry
+properties, which bump the owning table's structure epoch -- so a tick after
+a barrier hit (including replays inside a trace window) never skips, and the
+clean flags expire at a real retrace exactly as before.
 """
 
 from __future__ import annotations

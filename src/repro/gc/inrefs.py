@@ -14,7 +14,7 @@ cleaned it since the last local trace.  Otherwise it is *suspected*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set
 
 from ..errors import GcInvariantError
 from ..ids import ObjectId, SiteId, TraceId
@@ -23,14 +23,52 @@ INFINITE_DISTANCE = 10**9
 """Sentinel for 'unreachable'; the paper's 'distance of garbage is infinity'."""
 
 
+class _SourceMap(dict):
+    """Per-source distance map that notifies its entry on every change.
+
+    Tests and scenario builders routinely poke ``entry.sources[site] = d``
+    directly; routing notification through the mapping itself means those
+    writes still advance the table's distance epoch, keeping the incremental
+    trace's dirty tracking airtight.
+    """
+
+    __slots__ = ("entry",)
+
+    def __init__(self, entry: "InrefEntry", initial=()):
+        super().__init__(initial)
+        self.entry = entry
+
+    def __setitem__(self, site: SiteId, distance: int) -> None:
+        if self.get(site) == distance and site in self:
+            return
+        super().__setitem__(site, distance)
+        self.entry._distance_changed()
+
+    def __delitem__(self, site: SiteId) -> None:
+        super().__delitem__(site)
+        self.entry._distance_changed()
+
+    def pop(self, site, *default):
+        present = site in self
+        value = super().pop(site, *default)
+        if present:
+            self.entry._distance_changed()
+        return value
+
+
 @dataclass
 class InrefEntry:
-    """One incoming reference: a local object plus its remote source list."""
+    """One incoming reference: a local object plus its remote source list.
+
+    ``garbage`` and ``barrier_clean`` are properties so that *any* writer --
+    the back-trace engine, the transfer barrier, a baseline collector --
+    automatically bumps the owning table's structure epoch; distance changes
+    flow through the three source-list methods and bump the distance epoch.
+    The incremental local trace depends on these notifications.
+    """
 
     target: ObjectId
     sources: Dict[SiteId, int] = field(default_factory=dict)
-    garbage: bool = False
-    barrier_clean: bool = False
     visited: Set[TraceId] = field(default_factory=set)
     back_threshold: int = 0
     # Outset of this inref as of the last local trace (suspected outrefs
@@ -38,6 +76,46 @@ class InrefEntry:
     # outrefs when the inref is cleaned (section 6.1.1); it is also the dual
     # of the insets stored on outrefs.
     outset: FrozenSet[ObjectId] = frozenset()
+    _garbage: bool = field(default=False, repr=False)
+    _barrier_clean: bool = field(default=False, repr=False)
+    _on_structure_change: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    _on_distance_change: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sources, _SourceMap):
+            self.sources = _SourceMap(self, self.sources)
+
+    def _structure_changed(self) -> None:
+        if self._on_structure_change is not None:
+            self._on_structure_change()
+
+    def _distance_changed(self) -> None:
+        if self._on_distance_change is not None:
+            self._on_distance_change()
+
+    @property
+    def garbage(self) -> bool:
+        return self._garbage
+
+    @garbage.setter
+    def garbage(self, value: bool) -> None:
+        if value != self._garbage:
+            self._garbage = value
+            self._structure_changed()
+
+    @property
+    def barrier_clean(self) -> bool:
+        return self._barrier_clean
+
+    @barrier_clean.setter
+    def barrier_clean(self, value: bool) -> None:
+        if value != self._barrier_clean:
+            self._barrier_clean = value
+            self._structure_changed()
 
     @property
     def distance(self) -> int:
@@ -89,9 +167,43 @@ class InrefTable:
 
     def __init__(self, site_id: SiteId, suspicion_threshold: int, initial_back_threshold: int):
         self.site_id = site_id
-        self.suspicion_threshold = suspicion_threshold
+        self._suspicion_threshold = suspicion_threshold
         self.initial_back_threshold = initial_back_threshold
         self._entries: Dict[ObjectId, InrefEntry] = {}
+        self._structure_epoch = 0
+        self._distance_epoch = 0
+
+    # -- mutation epochs --------------------------------------------------------
+    #
+    # ``structure_epoch`` advances on changes that can alter which entries
+    # exist or how they classify (creation, deletion, garbage flags, barrier
+    # cleans, threshold moves); ``distance_epoch`` advances on distance-only
+    # changes.  The split lets the incremental local trace run its cheap
+    # distance-only reconciliation when nothing structural moved.
+
+    @property
+    def structure_epoch(self) -> int:
+        return self._structure_epoch
+
+    @property
+    def distance_epoch(self) -> int:
+        return self._distance_epoch
+
+    def bump_structure(self) -> None:
+        self._structure_epoch += 1
+
+    def bump_distance(self) -> None:
+        self._distance_epoch += 1
+
+    @property
+    def suspicion_threshold(self) -> int:
+        return self._suspicion_threshold
+
+    @suspicion_threshold.setter
+    def suspicion_threshold(self, value: int) -> None:
+        if value != self._suspicion_threshold:
+            self._suspicion_threshold = value
+            self.bump_structure()  # clean/suspected classification may flip
 
     # -- basic access ---------------------------------------------------------
 
@@ -129,12 +241,16 @@ class InrefTable:
             entry = InrefEntry(
                 target=target, back_threshold=self.initial_back_threshold
             )
+            entry._on_structure_change = self.bump_structure
+            entry._on_distance_change = self.bump_distance
             self._entries[target] = entry
+            self.bump_structure()
         entry.add_source(source, distance)
         return entry
 
     def remove(self, target: ObjectId) -> None:
-        self._entries.pop(target, None)
+        if self._entries.pop(target, None) is not None:
+            self.bump_structure()
 
     def remove_source(self, target: ObjectId, source: SiteId) -> None:
         """Apply an update-message removal; drop the entry when empty."""
@@ -144,6 +260,7 @@ class InrefTable:
         entry.remove_source(source)
         if entry.empty:
             del self._entries[target]
+            self.bump_structure()
 
     # -- views used by the collector ----------------------------------------------
 

@@ -48,6 +48,14 @@ from .update import UpdatePayload
 class LocalTraceResult:
     """Everything one local trace decided, ready to be committed."""
 
+    # "full" or "fast" (distance-only reconciliation reusing the cached
+    # reachability sets); skipped ticks never produce a result at all.
+    mode: str = "full"
+    # True when this full trace was forced by the incremental safety net
+    # (``full_trace_every_n``); it then also sends a full update refresh.
+    forced_full: bool = False
+    # The variable-held outrefs the trace was computed against (cache key).
+    variable_outrefs: FrozenSet[ObjectId] = frozenset()
     clean_objects: Set[ObjectId] = field(default_factory=set)
     suspected_objects: Set[ObjectId] = field(default_factory=set)
     outsets: Dict[ObjectId, FrozenSet[ObjectId]] = field(default_factory=dict)
@@ -69,6 +77,23 @@ class LocalTraceResult:
         return self.clean_objects | self.suspected_objects
 
 
+@dataclass
+class _TraceCache:
+    """The last committed trace plus the state it was committed against.
+
+    ``epochs`` is (heap mutation, inref structure, inref distance, outref
+    mutation) captured at the end of commit; ``inref_distances`` and
+    ``inref_clean`` record each inref's distance and classification so a
+    distance-epoch bump can be vetted entry by entry.
+    """
+
+    result: LocalTraceResult
+    epochs: Tuple[int, int, int, int]
+    variable_outrefs: FrozenSet[ObjectId]
+    inref_distances: Dict[ObjectId, int]
+    inref_clean: Dict[ObjectId, bool]
+
+
 class LocalCollector:
     """Runs local traces for one site."""
 
@@ -87,12 +112,92 @@ class LocalCollector:
         self.metrics = metrics or MetricsRecorder()
         self._last_reported_distance: Dict[Tuple[SiteId, ObjectId], int] = {}
         self.traces_run = 0
+        # Incremental-trace state (the mutation-epoch / dirty-tracking layer).
+        self._cached: Optional[_TraceCache] = None
+        self._ticks_since_full = 0
+        self._periodic_full_due = False
+        self._epochs_at_compute: Optional[Tuple[int, int, int, int]] = None
+
+    # -- incremental planning ----------------------------------------------------
+
+    def _current_epochs(self) -> Tuple[int, int, int, int]:
+        return (
+            self.heap.mutation_epoch,
+            self.inrefs.structure_epoch,
+            self.inrefs.distance_epoch,
+            self.outrefs.mutation_epoch,
+        )
+
+    def plan_trace(self, variable_outrefs: Iterable[ObjectId] = ()) -> str:
+        """Decide how the next gc tick should resolve: skip, fast, or full.
+
+        - ``"skip"``: nothing relevant changed since the cached committed
+          trace; retracing would recompute identical tables and (thanks to
+          the ``_last_reported_distance`` dedup) send no new updates.
+        - ``"fast"``: only distances of suspected inrefs moved, and no inref
+          crossed the suspicion threshold; reachability, outsets and insets
+          are unchanged, so only suspected outref distances need
+          reconciliation (no heap scan).
+        - ``"full"``: anything else -- heap or table structure changed, a
+          clean inref's distance moved (the clean-phase Dijkstra depends on
+          it), a classification flipped, or the periodic safety net is due.
+        """
+        self._ticks_since_full += 1
+        cache = self._cached
+        if not self.config.incremental_traces or cache is None:
+            return "full"
+        if self._ticks_since_full > self.config.full_trace_every_n:
+            self._periodic_full_due = True
+            return "full"
+        now = self._current_epochs()
+        if (now[0], now[1], now[3]) != (cache.epochs[0], cache.epochs[1], cache.epochs[3]):
+            return "full"
+        if frozenset(variable_outrefs) != cache.variable_outrefs:
+            return "full"
+        if now[2] == cache.epochs[2]:
+            return "skip"
+        # Distance epoch moved: vet each entry.  The structure epoch being
+        # unchanged guarantees the entry *set* matches the cache.
+        threshold = self.inrefs.suspicion_threshold
+        any_changed = False
+        for entry in self.inrefs.entries():
+            clean_now = entry.is_clean(threshold)
+            if clean_now != cache.inref_clean.get(entry.target):
+                return "full"
+            if entry.distance != cache.inref_distances.get(entry.target):
+                if clean_now:
+                    return "full"
+                any_changed = True
+        if not any_changed:
+            # Source-list churn that left every min-distance alone (e.g. a
+            # redundant insert): the cached result still holds verbatim.
+            self._cached = _TraceCache(
+                result=cache.result,
+                epochs=now,
+                variable_outrefs=cache.variable_outrefs,
+                inref_distances=cache.inref_distances,
+                inref_clean=cache.inref_clean,
+            )
+            return "skip"
+        return "fast"
+
+    def record_skip(self) -> None:
+        """Book-keeping for a tick resolved without any trace."""
+        self.metrics.incr("gc.traces_skipped")
 
     # -- computation ------------------------------------------------------------
 
-    def compute(self, variable_outrefs: Iterable[ObjectId] = ()) -> LocalTraceResult:
+    def compute(
+        self, variable_outrefs: Iterable[ObjectId] = (), mode: str = "full"
+    ) -> LocalTraceResult:
         """Decide the outcome of a local trace without changing any state."""
+        self._epochs_at_compute = self._current_epochs()
+        if mode == "fast":
+            return self._compute_fast(variable_outrefs)
         result = LocalTraceResult()
+        result.forced_full = self._periodic_full_due
+        result.variable_outrefs = frozenset(variable_outrefs)
+        self._periodic_full_due = False
         result.snapshot_outrefs = set(self.outrefs.targets())
         result.snapshot_objects = set(self.heap.object_ids())
         # Read the (possibly tuner-adjusted) live threshold off the table,
@@ -160,6 +265,51 @@ class LocalCollector:
         self._record_metrics(result)
         return result
 
+    def _compute_fast(self, variable_outrefs: Iterable[ObjectId]) -> LocalTraceResult:
+        """Distance-only reconciliation against the cached committed trace.
+
+        Valid only when :meth:`plan_trace` returned ``"fast"``: the heap, the
+        table structures, the classifications, and all *clean* inref
+        distances are unchanged, so reachability (clean/suspected sets),
+        outsets, insets, and clean-outref distances can be reused verbatim.
+        Only suspected outref distances -- ``1 + min`` over their insets'
+        inref distances, exactly phase 3 of the full trace -- are recomputed.
+        No object is scanned.
+        """
+        cache = self._cached
+        assert cache is not None, "fast trace without a cached result"
+        prev = cache.result
+        result = LocalTraceResult(mode="fast")
+        result.variable_outrefs = frozenset(variable_outrefs)
+        result.snapshot_outrefs = set(self.outrefs.targets())
+        result.snapshot_objects = set(self.heap.object_ids())
+        result.clean_objects = set(prev.clean_objects)
+        result.suspected_objects = set(prev.suspected_objects)
+        result.outsets = dict(prev.outsets)
+        result.insets = dict(prev.insets)
+        result.clean_phase = prev.clean_phase
+        result.backinfo = prev.backinfo
+        for target, (clean, distance) in prev.outref_states.items():
+            if clean:
+                result.outref_states[target] = (True, distance)
+        inref_distance = {
+            entry.target: entry.distance for entry in self.inrefs.entries()
+        }
+        for target, inset in result.insets.items():
+            distances = [inref_distance.get(i, 0) for i in inset]
+            distance = 1 + (min(distances) if distances else 0)
+            result.outref_states[target] = (False, distance)
+        pinned = {
+            entry.target for entry in self.outrefs.entries() if entry.pin_count > 0
+        }
+        result.kept_pinned = pinned - set(result.outref_states)
+        for target in result.snapshot_outrefs:
+            if target not in result.outref_states and target not in result.kept_pinned:
+                result.removals.append(target)
+        self.metrics.incr("gc.local_traces")
+        self.metrics.incr("gc.traces_fast_path")
+        return result
+
     def _build_updates(self, result: LocalTraceResult) -> None:
         """Batch removals and distance changes per target site.
 
@@ -171,7 +321,10 @@ class LocalCollector:
         resynchronizes targets that missed earlier messages -- updates are
         idempotent, so duplicates are harmless.
         """
-        full_refresh = self.traces_run % self.config.full_update_period == 0
+        full_refresh = (
+            self.traces_run % self.config.full_update_period == 0
+            or result.forced_full
+        )
         distances_by_site: Dict[SiteId, List[Tuple[ObjectId, int]]] = {}
         removals_by_site: Dict[SiteId, List[ObjectId]] = {}
         entries = sorted(self.outrefs.entries(), key=lambda entry: entry.target)
@@ -202,10 +355,13 @@ class LocalCollector:
     def _record_metrics(self, result: LocalTraceResult) -> None:
         metrics = self.metrics
         metrics.incr("gc.local_traces")
+        metrics.incr("gc.traces_full")
         if result.clean_phase is not None:
             metrics.incr("gc.clean_objects_scanned", result.clean_phase.objects_scanned)
+            metrics.incr("gc.objects_scanned", result.clean_phase.objects_scanned)
         if result.backinfo is not None:
             metrics.incr("gc.suspected_objects_scanned", result.backinfo.objects_scanned)
+            metrics.incr("gc.objects_scanned", result.backinfo.objects_scanned)
             metrics.incr("backinfo.unions_computed", result.backinfo.unions_computed)
             metrics.incr("backinfo.union_memo_hits", result.backinfo.union_memo_hits)
             metrics.observe("backinfo.distinct_outsets", result.backinfo.distinct_outsets)
@@ -226,6 +382,10 @@ class LocalCollector:
         status and that of the outrefs in their *new* outsets is re-applied
         on the new tables.  Returns the list of swept object ids.
         """
+        # Anything (messages, barriers) that slipped in between compute and
+        # commit -- only possible for non-atomic traces -- makes the computed
+        # result unsafe to cache: the next tick must retrace.
+        interleaved = self._current_epochs() != self._epochs_at_compute
         # Rewrite outref entries.
         for target in result.removals:
             entry = self.outrefs.get(target)
@@ -278,6 +438,24 @@ class LocalCollector:
         # Build outgoing updates from the committed table state.
         self._build_updates(result)
         self.traces_run += 1
+        if result.mode == "full":
+            self._ticks_since_full = 0
+        if self.config.incremental_traces and not interleaved:
+            threshold = self.inrefs.suspicion_threshold
+            self._cached = _TraceCache(
+                result=result,
+                epochs=self._current_epochs(),
+                variable_outrefs=result.variable_outrefs,
+                inref_distances={
+                    entry.target: entry.distance for entry in self.inrefs.entries()
+                },
+                inref_clean={
+                    entry.target: entry.is_clean(threshold)
+                    for entry in self.inrefs.entries()
+                },
+            )
+        else:
+            self._cached = None
         return swept
 
     def run(

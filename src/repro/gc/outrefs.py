@@ -18,7 +18,7 @@ the insert barrier pins it (section 6.1.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set
 
 from ..errors import GcInvariantError
 from ..ids import ObjectId, SiteId, TraceId
@@ -26,17 +26,40 @@ from ..ids import ObjectId, SiteId, TraceId
 
 @dataclass
 class OutrefEntry:
-    """One outgoing reference: a remote object id plus collector state."""
+    """One outgoing reference: a remote object id plus collector state.
+
+    ``barrier_clean`` is a property and pin/unpin notify the owning table, so
+    every semantically relevant change bumps the table's mutation epoch for
+    the incremental local trace.  ``traced_clean``/``distance``/``inset`` are
+    written only by the local trace commit itself and stay plain fields.
+    """
 
     target: ObjectId
     distance: int = 1
     traced_clean: bool = True
-    barrier_clean: bool = False
     pin_count: int = 0
     inset: FrozenSet[ObjectId] = frozenset()
     visited: Set[TraceId] = field(default_factory=set)
     back_threshold: int = 0
     reached_by_last_trace: bool = True
+    _barrier_clean: bool = field(default=False, repr=False)
+    _on_change: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _changed(self) -> None:
+        if self._on_change is not None:
+            self._on_change()
+
+    @property
+    def barrier_clean(self) -> bool:
+        return self._barrier_clean
+
+    @barrier_clean.setter
+    def barrier_clean(self, value: bool) -> None:
+        if value != self._barrier_clean:
+            self._barrier_clean = value
+            self._changed()
 
     @property
     def is_clean(self) -> bool:
@@ -51,11 +74,13 @@ class OutrefEntry:
         """Insert barrier: retain this outref, clean, until the owner has
         received the insert message (section 6.1.2)."""
         self.pin_count += 1
+        self._changed()
 
     def unpin(self) -> None:
         if self.pin_count <= 0:
             raise GcInvariantError(f"unbalanced unpin on outref {self.target}")
         self.pin_count -= 1
+        self._changed()
 
 
 class OutrefTable:
@@ -65,6 +90,17 @@ class OutrefTable:
         self.site_id = site_id
         self.initial_back_threshold = initial_back_threshold
         self._entries: Dict[ObjectId, OutrefEntry] = {}
+        self._mutation_epoch = 0
+        self._order_dirty = False
+
+    # -- mutation epoch ----------------------------------------------------------
+
+    @property
+    def mutation_epoch(self) -> int:
+        return self._mutation_epoch
+
+    def bump(self) -> None:
+        self._mutation_epoch += 1
 
     # -- basic access -----------------------------------------------------------
 
@@ -105,18 +141,36 @@ class OutrefTable:
                 traced_clean=clean,
                 back_threshold=self.initial_back_threshold,
             )
+            entry._on_change = self.bump
             self._entries[target] = entry
+            self._order_dirty = True
+            self.bump()
         return entry
 
     def remove(self, target: ObjectId) -> None:
-        self._entries.pop(target, None)
+        if self._entries.pop(target, None) is not None:
+            self.bump()
 
     # -- views ---------------------------------------------------------------------
 
+    def _ensure_order(self) -> None:
+        """Keep ``_entries`` sorted by target, re-sorting only after inserts.
+
+        Deletions preserve order, so in steady state the views below iterate
+        an already-ordered dict and callers (the per-tick back-trace trigger
+        check in particular) never pay a per-call ``sorted()``.
+        """
+        if self._order_dirty:
+            self._entries = dict(sorted(self._entries.items()))
+            self._order_dirty = False
+
     def suspected_entries(self) -> List[OutrefEntry]:
+        """Suspected entries in deterministic (target) order."""
+        self._ensure_order()
         return [entry for entry in self._entries.values() if entry.is_suspected]
 
     def clean_entries(self) -> List[OutrefEntry]:
+        self._ensure_order()
         return [entry for entry in self._entries.values() if entry.is_clean]
 
     def is_clean(self, target: ObjectId) -> bool:

@@ -23,13 +23,18 @@ class _Event:
     seq: int
     callback: Optional[EventCallback] = field(compare=False)
     label: str = field(compare=False, default="")
+    owner: Optional["Scheduler"] = field(compare=False, default=None)
 
     @property
     def cancelled(self) -> bool:
         return self.callback is None
 
     def cancel(self) -> None:
+        if self.callback is None:
+            return
         self.callback = None
+        if self.owner is not None:
+            self.owner._live_events -= 1
 
 
 class EventHandle:
@@ -62,6 +67,7 @@ class Scheduler:
         self._seq = 0
         self._queue: List[_Event] = []
         self._events_fired = 0
+        self._live_events = 0
 
     @property
     def now(self) -> float:
@@ -70,8 +76,9 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of queued, not-yet-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued, not-yet-cancelled events (O(1): a live counter
+        maintained on schedule/cancel/fire, not a queue scan)."""
+        return self._live_events
 
     @property
     def events_fired(self) -> int:
@@ -104,9 +111,10 @@ class Scheduler:
         return self._push(time, callback, label)
 
     def _push(self, time: float, callback: EventCallback, label: str) -> EventHandle:
-        event = _Event(time=time, seq=self._seq, callback=callback, label=label)
+        event = _Event(time=time, seq=self._seq, callback=callback, label=label, owner=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live_events += 1
         return EventHandle(event)
 
     def step(self) -> bool:
@@ -118,6 +126,7 @@ class Scheduler:
             self._now = event.time
             callback, event.callback = event.callback, None
             assert callback is not None
+            self._live_events -= 1
             self._events_fired += 1
             callback()
             return True

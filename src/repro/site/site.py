@@ -223,11 +223,31 @@ class Site:
             self.run_local_trace()
         self.schedule_next_trace()
 
-    def run_local_trace(self) -> Optional[LocalTraceResult]:
-        """Run one local trace (non-atomic if configured so)."""
+    def run_local_trace(self, force_full: bool = False) -> Optional[LocalTraceResult]:
+        """Run one local trace (non-atomic if configured so).
+
+        With ``incremental_traces`` on, the collector's dirty-tracking layer
+        may resolve the tick without retracing: a **skip** when nothing
+        relevant changed since the last committed trace (no recompute, no
+        update messages -- observationally identical to a redundant full
+        trace), or a distance-only **fast path** when only suspected-inref
+        distances moved.  ``force_full`` bypasses the planner (used by tests
+        and oracles that want a guaranteed fresh trace).
+        """
         if self.crashed or self._tracing:
             return None
-        result = self.collector.compute(variable_outrefs=set(self._variable_outrefs))
+        variable_outrefs = set(self._variable_outrefs)
+        mode = "full"
+        if self.config.incremental_traces and not force_full:
+            mode = self.collector.plan_trace(variable_outrefs)
+        if mode == "skip":
+            self.collector.record_skip()
+            # Triggers still run: the previous check may have been capped by
+            # max_traces_per_trigger_check, and back thresholds only ratchet
+            # when traces actually visit -- eligibility can persist unchanged.
+            self.check_backtrace_triggers()
+            return None
+        result = self.collector.compute(variable_outrefs=variable_outrefs, mode=mode)
         if self.config.local_trace_duration > 0:
             self._tracing = True
             self.barrier.begin_trace_window()
@@ -265,7 +285,8 @@ class Site:
         started: List[ObjectId] = []
         if not self.config.enable_backtracing:
             return started
-        for entry in sorted(self.outrefs.suspected_entries(), key=lambda e: e.target):
+        # suspected_entries() is already deterministically ordered by target.
+        for entry in self.outrefs.suspected_entries():
             if entry.distance > entry.back_threshold:
                 if self.engine.start_trace(entry.target) is not None:
                     started.append(entry.target)

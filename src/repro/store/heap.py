@@ -27,6 +27,22 @@ class Heap:
         self._next_serial = 0
         self.objects_allocated = 0
         self.objects_collected = 0
+        self._mutation_epoch = 0
+
+    # -- mutation epoch ---------------------------------------------------------
+    #
+    # A monotonically increasing counter bumped on every change that can
+    # alter the outcome of a local trace: allocation, sweeping, reference
+    # add/remove (including via directly-held HeapObjects), and any change
+    # to the root sets.  The incremental local trace compares epochs to
+    # decide whether a cached trace result is still valid.
+
+    @property
+    def mutation_epoch(self) -> int:
+        return self._mutation_epoch
+
+    def bump_epoch(self) -> None:
+        self._mutation_epoch += 1
 
     # -- allocation -----------------------------------------------------------
 
@@ -40,10 +56,12 @@ class Heap:
         oid = ObjectId(site=self.site_id, serial=self._next_serial)
         self._next_serial += 1
         obj = HeapObject(oid, refs=refs, payload_size=payload_size)
+        obj.on_mutate = self.bump_epoch
         self._objects[oid] = obj
         self.objects_allocated += 1
         if persistent_root:
             self._persistent_roots.add(oid)
+        self.bump_epoch()
         return obj
 
     def adopt(self, obj: HeapObject) -> HeapObject:
@@ -88,10 +106,14 @@ class Heap:
 
     def make_persistent_root(self, oid: ObjectId) -> None:
         self.get(oid)  # validate
-        self._persistent_roots.add(oid)
+        if oid not in self._persistent_roots:
+            self._persistent_roots.add(oid)
+            self.bump_epoch()
 
     def drop_persistent_root(self, oid: ObjectId) -> None:
-        self._persistent_roots.discard(oid)
+        if oid in self._persistent_roots:
+            self._persistent_roots.discard(oid)
+            self.bump_epoch()
 
     @property
     def variable_roots(self) -> Set[ObjectId]:
@@ -105,12 +127,16 @@ class Heap:
         reference is represented by pinning the local outref instead (handled
         by the site layer).  Pins are counted so nested holds unpin correctly.
         """
-        self._variable_roots[oid] = self._variable_roots.get(oid, 0) + 1
+        count = self._variable_roots.get(oid, 0)
+        self._variable_roots[oid] = count + 1
+        if count == 0:  # the root set (not just a pin count) changed
+            self.bump_epoch()
 
     def unpin_variable(self, oid: ObjectId) -> None:
         count = self._variable_roots.get(oid, 0)
         if count <= 1:
-            self._variable_roots.pop(oid, None)
+            if self._variable_roots.pop(oid, None) is not None:
+                self.bump_epoch()
         else:
             self._variable_roots[oid] = count - 1
 
@@ -164,10 +190,13 @@ class Heap:
             self._variable_roots.pop(oid, None)
             deleted.append(oid)
         self.objects_collected += len(deleted)
+        if deleted:
+            self.bump_epoch()
         return deleted
 
     def delete(self, oid: ObjectId) -> None:
         """Remove a single object (migration baseline support)."""
-        self._objects.pop(oid, None)
+        if self._objects.pop(oid, None) is not None:
+            self.bump_epoch()
         self._persistent_roots.discard(oid)
         self._variable_roots.pop(oid, None)

@@ -18,7 +18,7 @@ from ..ids import ObjectId
 class HeapObject:
     """One object in a site's heap."""
 
-    __slots__ = ("oid", "_refs", "payload_size")
+    __slots__ = ("oid", "_refs", "payload_size", "on_mutate")
 
     def __init__(
         self,
@@ -29,6 +29,10 @@ class HeapObject:
         self.oid = oid
         self._refs: List[ObjectId] = list(refs or [])
         self.payload_size = payload_size
+        # Set by the owning heap at allocation time: reference mutations must
+        # bump the heap's mutation epoch even when callers hold the object
+        # directly (the incremental local trace relies on this).
+        self.on_mutate: Optional[callable] = None
 
     @property
     def refs(self) -> List[ObjectId]:
@@ -40,6 +44,8 @@ class HeapObject:
 
     def add_ref(self, target: ObjectId) -> None:
         self._refs.append(target)
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     def remove_ref(self, target: ObjectId) -> None:
         """Remove one occurrence of ``target``; error if absent."""
@@ -47,6 +53,8 @@ class HeapObject:
             self._refs.remove(target)
         except ValueError:
             raise HeapError(f"{self.oid} holds no reference to {target}") from None
+        if self.on_mutate is not None:
+            self.on_mutate()
 
     def holds_ref(self, target: ObjectId) -> bool:
         return target in self._refs

@@ -1,16 +1,18 @@
 """Every example program must run green -- examples are part of the API.
 
-Each runs in a subprocess with the repository root on the path, exactly as
-a user would invoke it.
+Each runs in a subprocess with ``src`` on PYTHONPATH, exactly as a user
+following the README's `PYTHONPATH=src python examples/...` would invoke it.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
 
 
@@ -20,9 +22,13 @@ def test_examples_exist():
 
 @pytest.mark.parametrize("example", EXAMPLES)
 def test_example_runs_clean(example, tmp_path):
+    src = str(REPO_ROOT / "src")
+    existing = os.environ.get("PYTHONPATH")
+    pythonpath = src if not existing else src + os.pathsep + existing
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / example)],
         cwd=tmp_path,  # artifacts (CSV etc.) land in a scratch dir
+        env={**os.environ, "PYTHONPATH": pythonpath},
         capture_output=True,
         text=True,
         timeout=300,

@@ -1,0 +1,204 @@
+"""Incremental local traces must be observationally invisible.
+
+The dirty-tracking planner may resolve a gc tick as a *skip* (nothing
+changed) or as a distance-only *fast path*; either way the externally
+visible state -- heaps, ioref tables, update traffic, and oracle-checked
+liveness -- has to be exactly what a full trace would have produced.
+These tests drive a bench_e13-style system (live cross-site chain plus a
+2-site garbage cycle) through collection into steady state and compare
+against forced full traces and an ``incremental_traces=False`` twin run
+on the same seed.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import GcConfig, Simulation, SimulationConfig
+from repro.analysis import Oracle, snapshot
+from repro.workloads import GraphBuilder, build_ring_cycle
+
+SITES = ["s0", "s1", "s2", "s3"]
+
+
+def build_system(gc: GcConfig, seed: int = 7):
+    """Live chain s0->s1->s2->s3 rooted at s0, garbage ring on (s2, s3)."""
+    sim = Simulation(SimulationConfig(seed=seed, gc=gc))
+    sim.add_sites(SITES, auto_gc=False)
+    builder = GraphBuilder(sim)
+    root = builder.obj("s0", "root", root=True)
+    prev = root
+    for site_id in SITES[1:]:
+        nxt = builder.obj(site_id, f"chain_{site_id}")
+        builder.link(prev, nxt)
+        prev = nxt
+    cycle = build_ring_cycle(sim, ["s2", "s3"])
+    return sim, builder, cycle
+
+
+def collect_until_clean(sim, oracle, max_rounds=40):
+    for round_number in range(1, max_rounds + 1):
+        sim.run_gc_round()
+        oracle.check_safety()
+        if not oracle.garbage_set():
+            return round_number
+    raise AssertionError("cycle was not collected within the round budget")
+
+
+def tables_fingerprint(sim):
+    """State fingerprint excluding simulated time (which always advances)."""
+    return snapshot(sim)["sites"]
+
+
+def test_steady_state_ticks_skip_and_leave_no_trace():
+    # A huge full_trace_every_n keeps the periodic safety net out of the
+    # measurement window so every quiescent tick must resolve as a skip.
+    gc = GcConfig(full_trace_every_n=1000)
+    sim, _, cycle = build_system(gc)
+    oracle = Oracle(sim)
+    for _ in range(2):
+        sim.run_gc_round()
+    cycle.make_garbage(sim)
+    collect_until_clean(sim, oracle)
+    for _ in range(3):  # drain into a fully quiescent steady state
+        sim.run_gc_round()
+
+    before_metrics = sim.metrics.snapshot()
+    before_state = tables_fingerprint(sim)
+    rounds = 5
+    for _ in range(rounds):
+        sim.run_gc_round()
+    delta = sim.metrics.snapshot().diff(before_metrics)
+
+    # Every tick at every site resolved as a skip: no traces, no messages.
+    assert delta.get("gc.traces_skipped", 0) == rounds * len(SITES)
+    assert delta.get("gc.local_traces", 0) == 0
+    assert delta.get("gc.objects_scanned", 0) == 0
+    assert delta.get("messages.UpdatePayload", 0) == 0
+    assert tables_fingerprint(sim) == before_state
+    oracle.check_safety()
+    assert not oracle.garbage_set()
+
+    # A forced full trace at every site recomputes everything from scratch;
+    # if the skips had left anything stale this would expose it.
+    for site_id in SITES:
+        sim.site(site_id).run_local_trace(force_full=True)
+    sim.settle()
+    assert tables_fingerprint(sim) == before_state
+    oracle.check_safety()
+
+
+def test_periodic_full_trace_safety_net_fires():
+    gc = GcConfig(full_trace_every_n=3)
+    sim, _, cycle = build_system(gc)
+    oracle = Oracle(sim)
+    for _ in range(2):
+        sim.run_gc_round()
+    cycle.make_garbage(sim)
+    collect_until_clean(sim, oracle)
+    for _ in range(3):
+        sim.run_gc_round()
+
+    before = sim.metrics.snapshot()
+    for _ in range(6):
+        sim.run_gc_round()
+    delta = sim.metrics.snapshot().diff(before)
+    # With the safety net at 3, quiescent ticks alternate skip/skip/skip/full
+    # (per site) -- both counters must be moving.
+    assert delta.get("gc.traces_full", 0) >= len(SITES)
+    assert delta.get("gc.traces_skipped", 0) >= len(SITES)
+    oracle.check_safety()
+    assert not oracle.garbage_set()
+
+
+def test_mutation_after_skips_is_picked_up():
+    gc = GcConfig(full_trace_every_n=1000)
+    sim, builder, cycle = build_system(gc)
+    oracle = Oracle(sim)
+    for _ in range(2):
+        sim.run_gc_round()
+    cycle.make_garbage(sim)
+    collect_until_clean(sim, oracle)
+    for _ in range(4):  # several all-skip rounds: the caches are warm
+        sim.run_gc_round()
+
+    # Cut the live chain at its head: everything downstream (one object per
+    # site, across three sites) is now garbage that only retraces can find.
+    sim.site("s0").mutator_remove_ref(builder["root"], builder["chain_s1"])
+    oracle.check_safety()
+    assert oracle.garbage_set(), "the cut must create acyclic garbage"
+
+    before = sim.metrics.snapshot()
+    for _ in range(8):
+        sim.run_gc_round()
+        oracle.check_safety()
+        if not oracle.garbage_set():
+            break
+    assert not oracle.garbage_set(), "stale cache: mutation was never traced"
+    delta = sim.metrics.snapshot().diff(before)
+    # The heap epoch bump at s0 forced a real (full) retrace there, and the
+    # cascade of source-removal updates forced retraces downstream.
+    assert delta.get("gc.traces_full", 0) >= 4
+    # Collected objects really left the heaps (the ring workload's own
+    # root and anchor on s2 stay live, so check the chain objects exactly).
+    for site_id in SITES[1:]:
+        remaining = set(sim.site(site_id).heap.object_ids())
+        assert builder[f"chain_{site_id}"] not in remaining
+
+
+def test_distance_ratchet_rides_the_fast_path():
+    # With back tracing disabled the suspected cycle's distances ratchet up
+    # forever: after the classification flip, every tick at the cycle sites
+    # is a distance-only change, i.e. exactly the fast path's territory.
+    def run(incremental: bool):
+        gc = GcConfig(
+            incremental_traces=incremental,
+            enable_backtracing=False,
+            full_trace_every_n=1000,
+        )
+        sim, _, cycle = build_system(gc)
+        for _ in range(2):
+            sim.run_gc_round()
+        cycle.make_garbage(sim)
+        for _ in range(10):
+            sim.run_gc_round()
+        return sim
+
+    incremental = run(True)
+    full = run(False)
+    assert incremental.metrics.count("gc.traces_fast_path") > 0
+    # The fast path recomputes suspected distances without a heap scan.
+    assert incremental.metrics.count("gc.objects_scanned") < full.metrics.count(
+        "gc.objects_scanned"
+    )
+    assert tables_fingerprint(incremental) == tables_fingerprint(full)
+
+
+@pytest.mark.parametrize("seed", [7, 11])
+def test_incremental_and_full_modes_agree_end_to_end(seed):
+    # Same workload, same seed, collection enabled: both modes must collect
+    # the same garbage and end in byte-identical table state.
+    def run(incremental: bool):
+        gc = GcConfig(incremental_traces=incremental)
+        sim, _, cycle = build_system(gc, seed=seed)
+        oracle = Oracle(sim)
+        for _ in range(2):
+            sim.run_gc_round()
+        cycle.make_garbage(sim)
+        rounds = collect_until_clean(sim, oracle)
+        for _ in range(3):
+            sim.run_gc_round()
+        oracle.check_safety()
+        return sim, rounds
+
+    inc_sim, inc_rounds = run(True)
+    full_sim, full_rounds = run(False)
+    assert inc_rounds == full_rounds
+    assert tables_fingerprint(inc_sim) == tables_fingerprint(full_sim)
+    # Incrementality actually engaged and actually saved scanning work.
+    skipped = inc_sim.metrics.count("gc.traces_skipped")
+    fast = inc_sim.metrics.count("gc.traces_fast_path")
+    assert skipped + fast > 0
+    assert inc_sim.metrics.count("gc.objects_scanned") < full_sim.metrics.count(
+        "gc.objects_scanned"
+    )

@@ -272,7 +272,9 @@ def test_nonatomic_trace_replays_barrier_on_new_copy():
     sim.run_for(20.0)  # commit
     assert q.inrefs.require(b["t"]).is_suspected(4)
     # Start another (non-atomic) trace, apply the barrier mid-window.
-    q.run_local_trace()
+    # Nothing changed since the last commit, so the incremental planner
+    # would skip; force the full trace this test is about.
+    q.run_local_trace(force_full=True)
     assert q.is_tracing
     q.barrier.on_reference_arrival(b["t"])
     assert q.inrefs.require(b["t"]).is_clean(4)  # old copy cleaned

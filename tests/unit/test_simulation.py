@@ -74,7 +74,12 @@ def test_auto_gc_runs_periodic_traces():
     site = sim.add_site("P", auto_gc=True)
     site.heap.alloc()  # garbage from the start
     sim.run_for(5 * sim.config.gc.local_trace_period)
-    assert site.collector.traces_run >= 3
+    # Every period ticks, but once the heap is quiescent the incremental
+    # planner resolves ticks as skips instead of redundant full traces.
+    ticks = site.collector.traces_run + sim.metrics.count("gc.traces_skipped")
+    assert ticks >= 3
+    assert site.collector.traces_run >= 1
+    assert sim.metrics.count("gc.traces_skipped") >= 1
     assert len(site.heap) == 0
 
 
