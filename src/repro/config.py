@@ -91,6 +91,29 @@ class GcConfig:
     # over the same cycle.  Disjoint cycles still each get a trace, since
     # every site checks after every local trace.
     max_traces_per_trigger_check: int = 1
+    # Back-trace verdict caching (section 4.6 extension): a trace that
+    # completes Live records, at every participant site, the per-entry epochs
+    # of the iorefs it visited there.  A later trace (or trigger check)
+    # arriving at such an ioref answers Live from the cache -- no frames, no
+    # messages -- as long as every snapshotted epoch is unchanged and the
+    # entry is younger than ``backtrace_cache_ttl_ticks`` local-trace
+    # periods.  Any mutation, update message, or clean-rule event bumps an
+    # epoch and thereby invalidates affected entries; only Live is ever
+    # cached (Garbage verdicts are trace-relative and must not be shared).
+    backtrace_cache: bool = True
+    backtrace_cache_ttl_ticks: int = 3
+    # Trace coalescing: when a trace reaches an ioref where an *older* trace
+    # (by trace id) is actively expanding a frame, subscribe to that frame's
+    # verdict instead of duplicating the downstream fan-out.  A Live verdict
+    # is forwarded to subscribers; a Garbage verdict is trace-relative, so
+    # subscribers re-run their own step instead.  The id ordering makes the
+    # waits-for relation acyclic (no coalescing deadlock).
+    backtrace_coalesce: bool = True
+    # Batch the BackCalls (and immediate BackReplies) one engine activation
+    # fans out to the same destination into one BackCallBatch/BackReplyBatch
+    # physical message, riding the DeferringSender/Bundle path when message
+    # deferral is also on.
+    backtrace_batch_calls: bool = True
     # Incremental local traces: sites track mutation epochs on the heap and
     # the ioref tables, cache the last committed trace result, and skip (or
     # distance-only fast-path) a gc tick when nothing relevant changed since.
@@ -128,6 +151,8 @@ class GcConfig:
             raise ConfigError("full_update_period must be >= 1")
         if self.full_trace_every_n < 1:
             raise ConfigError("full_trace_every_n must be >= 1")
+        if self.backtrace_cache_ttl_ticks < 1:
+            raise ConfigError("backtrace_cache_ttl_ticks must be >= 1")
         if self.max_traces_per_trigger_check < 1:
             raise ConfigError("max_traces_per_trigger_check must be >= 1")
         if self.defer_delay <= 0:

@@ -1,0 +1,156 @@
+"""Epoch-guarded back-trace verdict cache (section 4.6 extension).
+
+The paper expects live suspects to be re-examined repeatedly: a Live verdict
+only holds "for now", so a stable live cycle above the threshold is
+back-traced over and over, each time paying the full BackCall/BackReply
+fan-out.  This cache makes re-examination O(1) while nothing changed:
+
+- when a trace completes **Live**, every participant site records, for each
+  ioref the trace visited *there*, a snapshot of the per-entry mutation
+  epochs of that whole visited set (plus the suspicion threshold in force);
+- a later trace -- or the back-trace trigger check -- arriving at one of
+  those iorefs answers Live from the cache without forking a frame or
+  sending a message, provided every snapshotted epoch is unchanged, the
+  threshold is unchanged, and the snapshot is younger than its TTL;
+- invalidation is automatic: every mutation, update message, insert, or
+  clean-rule event bumps an entry epoch (``InrefEntry.epoch`` /
+  ``OutrefEntry.epoch``), and a deleted entry fails the existence check.
+  The clean rule additionally purges eagerly (:meth:`invalidate_ioref`).
+
+Only Live is ever cached.  A Garbage verdict is relative to one trace's
+visited marks (the same ioref answers Garbage to the trace that already
+visited it and must answer normally to any other), so sharing it across
+traces would be unsound; sharing Live is merely conservative -- the paper's
+timeouts already assume Live freely.  Staleness therefore never threatens
+safety, only promptness, and the TTL bounds that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...gc.inrefs import InrefTable
+from ...gc.outrefs import OutrefTable
+from ...metrics import MetricsRecorder
+from .frames import INREF, IorefKey
+
+
+@dataclass(frozen=True)
+class CachedLive:
+    """One Live trace's footprint at this site.
+
+    Shared by every ioref key it covers: a single stale epoch anywhere in
+    the footprint invalidates the verdict for all of them, because the Live
+    answer was derived from the joint state of the whole visited set.
+    """
+
+    entries: Tuple[Tuple[IorefKey, int], ...]
+    threshold: int
+    expires_at: float
+
+
+class VerdictCache:
+    """Per-site cache of Live back-trace verdicts, keyed by ioref."""
+
+    def __init__(
+        self,
+        inrefs: InrefTable,
+        outrefs: OutrefTable,
+        metrics: Optional[MetricsRecorder] = None,
+    ):
+        self.inrefs = inrefs
+        self.outrefs = outrefs
+        self.metrics = metrics or MetricsRecorder()
+        self._by_key: Dict[IorefKey, CachedLive] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def _entry_epoch(self, key: IorefKey) -> Optional[int]:
+        kind, target = key
+        entry = self.inrefs.get(target) if kind == INREF else self.outrefs.get(target)
+        return None if entry is None else entry.epoch
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_live(self, keys: Iterable[IorefKey], expires_at: float) -> bool:
+        """Snapshot the current epochs of ``keys`` and cache Live for each.
+
+        Returns False (caching nothing) if any visited entry has already
+        been deleted -- the snapshot would be unverifiable.
+        """
+        snapshot: List[Tuple[IorefKey, int]] = []
+        for key in keys:
+            epoch = self._entry_epoch(key)
+            if epoch is None:
+                return False
+            snapshot.append((key, epoch))
+        if not snapshot:
+            return False
+        cached = CachedLive(
+            entries=tuple(snapshot),
+            threshold=self.inrefs.suspicion_threshold,
+            expires_at=expires_at,
+        )
+        for key, _ in cached.entries:
+            self._by_key[key] = cached
+        self.metrics.incr("backtrace.cache_stores")
+        return True
+
+    # -- lookup -------------------------------------------------------------------
+
+    def lookup(self, key: IorefKey, now: float) -> bool:
+        """True iff a still-valid Live verdict covers ``key``."""
+        return self.lookup_expiry(key, now) is not None
+
+    def lookup_expiry(self, key: IorefKey, now: float) -> Optional[float]:
+        """Expiry of the still-valid Live verdict covering ``key``, or None.
+
+        The expiry is handed to the consuming trace so any verdict derived
+        from this entry is re-cached with *at most* this lifetime -- a chain
+        of verdicts leaning on each other can then never outlive the
+        original grounded one.  A stale or expired snapshot found here is
+        dropped (for all the keys it covers) and counted as an invalidation.
+        """
+        cached = self._by_key.get(key)
+        if cached is None:
+            return None
+        if now >= cached.expires_at or cached.threshold != self.inrefs.suspicion_threshold:
+            self._drop(cached)
+            return None
+        for entry_key, epoch in cached.entries:
+            if self._entry_epoch(entry_key) != epoch:
+                self._drop(cached)
+                return None
+        self.metrics.incr("backtrace.cache_hits")
+        return cached.expires_at
+
+    # -- invalidation -----------------------------------------------------------
+
+    def _drop(self, cached: CachedLive) -> None:
+        removed = False
+        for key, _ in cached.entries:
+            if self._by_key.get(key) is cached:
+                del self._by_key[key]
+                removed = True
+        if removed:
+            self.metrics.incr("backtrace.cache_invalidated")
+
+    def invalidate_ioref(self, key: IorefKey) -> None:
+        """Eagerly purge every snapshot whose footprint includes ``key``.
+
+        Used by the clean rule: cleaning also bumps the entry's epoch, but
+        purging here keeps the cache from ever *answering* through lazy
+        validation of an ioref the clean rule touched.
+        """
+        stale = [
+            cached
+            for cached in set(self._by_key.values())
+            if any(entry_key == key for entry_key, _ in cached.entries)
+        ]
+        for cached in stale:
+            self._drop(cached)
+
+    def clear(self) -> None:
+        self._by_key.clear()

@@ -16,6 +16,22 @@ otherwise mark visited and fan out.  Additionally an inref already *flagged*
 garbage answers Garbage directly (it was confirmed by a completed trace and
 is merely awaiting deletion).
 
+On top of the pseudocode this engine layers three cost optimizations, all of
+them conservative (they can only delay collection, never collect live data):
+
+- **verdict caching** (:mod:`repro.core.backtrace.cache`): a trace that
+  completes Live snapshots the per-entry epochs of the iorefs it visited at
+  each participant; while those epochs hold, later steps on the same iorefs
+  answer Live with no frame and no messages;
+- **trace coalescing**: a step arriving at an ioref where an *older* trace
+  (smaller :class:`TraceId` -- the ordering keeps the waits-for relation
+  acyclic) is actively expanding parks on that frame instead of duplicating
+  its fan-out; a Live verdict is forwarded to the parked step, anything else
+  re-dispatches it (Garbage is relative to the host trace's visited marks);
+- **call batching**: the BackCalls/BackReplies one engine activation emits
+  to the same destination ship as a single :class:`BackCallBatch` /
+  :class:`BackReplyBatch` physical message.
+
 The engine also owns: per-site trace records, the report phase, the clean
 rule hook (:meth:`notify_cleaned`), visit-time back-threshold bumps
 (section 4.3), and the two conservative timeouts of section 4.6.
@@ -23,7 +39,8 @@ rule hook (:meth:`notify_cleaned`), visit-time back-threshold bumps
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple, Type
 
 from ...config import GcConfig
 from ...errors import BackTraceError
@@ -33,8 +50,16 @@ from ...ids import FrameId, ObjectId, SiteId, TraceId
 from ...metrics import MetricsRecorder
 from ...net.message import Payload
 from ...sim.scheduler import Scheduler
+from .cache import VerdictCache
 from .frames import INREF, OUTREF, Frame, IorefKey, TraceRecord
-from .messages import BackCall, BackOutcome, BackReply, TraceOutcome
+from .messages import (
+    BackCall,
+    BackCallBatch,
+    BackOutcome,
+    BackReply,
+    BackReplyBatch,
+    TraceOutcome,
+)
 
 SendFn = Callable[[SiteId, Payload], None]
 OutcomeCallback = Callable[[TraceId, TraceOutcome], None]
@@ -65,12 +90,18 @@ class BackTraceEngine:
         self.metrics = metrics or MetricsRecorder()
         self.on_outcome = on_outcome
         self.on_outcome_applied = on_outcome_applied
+        self.cache: Optional[VerdictCache] = None
+        if config.backtrace_cache:
+            self.cache = VerdictCache(inrefs, outrefs, metrics=self.metrics)
         self._frames: Dict[FrameId, Frame] = {}
         self._active_by_ioref: Dict[IorefKey, Set[FrameId]] = {}
+        self._frames_by_trace: Dict[TraceId, Set[FrameId]] = {}
         self._records: Dict[TraceId, TraceRecord] = {}
         self._active_roots: Dict[ObjectId, TraceId] = {}
         self._next_trace_seq = 0
         self._next_frame_seq = 0
+        self._batch_depth = 0
+        self._outbox: List[Tuple[SiteId, Payload]] = []
 
     # -- public API -------------------------------------------------------------
 
@@ -78,12 +109,16 @@ class BackTraceEngine:
         """Begin a back trace from a suspected outref of this site.
 
         Returns the trace id, or None if a trace initiated from this outref
-        is still in flight (re-initiating would only duplicate work).
+        is still in flight (re-initiating would only duplicate work) or a
+        cached Live verdict still covers the outref (re-tracing could only
+        re-derive it).
         """
         if outref_target in self._active_roots:
             return None
         entry = self.outrefs.get(outref_target)
         if entry is None or entry.is_clean:
+            return None
+        if self.cached_live(outref_target):
             return None
         trace_id = TraceId(initiator=self.site_id, seq=self._next_trace_seq)
         self._next_trace_seq += 1
@@ -92,8 +127,17 @@ class BackTraceEngine:
         record.root_outref = outref_target
         self._active_roots[outref_target] = trace_id
         self.metrics.incr("backtrace.started")
-        self._step_local(trace_id, outref_target, parent_local=None, parent_remote=None)
+        with self._batched():
+            self._step_local(
+                trace_id, outref_target, parent_local=None, parent_remote=None
+            )
         return trace_id
+
+    def cached_live(self, outref_target: ObjectId) -> bool:
+        """True iff a still-valid cached Live verdict covers this outref."""
+        return self.cache is not None and self.cache.lookup(
+            (OUTREF, outref_target), self.scheduler.now
+        )
 
     def has_active_trace_from(self, outref_target: ObjectId) -> bool:
         return outref_target in self._active_roots
@@ -104,6 +148,16 @@ class BackTraceEngine:
 
     def handle_back_call(self, src: SiteId, payload: BackCall) -> None:
         """A remote site asks us to back-step our outref for ``payload.target``."""
+        with self._batched():
+            self._handle_one_call(src, payload)
+
+    def handle_back_call_batch(self, src: SiteId, payload: BackCallBatch) -> None:
+        """Several back calls from one site, delivered as one message."""
+        with self._batched():
+            for call in payload.calls:
+                self._handle_one_call(src, call)
+
+    def _handle_one_call(self, src: SiteId, payload: BackCall) -> None:
         self._ensure_record(payload.trace_id)
         self._step_local(
             payload.trace_id,
@@ -114,30 +168,106 @@ class BackTraceEngine:
 
     def handle_back_reply(self, src: SiteId, payload: BackReply) -> None:
         """A response for one of our pending remote calls arrived."""
+        with self._batched():
+            self._handle_one_reply(src, payload)
+
+    def handle_back_reply_batch(self, src: SiteId, payload: BackReplyBatch) -> None:
+        """Several back replies from one site, delivered as one message."""
+        with self._batched():
+            for reply in payload.replies:
+                self._handle_one_reply(src, reply)
+
+    def _handle_one_reply(self, src: SiteId, payload: BackReply) -> None:
         frame = self._frames.get(payload.reply_to)
         if frame is None or frame.completed or frame.trace_id != payload.trace_id:
             # Late reply to a frame already completed (short-circuited Live,
             # timed out, or force-completed by the clean rule): ignore.
             self.metrics.incr("backtrace.stale_replies")
             return
-        self._child_done(frame, payload.verdict, set(payload.participants))
+        self._child_done(
+            frame,
+            payload.verdict,
+            set(payload.participants),
+            cache_expires=payload.cache_expires_at,
+        )
 
     def handle_back_outcome(self, src: SiteId, payload: BackOutcome) -> None:
         """Report phase: the initiator announced the final verdict."""
-        self._apply_outcome(payload.trace_id, payload.verdict)
+        with self._batched():
+            self._apply_outcome(
+                payload.trace_id, payload.verdict, cache_expires=payload.cache_expires_at
+            )
 
     def notify_cleaned(self, kind: str, target: ObjectId) -> None:
         """Clean rule (section 6.4): an ioref was cleaned; any trace active
-        there must return Live."""
+        there must return Live, and any cached verdict whose footprint
+        includes the ioref is purged."""
         key = (kind, target)
-        frame_ids = list(self._active_by_ioref.get(key, ()))
-        for frame_id in frame_ids:
-            frame = self._frames.get(frame_id)
-            if frame is None or frame.completed:
-                continue
-            frame.forced_live = True
-            self.metrics.incr("backtrace.clean_rule_hits")
-            self._complete(frame, TraceOutcome.LIVE)
+        if self.cache is not None:
+            self.cache.invalidate_ioref(key)
+        with self._batched():
+            frame_ids = list(self._active_by_ioref.get(key, ()))
+            for frame_id in frame_ids:
+                frame = self._frames.get(frame_id)
+                if frame is None or frame.completed:
+                    continue
+                frame.forced_live = True
+                self.metrics.incr("backtrace.clean_rule_hits")
+                self._complete(frame, TraceOutcome.LIVE)
+
+    # -- batching window --------------------------------------------------------
+
+    @contextmanager
+    def _batched(self) -> Iterator[None]:
+        """Buffer BackCalls/BackReplies for the duration of one activation."""
+        self._batch_depth += 1
+        try:
+            yield
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._outbox:
+                self._flush_outbox()
+
+    def _send(self, dst: SiteId, payload: Payload) -> None:
+        if (
+            self.config.backtrace_batch_calls
+            and self._batch_depth > 0
+            and isinstance(payload, (BackCall, BackReply))
+        ):
+            self._outbox.append((dst, payload))
+        else:
+            self.send(dst, payload)
+
+    def _flush_outbox(self) -> None:
+        outbox, self._outbox = self._outbox, []
+        groups: Dict[Tuple[SiteId, Type[Payload]], List[Payload]] = {}
+        order: List[Tuple[SiteId, Type[Payload]]] = []
+        for dst, payload in outbox:
+            if isinstance(payload, BackCall):
+                frame = self._frames.get(payload.reply_to)
+                if frame is None or frame.completed:
+                    # The awaiting frame died while the call sat in the
+                    # outbox (clean rule, a sibling's Live short-circuit, an
+                    # outcome sweep): any reply would be dropped as stale, so
+                    # the call itself is not worth sending.
+                    self.metrics.incr("backtrace.calls_pruned")
+                    continue
+            gkey = (dst, type(payload))
+            if gkey not in groups:
+                groups[gkey] = []
+                order.append(gkey)
+            groups[gkey].append(payload)
+        for gkey in order:
+            dst, kind = gkey
+            group = groups[gkey]
+            if len(group) == 1:
+                self.send(dst, group[0])
+            elif kind is BackCall:
+                self.metrics.incr("backtrace.calls_batched", len(group))
+                self.send(dst, BackCallBatch(calls=tuple(group)))
+            else:
+                self.metrics.incr("backtrace.calls_batched", len(group))
+                self.send(dst, BackReplyBatch(replies=tuple(group)))
 
     # -- record management ----------------------------------------------------------
 
@@ -164,7 +294,12 @@ class BackTraceEngine:
         if record is None or record.finished:
             return
         self.metrics.incr("backtrace.outcome_timeouts")
-        self._apply_outcome(trace_id, TraceOutcome.LIVE)
+        with self._batched():
+            # The assumed Live rests on no evidence at all, so give it an
+            # already-expired cache bound: applied normally, never cached.
+            self._apply_outcome(
+                trace_id, TraceOutcome.LIVE, cache_expires=self.scheduler.now
+            )
 
     # -- the two step kinds ------------------------------------------------------------
 
@@ -186,10 +321,24 @@ class BackTraceEngine:
         if trace_id in entry.visited:
             self._answer(trace_id, parent_local, parent_remote, TraceOutcome.GARBAGE)
             return
+        if self.cache is not None:
+            expiry = self.cache.lookup_expiry((OUTREF, target), self.scheduler.now)
+            if expiry is not None:
+                self._answer(
+                    trace_id,
+                    parent_local,
+                    parent_remote,
+                    TraceOutcome.LIVE,
+                    cache_expires=expiry,
+                )
+                return
+        if self._try_coalesce(trace_id, (OUTREF, target), parent_local, parent_remote):
+            return
         record = self._ensure_record(trace_id)
         entry.visited.add(trace_id)
         record.visited_outrefs.add(target)
         entry.back_threshold += self.config.back_threshold_increment
+        self.metrics.incr("backtrace.iorefs_visited")
 
         frame = self._new_frame(trace_id, OUTREF, target, parent_local, parent_remote)
         inset = sorted(entry.inset)
@@ -219,10 +368,20 @@ class BackTraceEngine:
         if trace_id in entry.visited:
             self._answer(trace_id, parent_local, None, TraceOutcome.GARBAGE)
             return
+        if self.cache is not None:
+            expiry = self.cache.lookup_expiry((INREF, target), self.scheduler.now)
+            if expiry is not None:
+                self._answer(
+                    trace_id, parent_local, None, TraceOutcome.LIVE, cache_expires=expiry
+                )
+                return
+        if self._try_coalesce(trace_id, (INREF, target), parent_local, None):
+            return
         record = self._ensure_record(trace_id)
         entry.visited.add(trace_id)
         record.visited_inrefs.add(target)
         entry.back_threshold += self.config.back_threshold_increment
+        self.metrics.incr("backtrace.iorefs_visited")
 
         frame = self._new_frame(trace_id, INREF, target, parent_local, None)
         sources = sorted(entry.sources)
@@ -232,10 +391,68 @@ class BackTraceEngine:
             return
         self._arm_frame_timeout(frame)
         for source in sources:
-            self.send(
+            self._send(
                 source,
                 BackCall(trace_id=trace_id, target=target, reply_to=frame.frame_id),
             )
+
+    # -- coalescing ---------------------------------------------------------------
+
+    def _try_coalesce(
+        self,
+        trace_id: TraceId,
+        key: IorefKey,
+        parent_local: Optional[FrameId],
+        parent_remote: Optional[Tuple[SiteId, FrameId]],
+    ) -> bool:
+        """Park this step on an older trace's active frame at the same ioref.
+
+        Only frames of traces with *strictly smaller* ids host waiters: the
+        waits-for relation then only points down the total order on trace
+        ids, so no cycle of mutually parked traces (and hence no deadlock of
+        timeouts resolving each other to Live) can form.
+        """
+        if not self.config.backtrace_coalesce:
+            return False
+        host: Optional[Frame] = None
+        for frame_id in self._active_by_ioref.get(key, ()):
+            frame = self._frames.get(frame_id)
+            if frame is None or frame.completed:
+                continue
+            if not (frame.trace_id < trace_id):
+                continue
+            if host is None or frame.trace_id < host.trace_id:
+                host = frame
+        if host is None:
+            return False
+        host.waiters.append((trace_id, parent_local, parent_remote))
+        self.metrics.incr("backtrace.coalesced")
+        return True
+
+    def _resolve_waiters(self, frame: Frame, verdict: TraceOutcome) -> None:
+        """Settle steps parked on ``frame``: forward Live, re-dispatch else.
+
+        Garbage (and the aborted-frame case) is relative to the host trace's
+        visited marks, so a parked step must re-run on its own; by now the
+        host's marks at this ioref are gone or going, so the re-run proceeds
+        normally.
+        """
+        if not frame.waiters:
+            return
+        waiters, frame.waiters = list(frame.waiters), []
+        for wtrace, plocal, premote in waiters:
+            if verdict.is_live:
+                self._answer(
+                    wtrace,
+                    plocal,
+                    premote,
+                    TraceOutcome.LIVE,
+                    cache_expires=frame.cache_expires_at,
+                )
+            elif frame.kind == OUTREF:
+                self._step_local(wtrace, frame.ioref, plocal, premote)
+            else:
+                self._step_remote(wtrace, frame.ioref, parent_local=plocal)
 
     # -- frame lifecycle --------------------------------------------------------------
 
@@ -259,7 +476,22 @@ class BackTraceEngine:
         )
         self._frames[frame_id] = frame
         self._active_by_ioref.setdefault(frame.key, set()).add(frame_id)
+        self._frames_by_trace.setdefault(trace_id, set()).add(frame_id)
         return frame
+
+    def _discard_frame(self, frame: Frame) -> None:
+        """Drop a frame from every index (it must already be completed)."""
+        active = self._active_by_ioref.get(frame.key)
+        if active is not None:
+            active.discard(frame.frame_id)
+            if not active:
+                del self._active_by_ioref[frame.key]
+        by_trace = self._frames_by_trace.get(frame.trace_id)
+        if by_trace is not None:
+            by_trace.discard(frame.frame_id)
+            if not by_trace:
+                del self._frames_by_trace[frame.trace_id]
+        self._frames.pop(frame.frame_id, None)
 
     def _arm_frame_timeout(self, frame: Frame) -> None:
         frame_id = frame.frame_id
@@ -276,14 +508,20 @@ class BackTraceEngine:
         # Section 4.6: a site waiting for a response that never comes can
         # safely assume the call returned Live.
         self.metrics.incr("backtrace.frame_timeouts")
-        self._complete(frame, TraceOutcome.LIVE)
+        with self._batched():
+            self._complete(frame, TraceOutcome.LIVE)
 
     def _child_done(
-        self, frame: Frame, verdict: TraceOutcome, participants: Set[SiteId]
+        self,
+        frame: Frame,
+        verdict: TraceOutcome,
+        participants: Set[SiteId],
+        cache_expires: Optional[float] = None,
     ) -> None:
         if frame.completed:
             return
         frame.participants.update(participants)
+        frame.note_expiry(cache_expires)
         if verdict.is_live:
             self._complete(frame, TraceOutcome.LIVE)
             return
@@ -298,32 +536,33 @@ class BackTraceEngine:
         frame.cancel_timeout()
         if frame.forced_live:
             verdict = TraceOutcome.LIVE
-        active = self._active_by_ioref.get(frame.key)
-        if active is not None:
-            active.discard(frame.frame_id)
-            if not active:
-                del self._active_by_ioref[frame.key]
-        del self._frames[frame.frame_id]
+        self._discard_frame(frame)
         participants = set(frame.participants)
         participants.add(self.site_id)
 
         if frame.parent_local is not None:
             parent = self._frames.get(frame.parent_local)
             if parent is not None and not parent.completed:
-                self._child_done(parent, verdict, participants)
+                self._child_done(
+                    parent, verdict, participants, cache_expires=frame.cache_expires_at
+                )
         elif frame.parent_remote is not None:
             caller_site, caller_frame = frame.parent_remote
-            self.send(
+            self._send(
                 caller_site,
                 BackReply(
                     trace_id=frame.trace_id,
                     reply_to=caller_frame,
                     verdict=verdict,
                     participants=frozenset(participants),
+                    cache_expires_at=frame.cache_expires_at,
                 ),
             )
         else:
-            self._finish_trace(frame.trace_id, verdict, participants)
+            self._finish_trace(
+                frame.trace_id, verdict, participants, frame.cache_expires_at
+            )
+        self._resolve_waiters(frame, verdict)
 
     def _answer(
         self,
@@ -331,32 +570,40 @@ class BackTraceEngine:
         parent_local: Optional[FrameId],
         parent_remote: Optional[Tuple[SiteId, FrameId]],
         verdict: TraceOutcome,
+        cache_expires: Optional[float] = None,
     ) -> None:
         """Deliver an immediate (frameless) verdict to whoever asked."""
         if parent_local is not None:
             parent = self._frames.get(parent_local)
             if parent is not None and not parent.completed:
-                self._child_done(parent, verdict, {self.site_id})
+                self._child_done(
+                    parent, verdict, {self.site_id}, cache_expires=cache_expires
+                )
         elif parent_remote is not None:
             caller_site, caller_frame = parent_remote
-            self.send(
+            self._send(
                 caller_site,
                 BackReply(
                     trace_id=trace_id,
                     reply_to=caller_frame,
                     verdict=verdict,
                     participants=frozenset({self.site_id}),
+                    cache_expires_at=cache_expires,
                 ),
             )
         else:
             # The root step itself resolved immediately (e.g. the outref
             # turned clean before the trace began).
-            self._finish_trace(trace_id, verdict, {self.site_id})
+            self._finish_trace(trace_id, verdict, {self.site_id}, cache_expires)
 
     # -- outcome ------------------------------------------------------------------------
 
     def _finish_trace(
-        self, trace_id: TraceId, verdict: TraceOutcome, participants: Set[SiteId]
+        self,
+        trace_id: TraceId,
+        verdict: TraceOutcome,
+        participants: Set[SiteId],
+        cache_expires: Optional[float] = None,
     ) -> None:
         """Report phase, run at the initiator (section 4.5)."""
         if trace_id.initiator != self.site_id:
@@ -367,10 +614,22 @@ class BackTraceEngine:
             self.metrics.incr("backtrace.completed_live")
         for participant in sorted(participants):
             if participant != self.site_id:
-                self.send(participant, BackOutcome(trace_id=trace_id, verdict=verdict))
-        self._apply_outcome(trace_id, verdict)
+                self.send(
+                    participant,
+                    BackOutcome(
+                        trace_id=trace_id,
+                        verdict=verdict,
+                        cache_expires_at=cache_expires,
+                    ),
+                )
+        self._apply_outcome(trace_id, verdict, cache_expires=cache_expires)
 
-    def _apply_outcome(self, trace_id: TraceId, verdict: TraceOutcome) -> None:
+    def _apply_outcome(
+        self,
+        trace_id: TraceId,
+        verdict: TraceOutcome,
+        cache_expires: Optional[float] = None,
+    ) -> None:
         """Flag (Garbage) or unmark (Live) the iorefs this trace visited here."""
         record = self._records.pop(trace_id, None)
         if record is None:
@@ -392,19 +651,40 @@ class BackTraceEngine:
             entry = self.outrefs.get(target)
             if entry is not None:
                 entry.visited.discard(trace_id)
+        if (
+            verdict.is_live
+            and self.cache is not None
+            and (record.visited_inrefs or record.visited_outrefs)
+        ):
+            keys: List[IorefKey] = [
+                (INREF, target) for target in sorted(record.visited_inrefs)
+            ]
+            keys.extend((OUTREF, target) for target in sorted(record.visited_outrefs))
+            expires_at = self.scheduler.now + (
+                self.config.backtrace_cache_ttl_ticks * self.config.local_trace_period
+            )
+            # A verdict that leaned on cached Lives inherits the earliest
+            # consumed expiry: chained re-caching must not extend the
+            # lifetime of the original grounded verdict.
+            if cache_expires is not None:
+                expires_at = min(expires_at, cache_expires)
+            if expires_at > self.scheduler.now:
+                self.cache.record_live(keys, expires_at)
         # Abort any frames of this trace still pending at this site: the
         # trace is over; answering anything further is pointless.  Late
-        # messages for them are dropped as stale.
-        lingering = [f for f in self._frames.values() if f.trace_id == trace_id]
-        for frame in lingering:
+        # messages for them are dropped as stale.  Steps of *other* traces
+        # parked on those frames are settled like any waiter: the trace-level
+        # verdict stands in for the frame's (Live may be forwarded; anything
+        # else re-dispatches).
+        for frame_id in list(self._frames_by_trace.get(trace_id, ())):
+            frame = self._frames.get(frame_id)
+            if frame is None:
+                continue
             frame.completed = True
             frame.cancel_timeout()
-            active = self._active_by_ioref.get(frame.key)
-            if active is not None:
-                active.discard(frame.frame_id)
-                if not active:
-                    del self._active_by_ioref[frame.key]
-            del self._frames[frame.frame_id]
+            self._discard_frame(frame)
+            frame.note_expiry(cache_expires)
+            self._resolve_waiters(frame, verdict)
         if self.on_outcome_applied is not None:
             visited_here = len(record.visited_inrefs) + len(record.visited_outrefs)
             self.on_outcome_applied(trace_id, verdict, visited_here)

@@ -16,7 +16,7 @@ arrives (section 4.6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ...ids import FrameId, ObjectId, SiteId, TraceId
 from ...sim.scheduler import EventHandle
@@ -27,8 +27,13 @@ IorefKey = Tuple[str, ObjectId]
 INREF = "inref"
 OUTREF = "outref"
 
+Waiter = Tuple[TraceId, Optional[FrameId], Optional[Tuple[SiteId, FrameId]]]
+"""A coalesced step parked on another trace's frame: (trace, local parent,
+remote caller).  Resolved when the host frame completes -- Live is forwarded,
+anything else re-dispatches the step (Garbage is trace-relative)."""
 
-@dataclass
+
+@dataclass(slots=True)
 class Frame:
     """One pending back-step call at one site."""
 
@@ -43,6 +48,18 @@ class Frame:
     completed: bool = False
     participants: Set[SiteId] = field(default_factory=set)
     timeout: Optional[EventHandle] = None
+    waiters: List[Waiter] = field(default_factory=list)
+    # Earliest expiry among the cached Live verdicts this frame's subtree
+    # consumed (None = none consumed).  Propagated so a verdict derived from
+    # a cache entry is never re-cached beyond that entry's own lifetime --
+    # otherwise chained re-caching could keep a stale Live alive forever.
+    cache_expires_at: Optional[float] = None
+
+    def note_expiry(self, expires_at: Optional[float]) -> None:
+        if expires_at is None:
+            return
+        if self.cache_expires_at is None or expires_at < self.cache_expires_at:
+            self.cache_expires_at = expires_at
 
     @property
     def is_root(self) -> bool:

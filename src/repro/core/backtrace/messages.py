@@ -1,17 +1,23 @@
 """Back-trace protocol messages.
 
-Exactly three kinds, matching the paper's complexity accounting (section 4.6):
-one :class:`BackCall` and one :class:`BackReply` per inter-site reference
-traversed, plus one :class:`BackOutcome` per participant in the report phase
--- 2E + N messages in total for a cycle with E traversed inter-site
-references and N participating sites.
+Three logical kinds, matching the paper's complexity accounting (section
+4.6): one :class:`BackCall` and one :class:`BackReply` per inter-site
+reference traversed, plus one :class:`BackOutcome` per participant in the
+report phase -- 2E + N messages in total for a cycle with E traversed
+inter-site references and N participating sites.
+
+With ``GcConfig.backtrace_batch_calls`` the calls (and immediate replies) a
+single engine activation fans out to one destination ship as a
+:class:`BackCallBatch` / :class:`BackReplyBatch`: one physical message whose
+``size_units`` still charges every logical call, so bandwidth accounting and
+the 2E bound on *logical* steps are unchanged.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet
+from typing import FrozenSet, Optional, Tuple
 
 from ...ids import FrameId, ObjectId, SiteId, TraceId
 from ...net.message import Payload
@@ -59,6 +65,10 @@ class BackReply(Payload):
     reply_to: FrameId
     verdict: TraceOutcome
     participants: FrozenSet[SiteId]
+    # Earliest expiry among cached Live verdicts consumed in the subtree
+    # (None if the verdict rests entirely on fresh evidence).  A Live that
+    # leaned on a cache must not be re-cached past that cache's lifetime.
+    cache_expires_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -67,3 +77,31 @@ class BackOutcome(Payload):
 
     trace_id: TraceId
     verdict: TraceOutcome
+    # See BackReply.cache_expires_at: bounds how long participants may cache
+    # a Live verdict that was partly derived from earlier cached verdicts.
+    cache_expires_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BackCallBatch(Payload):
+    """Several :class:`BackCall`\\ s to one destination in one physical message.
+
+    Calls may belong to different traces (one engine activation can touch
+    several -- e.g. coalesced waiters re-dispatched by a finishing trace);
+    the receiver simply handles each call in order.
+    """
+
+    calls: Tuple[BackCall, ...]
+
+    def size_units(self) -> int:
+        return max(1, len(self.calls))
+
+
+@dataclass(frozen=True)
+class BackReplyBatch(Payload):
+    """Several :class:`BackReply`\\ s to one destination in one physical message."""
+
+    replies: Tuple[BackReply, ...]
+
+    def size_units(self) -> int:
+        return max(1, len(self.replies))

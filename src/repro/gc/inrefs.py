@@ -39,19 +39,24 @@ class _SourceMap(dict):
         self.entry = entry
 
     def __setitem__(self, site: SiteId, distance: int) -> None:
-        if self.get(site) == distance and site in self:
+        added = site not in self
+        if not added and self.get(site) == distance:
             return
         super().__setitem__(site, distance)
+        if added:
+            self.entry._source_added(site)
         self.entry._distance_changed()
 
     def __delitem__(self, site: SiteId) -> None:
         super().__delitem__(site)
+        self.entry._source_removed(site)
         self.entry._distance_changed()
 
     def pop(self, site, *default):
         present = site in self
         value = super().pop(site, *default)
         if present:
+            self.entry._source_removed(site)
             self.entry._distance_changed()
         return value
 
@@ -76,6 +81,12 @@ class InrefEntry:
     # outrefs when the inref is cleaned (section 6.1.1); it is also the dual
     # of the insets stored on outrefs.
     outset: FrozenSet[ObjectId] = frozenset()
+    # Per-entry mutation epoch: advanced on every semantically relevant
+    # change (source list, garbage flag, barrier clean).  Table-owned entries
+    # draw epochs from a table-global monotonic counter, so a deleted and
+    # recreated entry can never reproduce an epoch a cached back-trace
+    # verdict snapshotted from its predecessor.
+    epoch: int = 0
     _garbage: bool = field(default=False, repr=False)
     _barrier_clean: bool = field(default=False, repr=False)
     _on_structure_change: Optional[Callable[[], None]] = field(
@@ -84,18 +95,43 @@ class InrefEntry:
     _on_distance_change: Optional[Callable[[], None]] = field(
         default=None, repr=False, compare=False
     )
+    _next_epoch: Optional[Callable[[], int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _on_source_added: Optional[Callable[[SiteId], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    _on_source_removed: Optional[Callable[[SiteId], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not isinstance(self.sources, _SourceMap):
             self.sources = _SourceMap(self, self.sources)
 
+    def _bump_epoch(self) -> None:
+        if self._next_epoch is not None:
+            self.epoch = self._next_epoch()
+        else:
+            self.epoch += 1
+
     def _structure_changed(self) -> None:
+        self._bump_epoch()
         if self._on_structure_change is not None:
             self._on_structure_change()
 
     def _distance_changed(self) -> None:
+        self._bump_epoch()
         if self._on_distance_change is not None:
             self._on_distance_change()
+
+    def _source_added(self, site: SiteId) -> None:
+        if self._on_source_added is not None:
+            self._on_source_added(site)
+
+    def _source_removed(self, site: SiteId) -> None:
+        if self._on_source_removed is not None:
+            self._on_source_removed(site)
 
     @property
     def garbage(self) -> bool:
@@ -172,6 +208,11 @@ class InrefTable:
         self._entries: Dict[ObjectId, InrefEntry] = {}
         self._structure_epoch = 0
         self._distance_epoch = 0
+        # Monotonic feed for per-entry epochs (see InrefEntry.epoch).
+        self._entry_epoch_counter = 0
+        # source site -> inref targets listing it; lets the full-update prune
+        # in gc.update touch only inrefs sourced from the sender.
+        self._by_source: Dict[SiteId, Set[ObjectId]] = {}
 
     # -- mutation epochs --------------------------------------------------------
     #
@@ -194,6 +235,10 @@ class InrefTable:
 
     def bump_distance(self) -> None:
         self._distance_epoch += 1
+
+    def _advance_entry_epoch(self) -> int:
+        self._entry_epoch_counter += 1
+        return self._entry_epoch_counter
 
     @property
     def suspicion_threshold(self) -> int:
@@ -228,6 +273,22 @@ class InrefTable:
     def targets(self) -> List[ObjectId]:
         return list(self._entries)
 
+    def targets_from_source(self, source: SiteId) -> List[ObjectId]:
+        """Inref targets whose source list includes ``source`` (sorted)."""
+        return sorted(self._by_source.get(source, ()))
+
+    # -- per-source index maintenance ---------------------------------------------
+
+    def _index_source_added(self, target: ObjectId, source: SiteId) -> None:
+        self._by_source.setdefault(source, set()).add(target)
+
+    def _index_source_removed(self, target: ObjectId, source: SiteId) -> None:
+        members = self._by_source.get(source)
+        if members is not None:
+            members.discard(target)
+            if not members:
+                del self._by_source[source]
+
     # -- mutation ---------------------------------------------------------------
 
     def ensure(self, target: ObjectId, source: SiteId, distance: int = 1) -> InrefEntry:
@@ -243,13 +304,24 @@ class InrefTable:
             )
             entry._on_structure_change = self.bump_structure
             entry._on_distance_change = self.bump_distance
+            entry._next_epoch = self._advance_entry_epoch
+            entry._on_source_added = lambda site: self._index_source_added(
+                target, site
+            )
+            entry._on_source_removed = lambda site: self._index_source_removed(
+                target, site
+            )
+            entry.epoch = self._advance_entry_epoch()
             self._entries[target] = entry
             self.bump_structure()
         entry.add_source(source, distance)
         return entry
 
     def remove(self, target: ObjectId) -> None:
-        if self._entries.pop(target, None) is not None:
+        entry = self._entries.pop(target, None)
+        if entry is not None:
+            for source in list(entry.sources):
+                self._index_source_removed(target, source)
             self.bump_structure()
 
     def remove_source(self, target: ObjectId, source: SiteId) -> None:

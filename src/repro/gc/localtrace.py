@@ -402,11 +402,13 @@ class LocalCollector:
                 # Trimmed concurrently is impossible (we are the only
                 # remover); but a brand-new entry may exist -- ensure() it.
                 entry = self.outrefs.ensure(target, clean=clean, distance=distance)
-            entry.traced_clean = clean
-            entry.distance = distance
+            entry.apply_trace_state(
+                clean=clean,
+                distance=distance,
+                inset=result.insets.get(target, frozenset()),
+            )
             entry.barrier_clean = False
             entry.reached_by_last_trace = True
-            entry.inset = result.insets.get(target, frozenset())
         # Entries created after the snapshot (insert protocol) keep their
         # clean birth state; nothing to do for them.
 

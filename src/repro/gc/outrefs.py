@@ -42,14 +42,45 @@ class OutrefEntry:
     visited: Set[TraceId] = field(default_factory=set)
     back_threshold: int = 0
     reached_by_last_trace: bool = True
+    # Per-entry mutation epoch for the back-trace verdict cache; fed from the
+    # owning table's monotonic counter so recreated entries never alias (see
+    # InrefEntry.epoch for the full rationale).
+    epoch: int = 0
     _barrier_clean: bool = field(default=False, repr=False)
     _on_change: Optional[Callable[[], None]] = field(
         default=None, repr=False, compare=False
     )
+    _next_epoch: Optional[Callable[[], int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def _changed(self) -> None:
+        if self._next_epoch is not None:
+            self.epoch = self._next_epoch()
+        else:
+            self.epoch += 1
         if self._on_change is not None:
             self._on_change()
+
+    def apply_trace_state(
+        self, clean: bool, distance: int, inset: FrozenSet[ObjectId]
+    ) -> None:
+        """Install a local trace's verdict for this outref (commit phase).
+
+        Bumps the entry epoch only when a value actually changes, so a
+        quiescent site's periodic full traces leave cached back-trace
+        verdicts valid.
+        """
+        if (
+            clean == self.traced_clean
+            and distance == self.distance
+            and inset == self.inset
+        ):
+            return
+        self.traced_clean = clean
+        self.distance = distance
+        self.inset = inset
+        self._changed()
 
     @property
     def barrier_clean(self) -> bool:
@@ -92,6 +123,7 @@ class OutrefTable:
         self._entries: Dict[ObjectId, OutrefEntry] = {}
         self._mutation_epoch = 0
         self._order_dirty = False
+        self._entry_epoch_counter = 0
 
     # -- mutation epoch ----------------------------------------------------------
 
@@ -101,6 +133,10 @@ class OutrefTable:
 
     def bump(self) -> None:
         self._mutation_epoch += 1
+
+    def _advance_entry_epoch(self) -> int:
+        self._entry_epoch_counter += 1
+        return self._entry_epoch_counter
 
     # -- basic access -----------------------------------------------------------
 
@@ -142,6 +178,8 @@ class OutrefTable:
                 back_threshold=self.initial_back_threshold,
             )
             entry._on_change = self.bump
+            entry._next_epoch = self._advance_entry_epoch
+            entry.epoch = self._advance_entry_epoch()
             self._entries[target] = entry
             self._order_dirty = True
             self.bump()

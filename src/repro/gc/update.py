@@ -65,9 +65,13 @@ def apply_update(inrefs: InrefTable, source: SiteId, payload: UpdatePayload) -> 
     if payload.full:
         listed = {target for target, _ in payload.distances}
         listed.update(payload.removals)
-        for target in list(inrefs.targets()):
+        # The per-source index makes this prune proportional to the inrefs
+        # actually sourced from the sender, not the whole table.
+        for target in inrefs.targets_from_source(source):
+            if target in listed:
+                continue
             entry = inrefs.get(target)
-            if entry is not None and source in entry.sources and target not in listed:
+            if entry is not None and source in entry.sources:
                 inrefs.remove_source(target, source)
                 changed = True
     return changed

@@ -38,11 +38,10 @@ class Bundle(Payload):
     def size_units(self) -> int:
         return max(1, sum(payload.size_units() for payload in self.payloads))
 
-    def carried_refs(self):
-        refs: List[ObjectId] = []
-        for payload in self.payloads:
-            refs.extend(payload.carried_refs())
-        return tuple(refs)
+    def carried_refs(self) -> Tuple[ObjectId, ...]:
+        return tuple(
+            ref for payload in self.payloads for ref in payload.carried_refs()
+        )
 
 
 SendFn = Callable[[SiteId, Payload], None]

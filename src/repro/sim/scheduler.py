@@ -17,7 +17,7 @@ from ..errors import SchedulerError
 EventCallback = Callable[[], None]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _Event:
     time: float
     seq: int

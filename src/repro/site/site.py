@@ -21,7 +21,14 @@ from typing import Callable, Dict, List, Optional, Set
 from ..config import GcConfig
 from ..errors import GcInvariantError
 from ..core.backtrace.engine import BackTraceEngine
-from ..core.backtrace.messages import BackCall, BackOutcome, BackReply, TraceOutcome
+from ..core.backtrace.messages import (
+    BackCall,
+    BackCallBatch,
+    BackOutcome,
+    BackReply,
+    BackReplyBatch,
+    TraceOutcome,
+)
 from ..core.barriers import TransferBarrier
 from ..gc.insert import InsertDone, InsertRequest, UnpinRequest
 from ..gc.inrefs import InrefTable
@@ -115,7 +122,9 @@ class Site:
                 raw_send=self._raw_send,
                 deferrable=(
                     BackCall,
+                    BackCallBatch,
                     BackReply,
+                    BackReplyBatch,
                     BackOutcome,
                     UpdatePayload,
                     InsertRequest,
@@ -143,7 +152,9 @@ class Site:
             InsertDone: self._on_insert_done,
             UnpinRequest: self._on_unpin,
             BackCall: self._on_back_call,
+            BackCallBatch: self._on_back_call_batch,
             BackReply: self._on_back_reply,
+            BackReplyBatch: self._on_back_reply_batch,
             BackOutcome: self._on_back_outcome,
             MutatorHop: self._on_mutator_hop,
             RemoteCopy: self._on_remote_copy,
@@ -288,6 +299,11 @@ class Site:
         # suspected_entries() is already deterministically ordered by target.
         for entry in self.outrefs.suspected_entries():
             if entry.distance > entry.back_threshold:
+                # A still-valid cached Live verdict answers the trigger
+                # without consuming this check's trace budget: re-tracing
+                # could only re-derive the cached verdict.
+                if self.engine.cached_live(entry.target):
+                    continue
                 if self.engine.start_trace(entry.target) is not None:
                     started.append(entry.target)
                     if len(started) >= self.config.max_traces_per_trigger_check:
@@ -509,8 +525,14 @@ class Site:
     def _on_back_call(self, message: Message) -> None:
         self.engine.handle_back_call(message.src, message.payload)
 
+    def _on_back_call_batch(self, message: Message) -> None:
+        self.engine.handle_back_call_batch(message.src, message.payload)
+
     def _on_back_reply(self, message: Message) -> None:
         self.engine.handle_back_reply(message.src, message.payload)
+
+    def _on_back_reply_batch(self, message: Message) -> None:
+        self.engine.handle_back_reply_batch(message.src, message.payload)
 
     def _on_back_outcome(self, message: Message) -> None:
         self.engine.handle_back_outcome(message.src, message.payload)

@@ -1,0 +1,64 @@
+"""Twin-run equivalence: caching/coalescing/batching must not change outcomes.
+
+The verdict cache, trace coalescing, and call batching are pure performance
+mechanisms: the same seeded workload run with all three on and all three off
+must collect exactly the same objects and leave exactly the same survivors,
+with the oracle auditing safety after every round.
+"""
+
+import pytest
+
+from repro import GcConfig
+from repro.analysis import Oracle
+from repro.workloads import build_ring_cycle
+
+from ..conftest import make_sim
+
+SITES = [f"s{i}" for i in range(6)]
+
+# Low thresholds so the *live* ring's distances exceed the back threshold and
+# the live suspects get back-traced repeatedly -- the case the cache serves.
+TUNING = dict(
+    suspicion_threshold=2,
+    assumed_cycle_length=2,
+    back_threshold_increment=1,
+)
+
+
+def _run_scenario(seed: int, **features):
+    sim = make_sim(seed=seed, sites=SITES, gc=GcConfig(**TUNING, **features))
+    live = build_ring_cycle(sim, SITES)
+    doomed = build_ring_cycle(sim, SITES[:4])
+    oracle = Oracle(sim)
+    for _ in range(2):
+        sim.run_gc_round()
+        oracle.check_safety()
+    doomed.make_garbage(sim)
+    for _ in range(30):
+        sim.run_gc_round()
+        oracle.check_safety()
+    heaps = {
+        site_id: frozenset(sim.site(site_id).heap.object_ids()) for site_id in SITES
+    }
+    return sim, oracle, heaps, live, doomed
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_twin_run_cache_on_off_identical_collection(seed):
+    sim_on, oracle_on, heaps_on, live_on, _ = _run_scenario(seed)
+    sim_off, oracle_off, heaps_off, _, _ = _run_scenario(
+        seed,
+        backtrace_cache=False,
+        backtrace_coalesce=False,
+        backtrace_batch_calls=False,
+    )
+    # Both runs collected all garbage and kept every live object.
+    assert not oracle_on.garbage_set()
+    assert not oracle_off.garbage_set()
+    for member in live_on.cycle:
+        assert sim_on.site(member.site).heap.contains(member)
+    # The surviving heaps are identical, site by site, object by object.
+    assert heaps_on == heaps_off
+    # And the optimized run actually exercised its mechanisms.
+    assert sim_on.metrics.count("backtrace.cache_hits") > 0
+    assert sim_off.metrics.count("backtrace.cache_hits") == 0
