@@ -148,6 +148,7 @@ def run_steady_state(n_sites, incremental, seed=2, steady_rounds=STEADY_ROUNDS):
     ticks = steady_rounds * n_sites
     skipped = delta.get("gc.traces_skipped", 0)
     fast = delta.get("gc.traces_fast_path", 0)
+    objects_scanned = delta.get("gc.objects_scanned", 0)
     return {
         "mode": "incremental" if incremental else "full",
         "ticks": ticks,
@@ -155,7 +156,13 @@ def run_steady_state(n_sites, incremental, seed=2, steady_rounds=STEADY_ROUNDS):
         "fast_path": fast,
         "full": delta.get("gc.traces_full", 0),
         "resolved_cheaply": (skipped + fast) / ticks,
-        "objects_scanned": delta.get("gc.objects_scanned", 0),
+        "objects_scanned": objects_scanned,
+        # Clean-phase throughput: how fast the hot scan loop chews through
+        # objects (tracks the effect of micro-optimisations in
+        # repro.core.distance on otherwise identical work).
+        "objects_scanned_per_sec": objects_scanned / wall_seconds
+        if wall_seconds > 0
+        else 0.0,
         "update_messages": delta.get("messages.UpdatePayload", 0),
         "wall_seconds": wall_seconds,
         "fingerprint": snapshot(sim)["sites"],
@@ -173,7 +180,16 @@ def test_e13_incremental_steady_state(benchmark, record_table):
     inc, full = stats[True], stats[False]
     table = Table(
         f"E13b: steady-state gc ticks ({STEADY_ROUNDS} rounds, 16 sites)",
-        ["mode", "ticks", "skip", "fast", "full", "objects scanned", "wall (s)"],
+        [
+            "mode",
+            "ticks",
+            "skip",
+            "fast",
+            "full",
+            "objects scanned",
+            "scanned/s",
+            "wall (s)",
+        ],
     )
     for row in (full, inc):
         table.add_row(
@@ -183,6 +199,7 @@ def test_e13_incremental_steady_state(benchmark, record_table):
             row["fast_path"],
             row["full"],
             row["objects_scanned"],
+            f"{row['objects_scanned_per_sec']:.0f}",
             f"{row['wall_seconds']:.3f}",
         )
     record_table("e13b_incremental_steady_state", table)

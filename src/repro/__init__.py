@@ -27,6 +27,7 @@ from .config import GcConfig, NetworkConfig, SimulationConfig
 from .errors import ReproError
 from .ids import FrameId, ObjectId, SiteId, TraceId
 from .sim.simulation import Simulation
+from .sim.parallel import ParallelSimulation
 from .site.site import Site
 from .core.backtrace.messages import TraceOutcome
 
@@ -42,6 +43,7 @@ __all__ = [
     "TraceId",
     "FrameId",
     "Simulation",
+    "ParallelSimulation",
     "Site",
     "TraceOutcome",
     "__version__",

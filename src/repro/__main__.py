@@ -8,8 +8,11 @@ Commands:
 - ``compare``    -- the seven-collector comparison table (benchmark E6).
 - ``stress``     -- a randomized full-concurrency run with live safety
                     auditing (like benchmark E7).
+- ``scale``      -- a many-site churn run on the sharded parallel engine
+                    (``--workers N`` picks the worker-process count).
 
-Every command accepts ``--seed`` for deterministic replay.
+Every command accepts ``--seed`` for deterministic replay and ``--profile``
+to run under cProfile and print the top-20 cumulative hotspots on exit.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import sys
 
 from . import GcConfig, Simulation, SimulationConfig
 from .analysis import Oracle
+from .harness.profiling import profiled
 from .harness.report import Table
 from .workloads import GraphBuilder
 
@@ -156,12 +160,55 @@ def cmd_stress(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    from .config import NetworkConfig
+    from .sim.parallel import ParallelSimulation
+    from .workloads import SiteChurn
+
+    config = SimulationConfig(
+        seed=args.seed,
+        network=NetworkConfig(pair_rng_streams=True),
+        parallel_workers=args.workers,
+        shard_policy=args.shard_policy,
+    )
+    sim = ParallelSimulation(config)
+    sites = [f"s{i:03d}" for i in range(args.sites)]
+    sim.add_sites(sites, auto_gc=True)
+    churn = SiteChurn(sim, sites)
+    churn.start(until=args.duration)
+    fired = 0
+    for step in range(10):
+        fired += sim.run_for(args.duration / 10)
+        print(
+            f"t={sim.now:8.0f} events={fired:8d} objects={sim.total_objects():6d}"
+        )
+    metrics = (
+        sim.merged_metrics()
+        if isinstance(sim, ParallelSimulation) and sim.parallel_active
+        else sim.metrics
+    )
+    print(
+        f"done: {args.sites} sites / {args.workers} workers, "
+        f"{fired} events, {metrics.count('churn.ops')} churn ops, "
+        f"{metrics.count('messages.total')} messages, "
+        f"{metrics.count('gc.objects_swept')} objects swept"
+    )
+    if isinstance(sim, ParallelSimulation):
+        sim.close()
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Back-tracing distributed cycle collection (PODC'97 reproduction)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile; print top-20 cumulative hotspots on exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="two-site cycle quickstart")
     sub.add_parser("figures", help="replay the paper's figures")
@@ -169,6 +216,15 @@ def main(argv=None) -> int:
     stress = sub.add_parser("stress", help="randomized concurrency stress (E7)")
     stress.add_argument("--sites", type=int, default=4)
     stress.add_argument("--duration", type=float, default=3000.0)
+    scale = sub.add_parser(
+        "scale", help="many-site churn on the sharded parallel engine"
+    )
+    scale.add_argument("--sites", type=int, default=64)
+    scale.add_argument("--workers", type=int, default=1)
+    scale.add_argument(
+        "--shard-policy", choices=("contiguous", "round_robin"), default="contiguous"
+    )
+    scale.add_argument("--duration", type=float, default=2000.0)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -176,8 +232,10 @@ def main(argv=None) -> int:
         "figures": cmd_figures,
         "compare": cmd_compare,
         "stress": cmd_stress,
+        "scale": cmd_scale,
     }
-    return handlers[args.command](args)
+    with profiled(enabled=args.profile):
+        return handlers[args.command](args)
 
 
 if __name__ == "__main__":

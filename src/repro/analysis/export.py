@@ -17,43 +17,53 @@ from ..ids import ObjectId
 from ..sim.simulation import Simulation
 
 
+def site_snapshot(site) -> Dict[str, Any]:
+    """A JSON-able dump of one site's heap and ioref tables.
+
+    Shared between the whole-simulation :func:`snapshot` and the parallel
+    engine's shard workers (each worker snapshots exactly its shard and the
+    coordinator merges, so a parallel snapshot is byte-comparable to a
+    sequential one).
+    """
+    threshold = site.inrefs.suspicion_threshold
+    objects = {}
+    for obj in site.heap.objects():
+        objects[str(obj.oid)] = {
+            "refs": [str(ref) for ref in obj.iter_refs()],
+            "persistent_root": obj.oid in site.heap.persistent_roots,
+            "variable_root": obj.oid in site.heap.variable_roots,
+        }
+    inrefs = {}
+    for entry in site.inrefs.entries():
+        inrefs[str(entry.target)] = {
+            "sources": dict(sorted(entry.sources.items())),
+            "distance": entry.distance,
+            "clean": entry.is_clean(threshold),
+            "garbage": entry.garbage,
+            "back_threshold": entry.back_threshold,
+        }
+    outrefs = {}
+    for entry in site.outrefs.entries():
+        outrefs[str(entry.target)] = {
+            "distance": entry.distance,
+            "clean": entry.is_clean,
+            "pinned": entry.pin_count > 0,
+            "inset": sorted(str(x) for x in entry.inset),
+            "back_threshold": entry.back_threshold,
+        }
+    return {
+        "objects": objects,
+        "inrefs": inrefs,
+        "outrefs": outrefs,
+        "crashed": site.crashed,
+    }
+
+
 def snapshot(sim: Simulation) -> Dict[str, Any]:
     """A JSON-able dump of heaps and ioref tables, keyed by site."""
     data: Dict[str, Any] = {"time": sim.now, "sites": {}}
     for site_id in sorted(sim.sites):
-        site = sim.sites[site_id]
-        threshold = site.inrefs.suspicion_threshold
-        objects = {}
-        for obj in site.heap.objects():
-            objects[str(obj.oid)] = {
-                "refs": [str(ref) for ref in obj.iter_refs()],
-                "persistent_root": obj.oid in site.heap.persistent_roots,
-                "variable_root": obj.oid in site.heap.variable_roots,
-            }
-        inrefs = {}
-        for entry in site.inrefs.entries():
-            inrefs[str(entry.target)] = {
-                "sources": dict(sorted(entry.sources.items())),
-                "distance": entry.distance,
-                "clean": entry.is_clean(threshold),
-                "garbage": entry.garbage,
-                "back_threshold": entry.back_threshold,
-            }
-        outrefs = {}
-        for entry in site.outrefs.entries():
-            outrefs[str(entry.target)] = {
-                "distance": entry.distance,
-                "clean": entry.is_clean,
-                "pinned": entry.pin_count > 0,
-                "inset": sorted(str(x) for x in entry.inset),
-                "back_threshold": entry.back_threshold,
-            }
-        data["sites"][site_id] = {
-            "objects": objects,
-            "inrefs": inrefs,
-            "outrefs": outrefs,
-            "crashed": site.crashed,
-        }
+        data["sites"][site_id] = site_snapshot(sim.sites[site_id])
     return data
 
 

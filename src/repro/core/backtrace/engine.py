@@ -287,6 +287,7 @@ class BackTraceEngine:
             2 * self.config.backtrace_timeout,
             lambda: self._outcome_timed_out(trace_id),
             label=f"outcome-timeout:{trace_id}",
+            site=self.site_id,
         )
 
     def _outcome_timed_out(self, trace_id: TraceId) -> None:
@@ -499,6 +500,7 @@ class BackTraceEngine:
             self.config.backtrace_timeout,
             lambda: self._frame_timed_out(frame_id),
             label=f"frame-timeout:{frame_id}",
+            site=self.site_id,
         )
 
     def _frame_timed_out(self, frame_id: FrameId) -> None:

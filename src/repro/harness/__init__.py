@@ -8,8 +8,10 @@ from .scenarios import (
     build_figure5,
 )
 from .report import Table
+from .profiling import profiled
 
 __all__ = [
+    "profiled",
     "FigureScenario",
     "build_figure1",
     "build_figure2",

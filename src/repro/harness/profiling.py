@@ -1,0 +1,51 @@
+"""cProfile wrapper for CLI commands and benchmark drivers.
+
+``profiled(enabled)`` is a context manager: with ``enabled=False`` it is a
+no-op (zero overhead on the normal path), with ``enabled=True`` the body
+runs under :mod:`cProfile` and the top cumulative-time hotspots are printed
+when the block exits -- the quickest way to answer "where does a run spend
+its time" for the simulator's hot loops (clean-phase scans, scheduler pops,
+message dispatch).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+TOP_FUNCTIONS = 20
+
+
+@contextmanager
+def profiled(
+    enabled: bool = True,
+    top: int = TOP_FUNCTIONS,
+    stream: Optional[TextIO] = None,
+) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block and print the ``top`` cumulative hotspots.
+
+    Yields the active :class:`cProfile.Profile` (or ``None`` when disabled)
+    so callers can do their own reporting as well.  The report always goes
+    to ``stream`` (default stderr, keeping stdout clean for command output).
+    """
+    if not enabled:
+        yield None
+        return
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profile, stream=buffer)
+        stats.sort_stats("cumulative")
+        stats.print_stats(top)
+        out = stream if stream is not None else sys.stderr
+        out.write(f"--- cProfile: top {top} by cumulative time ---\n")
+        out.write(buffer.getvalue())
+        out.flush()

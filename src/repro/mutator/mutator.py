@@ -102,7 +102,10 @@ class Mutator:
         # a timeout: the mutator gives up and stays where it was (its old
         # position is still pinned, so nothing unsafe can happen).
         self._hop_timer = self.sim.scheduler.schedule(
-            self.hop_timeout, self._hop_timed_out, label=f"hop-timeout:{self.name}"
+            self.hop_timeout,
+            self._hop_timed_out,
+            label=f"hop-timeout:{self.name}",
+            site=self.site_id,
         )
         self.site.mutator_hop(self.name, target)
 

@@ -76,7 +76,16 @@ class RandomWorkload:
 
     def _schedule_next(self) -> None:
         delay = self.rng.expovariate(1.0 / self.config.mean_interval)
-        self.sim.scheduler.schedule(delay, self._tick, label=f"workload:{self.mutator.name}")
+        # Tagged with the mutator's *current* site; note random workloads
+        # read remote heaps directly and are therefore sequential-only (the
+        # parallel engine's churn workload in repro.workloads.churn is the
+        # shard-safe equivalent).
+        self.sim.scheduler.schedule(
+            delay,
+            self._tick,
+            label=f"workload:{self.mutator.name}",
+            site=self.mutator.site_id,
+        )
 
     def _tick(self) -> None:
         if not self._running:

@@ -83,6 +83,7 @@ class DeferringSender:
                     self.delay,
                     lambda: self._timer_fired(dst),
                     label=f"defer-flush:{self.site_id}->{dst}",
+                    site=self.site_id,
                 )
             return
         # An undeferred message departs: piggyback anything pending so FIFO

@@ -10,7 +10,8 @@ even when their sampled latencies would reorder them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set, Tuple
+import random
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..config import NetworkConfig
 from ..errors import UnknownSiteError
@@ -36,6 +37,7 @@ class Network:
         latency_model: Optional[LatencyModel] = None,
     ):
         self._scheduler = scheduler
+        self._rng_registry = rng
         self._rng = rng.stream("network")
         self._metrics = metrics
         self._config = config or NetworkConfig()
@@ -47,6 +49,16 @@ class Network:
         self._partition: Optional[Dict[SiteId, int]] = None
         self._last_delivery: Dict[Tuple[SiteId, SiteId], float] = {}
         self._in_flight: Dict[int, Message] = {}
+        # Per-ordered-pair RNG streams (see NetworkConfig.pair_rng_streams).
+        self._pair_streams: Optional[Dict[Tuple[SiteId, SiteId], random.Random]] = (
+            {} if self._config.pair_rng_streams else None
+        )
+        # Shard mode (set by the parallel engine inside a worker process):
+        # sends to sites outside ``_shard_sites`` are not scheduled locally
+        # but appended to ``_shard_outbox`` as (deliver_at, message) pairs
+        # with the latency draw and FIFO clamp already applied sender-side.
+        self._shard_sites: Optional[Set[SiteId]] = None
+        self._shard_outbox: Optional[List[Tuple[float, Message]]] = None
 
     # -- topology -----------------------------------------------------------
 
@@ -91,6 +103,52 @@ class Network:
             return False
         return self._partition.get(src) != self._partition.get(dst)
 
+    # -- sharding (parallel engine support) ---------------------------------
+
+    def attach_shard(
+        self, sites: Set[SiteId], outbox: List[Tuple[float, Message]]
+    ) -> None:
+        """Enter shard mode: this network instance serves only ``sites``.
+
+        Called inside a forked worker process.  Sends whose destination is
+        outside the shard are fully prepared sender-side (metrics, loss,
+        latency draw, FIFO clamp) and then parked in ``outbox`` for the
+        coordinator to route, instead of being scheduled on the local
+        scheduler.  Requires per-pair RNG streams, otherwise latency draws
+        would depend on the global send interleaving the shards no longer
+        share.
+        """
+        if self._pair_streams is None:
+            raise UnknownSiteError(
+                "shard mode requires NetworkConfig.pair_rng_streams"
+            )
+        if self._partition is not None:
+            raise UnknownSiteError("shard mode does not support partitions")
+        self._shard_sites = set(sites)
+        self._shard_outbox = outbox
+
+    @property
+    def shard_sites(self) -> Optional[Set[SiteId]]:
+        return None if self._shard_sites is None else set(self._shard_sites)
+
+    def deliver_remote(self, message: Message) -> None:
+        """Deliver a message routed in from another shard.
+
+        The sender already paid the latency and FIFO clamp; this is the
+        receiver half of :meth:`_deliver` (crash/partition checks happen at
+        delivery time, exactly as in the sequential engine).
+        """
+        self._deliver(message)
+
+    def _rng_for(self, src: SiteId, dst: SiteId) -> random.Random:
+        if self._pair_streams is None:
+            return self._rng
+        stream = self._pair_streams.get((src, dst))
+        if stream is None:
+            stream = self._rng_registry.stream(f"net:{src}->{dst}")
+            self._pair_streams[(src, dst)] = stream
+        return stream
+
     # -- sending ------------------------------------------------------------
 
     def send(self, src: SiteId, dst: SiteId, payload: Payload) -> None:
@@ -108,20 +166,29 @@ class Network:
         if src in self._crashed or dst in self._crashed or self._partitioned(src, dst):
             self._metrics.incr("messages.lost")
             return
-        if self._config.drop_probability and self._rng.random() < self._config.drop_probability:
+        rng = self._rng_for(src, dst)
+        if self._config.drop_probability and rng.random() < self._config.drop_probability:
             self._metrics.incr("messages.lost")
             return
 
-        delay = self._latency.sample(self._rng, src, dst)
+        delay = self._latency.sample(rng, src, dst)
         deliver_at = self._scheduler.now + delay
         if self._config.fifo_per_pair:
             pair = (src, dst)
             floor = self._last_delivery.get(pair, 0.0)
             deliver_at = max(deliver_at, floor)
             self._last_delivery[pair] = deliver_at
+        if self._shard_sites is not None and dst not in self._shard_sites:
+            # Cross-shard: hand to the coordinator with the delivery time
+            # already fixed; the receiving shard schedules it unchanged.
+            self._shard_outbox.append((deliver_at, message))
+            return
         self._in_flight[message.uid] = message
         self._scheduler.schedule_at(
-            deliver_at, lambda: self._deliver(message), label=f"deliver:{message.kind}"
+            deliver_at,
+            lambda: self._deliver(message),
+            label=f"deliver:{message.kind}",
+            site=dst,
         )
 
     def in_flight_messages(self):

@@ -10,5 +10,14 @@ handlers, which makes experiments replayable and test failures minimizable.
 from .scheduler import EventHandle, Scheduler
 from .rng import RngRegistry
 from .simulation import Simulation
+from .parallel import ParallelSimulation, SafeTimePlanner, assign_shards
 
-__all__ = ["EventHandle", "Scheduler", "RngRegistry", "Simulation"]
+__all__ = [
+    "EventHandle",
+    "Scheduler",
+    "RngRegistry",
+    "Simulation",
+    "ParallelSimulation",
+    "SafeTimePlanner",
+    "assign_shards",
+]

@@ -1,0 +1,710 @@
+"""Sharded parallel simulation engine with conservative lookahead.
+
+The sequential :class:`~repro.sim.simulation.Simulation` executes every
+site's events on one scheduler.  This module partitions the sites across N
+worker processes, each running its own :class:`~repro.sim.scheduler.Scheduler`
+over its shard's events, and synchronizes the shards with conservative
+lookahead in the Chandy--Misra--Bryant style:
+
+- The coordinator repeatedly computes a *global safe time*
+  ``safe = min(horizon + lookahead, target)`` where ``horizon`` is the
+  minimum over all shards of the earliest unexecuted event (including
+  cross-shard messages still being routed) and ``lookahead`` is
+  ``NetworkConfig.min_latency``.
+- Every shard then fires all of its events *strictly below* ``safe``
+  (:meth:`Scheduler.run_until_before`) and hands the coordinator any
+  messages addressed outside the shard.
+
+Safety: an event executed inside a window has timestamp >= ``horizon``, so
+any message it sends arrives at ``>= horizon + min_latency >= safe`` --
+beyond every shard's executed frontier.  No shard can ever receive a message
+in its past, hence no rollback is needed.  Progress: each round either fires
+the horizon event or routes the horizon message, so rounds terminate; this
+requires ``min_latency > 0`` (with zero lookahead no window has positive
+width, and the engine falls back to the sequential path with a warning).
+
+Determinism: per-ordered-pair network RNG streams
+(``NetworkConfig.pair_rng_streams``, forced on by this engine) make every
+latency/loss draw depend only on the *sender's own* send order; per-site
+event streams are already deterministic; and cross-shard messages are
+injected into the receiving shard in ``(deliver_at, source site, sender
+sequence)`` order.  A parallel run therefore produces the same final heap
+contents, inref/outref tables, and collection survivors as a sequential run
+of the same seed (with ``pair_rng_streams`` set) -- the equivalence tests
+compare full snapshots byte for byte.
+
+Workers are created by *forking* after the simulation is fully constructed:
+the child inherits the whole object graph by copy-on-write memory, prunes
+its scheduler queue to its shard (:meth:`Scheduler.retain_sites`), and puts
+its network into shard mode (:meth:`Network.attach_shard`).  Nothing but
+plain messages, site-call results, and merged statistics ever crosses a
+process boundary.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import traceback
+import warnings
+from collections import Counter
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from ..ids import ObjectId, SiteId
+from ..metrics import MetricsRecorder
+from ..net.latency import LatencyModel
+from ..net.message import Message
+from .simulation import Simulation
+
+_INF = float("inf")
+
+#: (deliver_at, message) pairs as prepared sender-side by Network.send.
+RoutedMessage = Tuple[float, Message]
+
+
+def assign_shards(
+    site_ids, workers: int, policy: str = "contiguous"
+) -> List[List[SiteId]]:
+    """Partition ``site_ids`` into at most ``workers`` non-empty shards.
+
+    ``contiguous`` slices the sorted site list into balanced runs (sizes
+    differ by at most one; neighbours stay together, which minimizes
+    cross-shard traffic for ring-like topologies).  ``round_robin`` deals
+    sites out cyclically (balances heterogeneous per-site load).
+    """
+    ordered = sorted(site_ids)
+    workers = max(1, min(workers, len(ordered)))
+    if policy == "round_robin":
+        shards = [ordered[index::workers] for index in range(workers)]
+    elif policy == "contiguous":
+        base, extra = divmod(len(ordered), workers)
+        shards, start = [], 0
+        for index in range(workers):
+            size = base + (1 if index < extra else 0)
+            shards.append(ordered[start : start + size])
+            start += size
+    else:
+        raise SimulationError(f"unknown shard policy {policy!r}")
+    return [shard for shard in shards if shard]
+
+
+class SafeTimePlanner:
+    """Pure computation of conservative-lookahead windows.
+
+    Kept free of any process machinery so the protocol itself is unit
+    testable: given the shards' earliest pending times, the planner names the
+    exclusive upper bound of the next window, or ``None`` when the target is
+    reached.
+    """
+
+    def __init__(self, lookahead: float):
+        if lookahead <= 0:
+            raise SimulationError(
+                "conservative lookahead requires lookahead > 0 "
+                f"(got {lookahead})"
+            )
+        self.lookahead = lookahead
+
+    def horizon(self, next_times: Sequence[float]) -> float:
+        """Earliest unexecuted work across all shards (inf when idle)."""
+        return min(next_times, default=_INF)
+
+    def window(self, horizon: float, target_excl: float) -> Optional[float]:
+        """Exclusive safe bound of the next window, or None when done.
+
+        Any event at ``horizon`` must fall inside the window, so the bound
+        is strictly above ``horizon`` even when ``lookahead`` underflows
+        against a large timestamp (the ``nextafter`` fallback).
+        """
+        if horizon >= target_excl:
+            return None
+        safe = min(horizon + self.lookahead, target_excl)
+        if safe <= horizon:
+            safe = min(math.nextafter(horizon, _INF), target_excl)
+        return safe
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _Stop(Exception):
+    """Internal: the worker was asked to shut down."""
+
+
+def _schedule_incoming(sim: Simulation, incoming: List[RoutedMessage]) -> None:
+    """Schedule routed-in messages at their sender-fixed delivery times.
+
+    The coordinator pre-sorts ``incoming`` by (deliver_at, source site,
+    sender sequence), so the scheduler's FIFO-within-timestamp tie-breaking
+    reproduces the deterministic order regardless of which shard sent what.
+    """
+    deliver = sim.network.deliver_remote
+    schedule_at = sim.scheduler.schedule_at
+    for deliver_at, message in incoming:
+        schedule_at(
+            deliver_at,
+            (lambda m=message: deliver(m)),
+            label=f"deliver:{message.kind}",
+            site=message.dst,
+        )
+
+
+def _execute(sim: Simulation, shard: Set[SiteId], command: tuple):
+    """Run one coordinator command; return (payload, events_fired)."""
+    op = command[0]
+    if op == "window":
+        _, safe, incoming = command
+        _schedule_incoming(sim, incoming)
+        return None, sim.scheduler.run_until_before(safe)
+    if op == "align":
+        _, time, incoming = command
+        _schedule_incoming(sim, incoming)
+        sim.scheduler.advance_clock(time)
+        return None, 0
+    if op == "site_call":
+        _, site_id, method, args, kwargs = command
+        return getattr(sim.site(site_id), method)(*args, **kwargs), 0
+    if op == "crash":
+        site_id = command[1]
+        if site_id in shard:
+            sim.site(site_id).crash()
+        else:
+            # Remote crash: this shard only needs the network view so its
+            # sends to (and in-flight deliveries from) the site are lost,
+            # exactly as the sequential engine's shared network would do.
+            sim.network.crash(site_id)
+        return None, 0
+    if op == "recover":
+        site_id = command[1]
+        if site_id in shard:
+            sim.site(site_id).recover()
+        else:
+            sim.network.recover(site_id)
+        return None, 0
+    if op == "quiesce":
+        for site_id in shard:
+            sim.sites[site_id].stop_auto_gc()
+        return None, 0
+    if op == "snapshot":
+        from ..analysis.export import site_snapshot
+
+        return {
+            site_id: site_snapshot(sim.sites[site_id]) for site_id in shard
+        }, 0
+    if op == "metrics":
+        return dict(sim.metrics._counters), 0
+    if op == "outcomes":
+        return list(sim._trace_outcomes), 0
+    if op == "counts":
+        return sum(len(sim.sites[site_id].heap) for site_id in shard), 0
+    if op == "oids":
+        oids: List[ObjectId] = []
+        for site_id in sorted(shard):
+            oids.extend(sim.sites[site_id].heap.object_ids())
+        return oids, 0
+    if op == "stop":
+        raise _Stop
+    raise SimulationError(f"unknown worker command {op!r}")
+
+
+def _worker_main(conn, shard_sites: List[SiteId], sim: Simulation) -> None:
+    """Entry point of a forked shard worker.
+
+    The child inherited the fully built simulation by fork; it prunes the
+    scheduler to its shard, puts the network into shard mode, and then obeys
+    coordinator commands.  Every reply is a uniform
+    ``("ok", payload, outgoing, next_event_time, events_fired)`` tuple (or
+    ``("error", traceback_text)``), so the coordinator always learns the
+    shard's new frontier and pending cross-shard messages in one exchange.
+    """
+    shard = set(shard_sites)
+    outbox: List[RoutedMessage] = []
+    try:
+        sim.scheduler.retain_sites(shard)
+        sim.network.attach_shard(shard, outbox)
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", None, [], sim.scheduler.next_event_time(), 0))
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        try:
+            payload, fired = _execute(sim, shard, command)
+        except _Stop:
+            conn.send(("ok", None, [], _INF, 0))
+            break
+        except Exception:
+            del outbox[:]
+            conn.send(("error", traceback.format_exc()))
+            continue
+        outgoing = outbox[:]
+        del outbox[:]
+        conn.send(
+            ("ok", payload, outgoing, sim.scheduler.next_event_time(), fired)
+        )
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Coordinator-side bookkeeping for one shard worker."""
+
+    __slots__ = ("process", "conn", "shard", "next_time")
+
+    def __init__(self, process, conn, shard: Set[SiteId]):
+        self.process = process
+        self.conn = conn
+        self.shard = shard
+        self.next_time = _INF
+
+
+_PROXY_METHODS = frozenset(
+    {
+        "run_local_trace",
+        "stop_auto_gc",
+        "schedule_next_trace",
+        "check_backtrace_triggers",
+        "mutator_add_ref",
+        "mutator_remove_ref",
+        "mutator_send_ref",
+        "mutator_hop",
+        "take_insert_custody",
+        "pin_variable",
+        "unpin_variable",
+        "stats",
+    }
+)
+
+
+class SiteProxy:
+    """Post-fork stand-in for a :class:`Site` living in a worker process.
+
+    Forwards the mutator-facing and GC-control API as remote calls; direct
+    state access (``heap``, ``inrefs``, ``outrefs``) is not available across
+    the process boundary -- use :meth:`ParallelSimulation.snapshot`.
+    """
+
+    __slots__ = ("_sim", "site_id")
+
+    def __init__(self, sim: "ParallelSimulation", site_id: SiteId):
+        object.__setattr__(self, "_sim", sim)
+        object.__setattr__(self, "site_id", site_id)
+
+    @property
+    def crashed(self) -> bool:
+        return self.site_id in self._sim._crashed_sites
+
+    def crash(self) -> None:
+        self._sim.crash_site(self.site_id)
+
+    def recover(self) -> None:
+        self._sim.recover_site(self.site_id)
+
+    def __getattr__(self, name: str):
+        if name in _PROXY_METHODS:
+            sim, site_id = self._sim, self.site_id
+
+            def call(*args, **kwargs):
+                return sim._site_call(site_id, name, *args, **kwargs)
+
+            call.__name__ = name
+            return call
+        raise AttributeError(
+            f"site {self.site_id!r} runs in a worker process; {name!r} is "
+            "not forwarded (use ParallelSimulation.snapshot() for state)"
+        )
+
+    def __repr__(self) -> str:
+        return f"SiteProxy({self.site_id!r})"
+
+
+class ParallelSimulation(Simulation):
+    """Drop-in :class:`Simulation` that executes site shards in parallel.
+
+    Construction, topology building, and everything before the first
+    ``run_*`` call behave exactly like the sequential engine (same classes,
+    same RNG streams).  The first time simulated time advances, the
+    coordinator forks ``config.parallel_workers`` shard workers and from
+    then on drives them with conservative-lookahead windows.  With
+    ``parallel_workers == 1`` (or when parallelism is impossible: zero
+    ``min_latency``, no fork support, fewer than two sites) every call takes
+    the inherited sequential path unchanged.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ):
+        config = config or SimulationConfig()
+        requested = config.parallel_workers
+        fallback = None
+        if requested > 1:
+            if config.network.min_latency <= 0:
+                fallback = (
+                    "network.min_latency must be > 0 (the conservative "
+                    "lookahead bound); running sequentially"
+                )
+            elif "fork" not in multiprocessing.get_all_start_methods():
+                fallback = "platform has no fork start method; running sequentially"
+        self._parallel = requested > 1 and fallback is None
+        if fallback is not None:
+            warnings.warn(
+                f"parallel_workers={requested}: {fallback}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if self._parallel and not config.network.pair_rng_streams:
+            config = replace(
+                config, network=replace(config.network, pair_rng_streams=True)
+            )
+        super().__init__(config, latency_model=latency_model)
+        self._forked = False
+        self._closed = False
+        self._workers: List[_WorkerHandle] = []
+        self._pending: List[RoutedMessage] = []
+        self._site_to_worker: Dict[SiteId, int] = {}
+        self._crashed_sites: Set[SiteId] = set()
+        self._proxies: Dict[SiteId, SiteProxy] = {}
+        self._fork_counters: Counter = Counter()
+        self._fork_outcome_count = 0
+        self._planner = (
+            SafeTimePlanner(config.network.min_latency) if self._parallel else None
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def parallel_active(self) -> bool:
+        """True when runs are (or will be) executed by shard workers."""
+        return self._parallel
+
+    def _ensure_forked(self) -> None:
+        if self._forked or not self._parallel:
+            if self._closed:
+                raise SimulationError("parallel simulation has been closed")
+            return
+        shards = assign_shards(
+            self.sites, self.config.parallel_workers, self.config.shard_policy
+        )
+        if len(shards) < 2:
+            warnings.warn(
+                "parallel run degenerates to one shard "
+                f"({len(self.sites)} sites); running sequentially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._parallel = False
+            self._planner = None
+            return
+        self._fork_counters = Counter(self.metrics._counters)
+        self._fork_outcome_count = len(self._trace_outcomes)
+        self._crashed_sites = {
+            site_id for site_id, site in self.sites.items() if site.crashed
+        }
+        context = multiprocessing.get_context("fork")
+        for shard in shards:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, list(shard), self),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_WorkerHandle(process, parent_conn, set(shard)))
+        # Flag flips only after every fork: children must see the sequential
+        # view of `self` so their internal calls take direct paths.
+        self._forked = True
+        for index, worker in enumerate(self._workers):
+            self._absorb(worker, worker.conn.recv())
+            for site_id in worker.shard:
+                self._site_to_worker[site_id] = index
+
+    def close(self) -> None:
+        """Stop the shard workers.  Idempotent; further runs raise."""
+        if not self._forked or self._closed:
+            self._closed = self._closed or self._forked
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            try:
+                worker.conn.recv()
+            except (EOFError, OSError):
+                pass
+            worker.conn.close()
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+
+    def __enter__(self) -> "ParallelSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- coordinator plumbing ------------------------------------------------
+
+    def _absorb(self, worker: _WorkerHandle, reply: tuple):
+        """Fold one worker reply into coordinator state; return its payload."""
+        if reply[0] == "error":
+            raise SimulationError(f"shard worker failed:\n{reply[1]}")
+        _, payload, outgoing, next_time, fired = reply
+        self._pending.extend(outgoing)
+        worker.next_time = next_time
+        return payload, fired
+
+    def _broadcast(self, command: tuple) -> Tuple[List[Any], int]:
+        """Send ``command`` to every worker; gather payloads in shard order."""
+        if self._closed:
+            raise SimulationError("parallel simulation has been closed")
+        for worker in self._workers:
+            worker.conn.send(command)
+        payloads: List[Any] = []
+        total_fired = 0
+        for worker in self._workers:
+            payload, fired = self._absorb(worker, worker.conn.recv())
+            payloads.append(payload)
+            total_fired += fired
+        return payloads, total_fired
+
+    def _site_call(self, site_id: SiteId, method: str, *args, **kwargs):
+        if self._closed:
+            raise SimulationError("parallel simulation has been closed")
+        worker = self._workers[self._site_to_worker[site_id]]
+        worker.conn.send(("site_call", site_id, method, args, kwargs))
+        payload, _ = self._absorb(worker, worker.conn.recv())
+        return payload
+
+    def _take_pending(self, shard: Set[SiteId], bound: float) -> List[RoutedMessage]:
+        """Remove and return pending messages for ``shard`` due before ``bound``.
+
+        The returned list is sorted by (deliver_at, source site, sender
+        sequence): delivery time first, with the paper-prescribed
+        deterministic tie-break for simultaneous cross-shard arrivals.
+        """
+        due: List[RoutedMessage] = []
+        rest: List[RoutedMessage] = []
+        for item in self._pending:
+            deliver_at, message = item
+            if message.dst in shard and deliver_at < bound:
+                due.append(item)
+            else:
+                rest.append(item)
+        self._pending = rest
+        due.sort(key=lambda item: (item[0], item[1].src, item[1].uid))
+        return due
+
+    def _effective_horizon(self) -> float:
+        horizon = self._planner.horizon(
+            [worker.next_time for worker in self._workers]
+        )
+        for deliver_at, _ in self._pending:
+            horizon = min(horizon, deliver_at)
+        return horizon
+
+    def _advance(self, target: float) -> int:
+        """Advance every shard to exactly ``target`` via safe-time windows."""
+        target_excl = math.nextafter(target, _INF)
+        total_fired = 0
+        while True:
+            safe = self._planner.window(self._effective_horizon(), target_excl)
+            if safe is None:
+                break
+            for worker in self._workers:
+                incoming = self._take_pending(worker.shard, safe)
+                worker.conn.send(("window", safe, incoming))
+            for worker in self._workers:
+                _, fired = self._absorb(worker, worker.conn.recv())
+                total_fired += fired
+        # Align: park messages due beyond the target in their receiving
+        # shards' queues and move every clock (ours included) to the target.
+        for worker in self._workers:
+            incoming = self._take_pending(worker.shard, _INF)
+            worker.conn.send(("align", target, incoming))
+        for worker in self._workers:
+            self._absorb(worker, worker.conn.recv())
+        self.scheduler.advance_clock(target)
+        return total_fired
+
+    # -- time control (Simulation API) ---------------------------------------
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        if not self._parallel:
+            return super().run_until(time, max_events=max_events)
+        self._ensure_forked()
+        if not self._parallel:  # degraded during fork (single shard)
+            return super().run_until(time, max_events=max_events)
+        if max_events is not None:
+            raise SimulationError(
+                "max_events is not supported by the parallel engine"
+            )
+        if time < self.scheduler.now:
+            return 0
+        return self._advance(time)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        if not self._parallel:
+            return super().run_for(duration, max_events=max_events)
+        return self.run_until(self.scheduler.now + duration, max_events=max_events)
+
+    def step(self) -> bool:
+        if not self._parallel:
+            return super().step()
+        raise SimulationError(
+            "step() is not available in parallel mode: the engine advances "
+            "in safe-time windows, not single global events"
+        )
+
+    def settle(self, quiet_time: float = 50.0, max_rounds: int = 1000) -> None:
+        if not self._parallel:
+            return super().settle(quiet_time=quiet_time, max_rounds=max_rounds)
+        for _ in range(max_rounds):
+            if self.run_for(quiet_time) == 0:
+                return
+        raise SimulationError("simulation did not settle")
+
+    def quiesce_auto_gc(self) -> None:
+        if not self._forked:
+            return super().quiesce_auto_gc()
+        self._broadcast(("quiesce",))
+
+    def run_gc_round(self, settle_time: float = 50.0) -> None:
+        if not self._parallel:
+            return super().run_gc_round(settle_time=settle_time)
+        self._ensure_forked()
+        if not self._parallel:
+            return super().run_gc_round(settle_time=settle_time)
+        # Mirrors the sequential implementation exactly: one trace per
+        # non-crashed site in sorted order, message drain between sites.
+        for site_id in sorted(self.sites):
+            if site_id not in self._crashed_sites:
+                self._site_call(site_id, "run_local_trace")
+            self.run_for(settle_time)
+        self.settle(settle_time)
+
+    # -- construction / access ----------------------------------------------
+
+    def add_site(self, site_id: SiteId, auto_gc: bool = True):
+        if self._forked:
+            raise SimulationError("cannot add sites after workers have forked")
+        return super().add_site(site_id, auto_gc=auto_gc)
+
+    def site(self, site_id: SiteId):
+        if not self._forked:
+            return super().site(site_id)
+        if site_id not in self.sites:
+            raise SimulationError(f"no such site: {site_id!r}")
+        proxy = self._proxies.get(site_id)
+        if proxy is None:
+            proxy = self._proxies[site_id] = SiteProxy(self, site_id)
+        return proxy
+
+    def crash_site(self, site_id: SiteId) -> None:
+        """Crash ``site_id`` (all shards learn, so sends to it are lost)."""
+        if site_id not in self.sites:
+            raise SimulationError(f"no such site: {site_id!r}")
+        if not self._forked:
+            super().site(site_id).crash()
+            return
+        self._crashed_sites.add(site_id)
+        self._broadcast(("crash", site_id))
+
+    def recover_site(self, site_id: SiteId) -> None:
+        if site_id not in self.sites:
+            raise SimulationError(f"no such site: {site_id!r}")
+        if not self._forked:
+            super().site(site_id).recover()
+            return
+        self._crashed_sites.discard(site_id)
+        self._broadcast(("recover", site_id))
+
+    # -- merged state --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Merged heap/ioref snapshot, same shape as ``analysis.export.snapshot``."""
+        if not self._forked:
+            from ..analysis.export import snapshot as export_snapshot
+
+            return export_snapshot(self)
+        payloads, _ = self._broadcast(("snapshot",))
+        merged: Dict[str, Any] = {}
+        for shard_snapshot in payloads:
+            merged.update(shard_snapshot)
+        return {
+            "time": self.now,
+            "sites": {site_id: merged[site_id] for site_id in sorted(merged)},
+        }
+
+    def merged_metrics(self) -> MetricsRecorder:
+        """Counter totals across all workers (plus the pre-fork baseline).
+
+        Every worker inherited the pre-fork counters at fork time, so the
+        merge adds only each worker's post-fork deltas to the baseline once.
+        Observations (value series) are not merged across processes.
+        """
+        if not self._forked:
+            return self.metrics
+        payloads, _ = self._broadcast(("metrics",))
+        merged = Counter(self._fork_counters)
+        for worker_counters in payloads:
+            for name, value in worker_counters.items():
+                merged[name] += value - self._fork_counters.get(name, 0)
+        recorder = MetricsRecorder()
+        recorder._counters.update(
+            {name: value for name, value in merged.items() if value}
+        )
+        return recorder
+
+    @property
+    def trace_outcomes(self) -> List[tuple]:
+        if not self._forked:
+            return list(self._trace_outcomes)
+        payloads, _ = self._broadcast(("outcomes",))
+        merged = list(self._trace_outcomes[: self._fork_outcome_count])
+        fresh: List[tuple] = []
+        for worker_outcomes in payloads:
+            fresh.extend(worker_outcomes[self._fork_outcome_count :])
+        # (time, initiator site, trace id) is unique per outcome and matches
+        # the execution order a sequential run would have appended in.
+        fresh.sort(key=lambda outcome: (outcome[0], outcome[1], outcome[2]))
+        return merged + fresh
+
+    def total_objects(self) -> int:
+        if not self._forked:
+            return super().total_objects()
+        payloads, _ = self._broadcast(("counts",))
+        return sum(payloads)
+
+    def all_object_ids(self) -> List[ObjectId]:
+        if not self._forked:
+            return super().all_object_ids()
+        payloads, _ = self._broadcast(("oids",))
+        merged: List[ObjectId] = []
+        for oids in payloads:
+            merged.extend(oids)
+        return merged

@@ -4,17 +4,35 @@ Events at equal simulated times fire in the order they were scheduled (a
 monotonic sequence number breaks ties), so a run is fully determined by the
 sequence of ``schedule`` calls -- no dict-ordering or hash-randomization
 effects can change behaviour between runs.
+
+Two features exist for the sharded parallel engine (:mod:`repro.sim.parallel`):
+
+- every event may carry an owning *site* tag, which lets a forked shard
+  worker retain exactly the events that belong to its sites
+  (:meth:`Scheduler.retain_sites`);
+- :meth:`Scheduler.run_until_before` fires events *strictly below* a bound,
+  which is the shape conservative-lookahead windows need (a shard may run all
+  events below the global safe time, and nothing at or past it).
+
+Cancelled events are removed lazily when popped; when more than half of a
+non-trivial queue is cancelled carcasses (e.g. the back-trace timeout handles
+cancelled on every completed trace), the queue is compacted in one O(n)
+rebuild so memory and pop cost stay proportional to live events.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 from ..errors import SchedulerError
+from ..ids import SiteId
 
 EventCallback = Callable[[], None]
+
+_COMPACT_MIN_QUEUE = 64
+"""Queues smaller than this are never compacted (rebuild cost beats benefit)."""
 
 
 @dataclass(order=True, slots=True)
@@ -24,6 +42,7 @@ class _Event:
     callback: Optional[EventCallback] = field(compare=False)
     label: str = field(compare=False, default="")
     owner: Optional["Scheduler"] = field(compare=False, default=None)
+    site: Optional[SiteId] = field(compare=False, default=None)
 
     @property
     def cancelled(self) -> bool:
@@ -34,7 +53,7 @@ class _Event:
             return
         self.callback = None
         if self.owner is not None:
-            self.owner._live_events -= 1
+            self.owner._note_cancelled()
 
 
 class EventHandle:
@@ -68,6 +87,7 @@ class Scheduler:
         self._queue: List[_Event] = []
         self._events_fired = 0
         self._live_events = 0
+        self._cancelled_events = 0
 
     @property
     def now(self) -> float:
@@ -81,22 +101,41 @@ class Scheduler:
         return self._live_events
 
     @property
+    def queue_length(self) -> int:
+        """Physical queue length including cancelled carcasses (introspection
+        for the compaction tests; ``pending`` is the semantic count)."""
+        return len(self._queue)
+
+    @property
     def events_fired(self) -> int:
         """Total callbacks executed so far (for progress reporting)."""
         return self._events_fired
 
-    def schedule(self, delay: float, callback: EventCallback, label: str = "") -> EventHandle:
+    def schedule(
+        self,
+        delay: float,
+        callback: EventCallback,
+        label: str = "",
+        site: Optional[SiteId] = None,
+    ) -> EventHandle:
         """Run ``callback`` after ``delay`` simulated time units.
 
         ``delay`` must be non-negative; zero-delay events fire after all
         events already scheduled for the current instant, preserving FIFO
-        order within a timestamp.
+        order within a timestamp.  ``site`` tags the event with the site it
+        belongs to; the parallel engine partitions the queue by this tag.
         """
         if delay < 0:
             raise SchedulerError(f"cannot schedule into the past (delay={delay})")
-        return self._push(self._now + delay, callback, label)
+        return self._push(self._now + delay, callback, label, site)
 
-    def schedule_at(self, time: float, callback: EventCallback, label: str = "") -> EventHandle:
+    def schedule_at(
+        self,
+        time: float,
+        callback: EventCallback,
+        label: str = "",
+        site: Optional[SiteId] = None,
+    ) -> EventHandle:
         """Run ``callback`` at absolute simulated time ``time``.
 
         Uses the absolute timestamp *exactly* -- converting to a relative
@@ -108,20 +147,99 @@ class Scheduler:
             raise SchedulerError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        return self._push(time, callback, label)
+        return self._push(time, callback, label, site)
 
-    def _push(self, time: float, callback: EventCallback, label: str) -> EventHandle:
-        event = _Event(time=time, seq=self._seq, callback=callback, label=label, owner=self)
+    def _push(
+        self, time: float, callback: EventCallback, label: str, site: Optional[SiteId]
+    ) -> EventHandle:
+        event = _Event(
+            time=time, seq=self._seq, callback=callback, label=label, owner=self,
+            site=site,
+        )
         self._seq += 1
         heapq.heappush(self._queue, event)
         self._live_events += 1
         return EventHandle(event)
+
+    # -- cancellation bookkeeping / compaction ------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._live_events -= 1
+        self._cancelled_events += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._cancelled_events * 2 > len(self._queue)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled carcasses and re-heapify the survivors.
+
+        Firing order is unchanged: the surviving events keep their (time,
+        seq) keys, and ``heapify`` restores the heap invariant over exactly
+        that comparable set.
+        """
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_events = 0
+
+    def _pop_cancelled_head(self) -> None:
+        heapq.heappop(self._queue)
+        self._cancelled_events -= 1
+
+    # -- shard support ------------------------------------------------------
+
+    def retain_sites(self, sites: Set[SiteId]) -> int:
+        """Keep only events tagged with one of ``sites``; return kept count.
+
+        Used by a forked shard worker right after fork: the inherited queue
+        holds every site's events, and the worker must own exactly its
+        shard's.  Events without a site tag cannot be attributed to a shard,
+        so their presence is an error -- running them in one worker (or all)
+        would diverge from the sequential engine.
+        """
+        untagged = [
+            event.label or "<unlabelled>"
+            for event in self._queue
+            if not event.cancelled and event.site is None
+        ]
+        if untagged:
+            raise SchedulerError(
+                "cannot shard a scheduler holding site-untagged events: "
+                + ", ".join(sorted(set(untagged))[:8])
+            )
+        kept = [
+            event
+            for event in self._queue
+            if not event.cancelled and event.site in sites
+        ]
+        heapq.heapify(kept)
+        self._queue = kept
+        self._live_events = len(kept)
+        self._cancelled_events = 0
+        return len(kept)
+
+    def next_event_time(self) -> float:
+        """Timestamp of the earliest live event, or +inf when idle.
+
+        Prunes cancelled heads as a side effect, so repeated calls are cheap.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                self._pop_cancelled_head()
+                continue
+            return head.time
+        return float("inf")
+
+    # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_events -= 1
                 continue
             self._now = event.time
             callback, event.callback = event.callback, None
@@ -142,7 +260,7 @@ class Scheduler:
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
-                heapq.heappop(self._queue)
+                self._pop_cancelled_head()
                 continue
             if head.time > time:
                 break
@@ -153,6 +271,35 @@ class Scheduler:
         if not (max_events is not None and fired >= max_events):
             self._now = max(self._now, time)
         return fired
+
+    def run_until_before(self, bound: float) -> int:
+        """Fire every event with timestamp strictly below ``bound``.
+
+        The conservative-lookahead window of the parallel engine: a shard may
+        execute all events below the global safe time but nothing at or past
+        it.  The clock is *not* force-advanced to ``bound`` -- it moves only
+        as events fire, so a later window (or :meth:`advance_clock`) decides
+        the final clock position.
+        """
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                self._pop_cancelled_head()
+                continue
+            if head.time >= bound:
+                break
+            self.step()
+            fired += 1
+        return fired
+
+    def advance_clock(self, time: float) -> None:
+        """Move the clock forward to ``time`` without firing anything.
+
+        Complements :meth:`run_until_before` at the end of a windowed
+        advance; never moves the clock backwards.
+        """
+        self._now = max(self._now, time)
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
         """Fire events within the next ``duration`` time units."""

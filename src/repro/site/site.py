@@ -225,7 +225,7 @@ class Site:
             )
         delay = self.config.local_trace_period + jitter
         self._gc_timer = self.scheduler.schedule(
-            delay, self._gc_tick, label=f"gc-tick:{self.site_id}"
+            delay, self._gc_tick, label=f"gc-tick:{self.site_id}", site=self.site_id
         )
 
     def _gc_tick(self) -> None:
@@ -266,6 +266,7 @@ class Site:
                 self.config.local_trace_duration,
                 lambda: self._commit_trace(result),
                 label=f"gc-commit:{self.site_id}",
+                site=self.site_id,
             )
             return result
         self._finalize_trace(result, replay=())

@@ -89,6 +89,15 @@ class Heap:
     def contains(self, oid: ObjectId) -> bool:
         return oid in self._objects
 
+    def objects_map(self) -> Dict[ObjectId, HeapObject]:
+        """The internal oid->object mapping, no copy -- read-only by convention.
+
+        The clean phase's hot loop uses it for membership tests and successor
+        fetches without a method call per edge; everything else should go
+        through :meth:`get` / :meth:`contains`.
+        """
+        return self._objects
+
     def objects(self) -> Iterator[HeapObject]:
         return iter(self._objects.values())
 

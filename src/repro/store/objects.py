@@ -39,6 +39,16 @@ class HeapObject:
         """A copy of the reference slots (mutate via add_ref/remove_ref)."""
         return list(self._refs)
 
+    @property
+    def ref_view(self) -> List[ObjectId]:
+        """The live reference list itself, no copy -- read-only by convention.
+
+        Exists for hot loops (the clean phase scans every edge of every
+        object per trace); mutate only through add_ref/remove_ref so the
+        mutation epoch stays accurate.
+        """
+        return self._refs
+
     def iter_refs(self) -> Iterator[ObjectId]:
         return iter(self._refs)
 

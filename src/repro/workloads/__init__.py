@@ -15,9 +15,12 @@ from .generators import (
 )
 from .hypertext import build_hypertext_web
 from .oodb import ObjectDatabase, build_object_database
+from .churn import ChurnConfig, SiteChurn
 
 __all__ = [
     "GraphBuilder",
+    "ChurnConfig",
+    "SiteChurn",
     "build_ring_cycle",
     "build_clique_cycle",
     "build_chain_across_sites",

@@ -1,0 +1,194 @@
+"""Shard-safe mutator traffic for the parallel engine (and its benchmarks).
+
+:class:`~repro.mutator.workload.RandomWorkload` inspects remote heaps
+directly (to pick traversal targets that still resolve), which is fine on
+one scheduler but impossible once sites live in separate worker processes.
+:class:`SiteChurn` is the shard-local equivalent: every site runs its own
+independently-seeded stream of operations that touch only *local* state plus
+the messaging API --
+
+- allocate an object and link it from the site's well-known *hub* (a
+  persistent root created at construction);
+- unlink a previously allocated object from the hub (making it garbage
+  unless a copy of its reference reached another site);
+- ship a local object's reference to another site's hub with
+  :meth:`Site.mutator_send_ref` (the full remote-copy/insert protocol --
+  this is the cross-shard traffic that exercises the lookahead windows);
+- trim one reference out of the site's own hub (possibly dropping a
+  remotely-inserted reference, creating distributed garbage).
+
+Determinism: each site draws from its own ``churn:{site}`` RNG stream and
+its events are tagged with its site id, so the operation sequence at a site
+depends only on that site's own history -- identical under the sequential
+and the sharded engine, which is exactly what the parallel equivalence
+tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..errors import ConfigError
+from ..ids import ObjectId, SiteId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.simulation import Simulation
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Operation mix and pacing for per-site churn."""
+
+    mean_interval: float = 4.0
+    alloc_weight: float = 3.0
+    unlink_weight: float = 2.0
+    send_weight: float = 2.0
+    hub_trim_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_interval <= 0:
+            raise ConfigError("mean_interval must be > 0")
+        total = (
+            self.alloc_weight
+            + self.unlink_weight
+            + self.send_weight
+            + self.hub_trim_weight
+        )
+        if total <= 0:
+            raise ConfigError("at least one churn weight must be > 0")
+
+
+class SiteChurn:
+    """Independent per-site churn across ``site_ids``.
+
+    Build *before* the first run (the hubs must exist in every shard's
+    inherited heap); :meth:`start` schedules one tagged ticker per site.
+    Operation counts are recorded on the per-site metrics recorder under
+    ``churn.ops`` so a parallel run can report them via
+    ``ParallelSimulation.merged_metrics()``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        site_ids,
+        config: Optional[ChurnConfig] = None,
+    ):
+        self.sim = sim
+        self.config = config or ChurnConfig()
+        self.site_ids: List[SiteId] = sorted(site_ids)
+        if not self.site_ids:
+            raise ConfigError("SiteChurn needs at least one site")
+        self.hubs: Dict[SiteId, ObjectId] = {}
+        for site_id in self.site_ids:
+            site = sim.site(site_id)
+            self.hubs[site_id] = site.heap.alloc(persistent_root=True).oid
+        self._rngs = {
+            site_id: sim.rng.stream(f"churn:{site_id}")
+            for site_id in self.site_ids
+        }
+        # Objects this site allocated and still links from its hub.  Keyed
+        # by site so a shard worker only ever touches its own sites' lists.
+        self._local: Dict[SiteId, List[ObjectId]] = {
+            site_id: [] for site_id in self.site_ids
+        }
+        self._running = False
+        self._until: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, until: Optional[float] = None) -> None:
+        """Begin ticking; with ``until`` set, tickers expire at that time.
+
+        ``until`` is the supported way to end churn under the parallel
+        engine: :meth:`stop` flips a flag in the calling process, which a
+        forked shard worker (holding its own copy of this object) never
+        sees, whereas a time deadline is part of the pre-fork state every
+        worker inherits -- and is deterministic in both engines.
+        """
+        self._running = True
+        self._until = until
+        for site_id in self.site_ids:
+            self._schedule(site_id)
+
+    def stop(self) -> None:
+        """Stop ticking (sequential engine only -- see :meth:`start`)."""
+        self._running = False
+
+    def _schedule(self, site_id: SiteId) -> None:
+        delay = self._rngs[site_id].expovariate(1.0 / self.config.mean_interval)
+        self.sim.scheduler.schedule(
+            delay,
+            lambda: self._tick(site_id),
+            label=f"churn:{site_id}",
+            site=site_id,
+        )
+
+    def _tick(self, site_id: SiteId) -> None:
+        if not self._running:
+            return
+        if self._until is not None and self.sim.scheduler.now >= self._until:
+            return
+        site = self.sim.site(site_id)
+        if not site.crashed:
+            self._operate(site_id, site)
+            site.metrics.incr("churn.ops")
+        self._schedule(site_id)
+
+    # -- operations ---------------------------------------------------------
+
+    def _operate(self, site_id: SiteId, site) -> None:
+        cfg = self.config
+        rng = self._rngs[site_id]
+        ops = [
+            (cfg.alloc_weight, self._op_alloc),
+            (cfg.unlink_weight, self._op_unlink),
+            (cfg.send_weight, self._op_send),
+            (cfg.hub_trim_weight, self._op_trim),
+        ]
+        pick = rng.uniform(0.0, sum(weight for weight, _ in ops))
+        for weight, op in ops:
+            pick -= weight
+            if pick <= 0:
+                op(site_id, site, rng)
+                return
+        ops[-1][1](site_id, site, rng)
+
+    def _op_alloc(self, site_id: SiteId, site, rng) -> None:
+        oid = site.heap.alloc().oid
+        site.mutator_add_ref(self.hubs[site_id], oid)
+        self._local[site_id].append(oid)
+
+    def _op_unlink(self, site_id: SiteId, site, rng) -> None:
+        local = self._local[site_id]
+        if not local:
+            return
+        victim = local.pop(rng.randrange(len(local)))
+        site.mutator_remove_ref(self.hubs[site_id], victim)
+
+    def _op_send(self, site_id: SiteId, site, rng) -> None:
+        local = self._local[site_id]
+        others = [other for other in self.site_ids if other != site_id]
+        if not local or not others:
+            return
+        target = local[rng.randrange(len(local))]
+        dst = others[rng.randrange(len(others))]
+        site.mutator_send_ref(dst, target, self.hubs[dst])
+
+    def _op_trim(self, site_id: SiteId, site, rng) -> None:
+        hub = site.heap.maybe_get(self.hubs[site_id])
+        if hub is None or not hub.refs:
+            return
+        refs = hub.refs
+        victim = refs[rng.randrange(len(refs))]
+        site.mutator_remove_ref(self.hubs[site_id], victim)
+        # A mutator may only send references it still holds.  The hub is this
+        # site's only handle on its allocations, so once the hub edge is
+        # gone the object must leave the send pool too -- otherwise a later
+        # _op_send could ship a reference to an object the collector has
+        # (correctly) swept in the meantime.
+        if victim.site == site_id:
+            local = self._local[site_id]
+            if victim in local:
+                local.remove(victim)

@@ -1,0 +1,176 @@
+"""Unit tests for the parallel engine's building blocks.
+
+Covers the scheduler features the sharded engine relies on (windowed
+execution, site tagging, heap compaction), the pure safe-time planner, and
+shard assignment -- no worker processes involved.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import SchedulerError, SimulationError
+from repro.sim.parallel import SafeTimePlanner, assign_shards
+from repro.sim.scheduler import Scheduler
+
+INF = float("inf")
+
+
+# -- heap compaction (lazy-cancel carcass collection) ------------------------
+
+
+def test_compaction_shrinks_queue_and_preserves_firing_order():
+    sched = Scheduler()
+    fired = []
+    survivors_expected = []
+    handles = []
+    for index in range(200):
+        delay = float(1 + (index * 7) % 50)
+        keep = index % 3 == 0
+        if keep:
+            # (time, scheduling sequence) is the firing order contract.
+            survivors_expected.append((delay, index))
+        handle = sched.schedule(
+            delay, lambda d=delay, i=index: fired.append((d, i))
+        )
+        if not keep:
+            handles.append(handle)
+
+    length_before = sched.queue_length
+    for handle in handles:
+        handle.cancel()
+    # The cancellations crossed the half-carcass threshold mid-stream, so at
+    # least one automatic rebuild dropped carcasses without waiting for pops.
+    assert sched.queue_length < length_before
+    assert sched.pending == len(survivors_expected)
+    sched.compact()
+    assert sched.queue_length == sched.pending == len(survivors_expected)
+
+    sched.drain()
+    assert fired == sorted(survivors_expected)
+
+
+def test_small_queues_are_not_compacted():
+    sched = Scheduler()
+    handles = [sched.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for handle in handles[:8]:
+        handle.cancel()
+    # Below the compaction floor the carcasses stay until popped.
+    assert sched.queue_length == 10
+    assert sched.pending == 2
+
+
+# -- windowed execution ------------------------------------------------------
+
+
+def test_run_until_before_is_strictly_exclusive():
+    sched = Scheduler()
+    fired = []
+    for delay in (1.0, 2.0, 3.0):
+        sched.schedule(delay, lambda d=delay: fired.append(d))
+    assert sched.run_until_before(3.0) == 2
+    assert fired == [1.0, 2.0]
+    # The clock is not force-advanced past the last fired event.
+    assert sched.now == 2.0
+    assert sched.next_event_time() == 3.0
+    sched.advance_clock(5.0)
+    assert sched.now == 5.0
+    sched.advance_clock(4.0)  # never moves backwards
+    assert sched.now == 5.0
+
+
+def test_retain_sites_keeps_exactly_the_shard():
+    sched = Scheduler()
+    fired = []
+    for site in ("a", "b", "c"):
+        for delay in (1.0, 2.0):
+            sched.schedule(
+                delay, lambda s=site, d=delay: fired.append((s, d)), site=site
+            )
+    kept = sched.retain_sites({"a", "c"})
+    assert kept == 4 == sched.pending
+    sched.drain()
+    assert sorted(fired) == [("a", 1.0), ("a", 2.0), ("c", 1.0), ("c", 2.0)]
+
+
+def test_retain_sites_rejects_untagged_events():
+    sched = Scheduler()
+    sched.schedule(1.0, lambda: None, label="anonymous-timer")
+    with pytest.raises(SchedulerError, match="anonymous-timer"):
+        sched.retain_sites({"a"})
+
+
+def test_retain_sites_ignores_cancelled_untagged_events():
+    sched = Scheduler()
+    handle = sched.schedule(1.0, lambda: None)
+    handle.cancel()
+    sched.schedule(2.0, lambda: None, site="a")
+    assert sched.retain_sites({"a"}) == 1
+
+
+# -- safe-time planner -------------------------------------------------------
+
+
+def test_planner_requires_positive_lookahead():
+    with pytest.raises(SimulationError):
+        SafeTimePlanner(0.0)
+
+
+def test_planner_window_is_horizon_plus_lookahead_clamped():
+    planner = SafeTimePlanner(2.0)
+    target = math.nextafter(10.0, INF)
+    assert planner.window(1.0, target) == 3.0
+    assert planner.window(9.5, target) == target  # clamped at the target
+    assert planner.window(target, target) is None  # reached
+    assert planner.window(INF, target) is None  # all shards idle
+
+
+def test_planner_window_always_exceeds_horizon():
+    # Lookahead so small it underflows against the horizon's magnitude: the
+    # window must still make progress (cover the horizon event).
+    planner = SafeTimePlanner(1e-9)
+    horizon = 1e12
+    target = math.nextafter(2e12, INF)
+    safe = planner.window(horizon, target)
+    assert safe is not None and safe > horizon
+
+
+def test_planner_rounds_terminate():
+    # Simulate shards whose next-event times advance by at least the window:
+    # the loop must reach the target in finitely many rounds, each strictly
+    # later than the last.
+    planner = SafeTimePlanner(1.0)
+    target = math.nextafter(100.0, INF)
+    next_times = [0.0, 0.5, 3.0]
+    rounds = 0
+    previous_safe = -INF
+    while True:
+        safe = planner.window(planner.horizon(next_times), target)
+        if safe is None:
+            break
+        assert safe > previous_safe
+        previous_safe = safe
+        # Every shard executes its events below `safe`; its next event lands
+        # at or beyond the window bound.
+        next_times = [max(t, safe) for t in next_times]
+        rounds += 1
+        assert rounds < 1000
+    assert rounds > 0
+
+
+# -- shard assignment --------------------------------------------------------
+
+
+def test_contiguous_shards_are_balanced_slices():
+    shards = assign_shards(["s5", "s1", "s3", "s2", "s4"], 2, "contiguous")
+    assert shards == [["s1", "s2", "s3"], ["s4", "s5"]]
+
+
+def test_round_robin_shards_deal_cyclically():
+    shards = assign_shards(["a", "b", "c", "d", "e"], 2, "round_robin")
+    assert shards == [["a", "c", "e"], ["b", "d"]]
+
+
+def test_more_workers_than_sites_collapses():
+    shards = assign_shards(["a", "b"], 8, "contiguous")
+    assert shards == [["a"], ["b"]]
