@@ -43,7 +43,7 @@ def _build(workers, n_sites, seed=3):
         gc=GcConfig(**GC),
         parallel_workers=workers,
     )
-    sim = Simulation(config) if workers == 1 else ParallelSimulation(config)
+    sim = Simulation.create(config)
     sites = [f"s{i:03d}" for i in range(n_sites)]
     sim.add_sites(sites, auto_gc=True)
     churn = SiteChurn(

@@ -28,6 +28,7 @@ from .errors import ReproError
 from .ids import FrameId, ObjectId, SiteId, TraceId
 from .sim.simulation import Simulation
 from .sim.parallel import ParallelSimulation
+from .net.faults import FaultPlan, LinkFault, PartitionWindow, SiteCrash
 from .site.site import Site
 from .core.backtrace.messages import TraceOutcome
 
@@ -42,6 +43,10 @@ __all__ = [
     "SiteId",
     "TraceId",
     "FrameId",
+    "FaultPlan",
+    "LinkFault",
+    "PartitionWindow",
+    "SiteCrash",
     "Simulation",
     "ParallelSimulation",
     "Site",

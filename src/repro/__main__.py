@@ -171,7 +171,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
         parallel_workers=args.workers,
         shard_policy=args.shard_policy,
     )
-    sim = ParallelSimulation(config)
+    sim = Simulation.create(config)
     sites = [f"s{i:03d}" for i in range(args.sites)]
     sim.add_sites(sites, auto_gc=True)
     churn = SiteChurn(sim, sites)
@@ -186,7 +186,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
         sim.merged_metrics()
         if isinstance(sim, ParallelSimulation) and sim.parallel_active
         else sim.metrics
-    )
+    )  # isinstance, not ==: create() returned whichever engine fits
     print(
         f"done: {args.sites} sites / {args.workers} workers, "
         f"{fired} events, {metrics.count('churn.ops')} churn ops, "
@@ -196,6 +196,43 @@ def cmd_scale(args: argparse.Namespace) -> int:
     if isinstance(sim, ParallelSimulation):
         sim.close()
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .harness.chaos import run_chaos_matrix, standard_plans
+
+    if args.smoke:
+        seeds = [args.seed, args.seed + 1]
+        site_ids = [f"s{index}" for index in range(4)]
+        plans = standard_plans(site_ids)[:5]  # link faults only: fast
+        results = run_chaos_matrix(seeds, plans, n_sites=4, garbage_rings=2)
+    else:
+        seeds = [args.seed + offset for offset in range(args.seeds)]
+        results = run_chaos_matrix(seeds)
+    table = Table(
+        "Chaos matrix: oracle-audited GC under injected faults",
+        ["seed", "plan", "safe", "collected", "rounds", "dropped", "dup", "retrans", "suppressed"],
+    )
+    failures = 0
+    for result in results:
+        failures += 0 if result.ok else 1
+        table.add_row(
+            result.seed,
+            result.plan,
+            "yes" if result.safety_ok else "NO",
+            "yes" if result.collected else "NO",
+            result.rounds_to_collect or "-",
+            result.dropped,
+            result.duplicated,
+            result.retransmits,
+            result.dup_suppressed,
+        )
+    table.print()
+    for result in results:
+        for violation in result.violations:
+            print(f"  [{result.seed}/{result.plan}] {violation}")
+    print(f"{len(results) - failures}/{len(results)} cases passed")
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -225,6 +262,15 @@ def main(argv=None) -> int:
         "--shard-policy", choices=("contiguous", "round_robin"), default="contiguous"
     )
     scale.add_argument("--duration", type=float, default=2000.0)
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection matrix with oracle auditing (E17)"
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true", help="small fast matrix (CI)"
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=8, help="number of seeds (full matrix)"
+    )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -233,6 +279,7 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "stress": cmd_stress,
         "scale": cmd_scale,
+        "chaos": cmd_chaos,
     }
     with profiled(enabled=args.profile):
         return handlers[args.command](args)

@@ -2,6 +2,24 @@
 
 from .oracle import Oracle
 from .tracelog import Event, TraceLog
-from .export import diff_snapshots, snapshot, to_dot
+from .export import graph_diff, graph_snapshot, to_dot
 
-__all__ = ["Oracle", "TraceLog", "Event", "snapshot", "diff_snapshots", "to_dot"]
+__all__ = [
+    "Oracle",
+    "TraceLog",
+    "Event",
+    "graph_snapshot",
+    "graph_diff",
+    "to_dot",
+    # deprecated aliases, kept importable via __getattr__
+    "snapshot",
+    "diff_snapshots",
+]
+
+
+def __getattr__(name: str):
+    if name in ("snapshot", "diff_snapshots"):
+        from . import export
+
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,7 +20,7 @@ from ..sim.simulation import Simulation
 def site_snapshot(site) -> Dict[str, Any]:
     """A JSON-able dump of one site's heap and ioref tables.
 
-    Shared between the whole-simulation :func:`snapshot` and the parallel
+    Shared between the whole-simulation :func:`graph_snapshot` and the parallel
     engine's shard workers (each worker snapshots exactly its shard and the
     coordinator merges, so a parallel snapshot is byte-comparable to a
     sequential one).
@@ -59,7 +59,7 @@ def site_snapshot(site) -> Dict[str, Any]:
     }
 
 
-def snapshot(sim: Simulation) -> Dict[str, Any]:
+def graph_snapshot(sim: Simulation) -> Dict[str, Any]:
     """A JSON-able dump of heaps and ioref tables, keyed by site."""
     data: Dict[str, Any] = {"time": sim.now, "sites": {}}
     for site_id in sorted(sim.sites):
@@ -67,7 +67,7 @@ def snapshot(sim: Simulation) -> Dict[str, Any]:
     return data
 
 
-def diff_snapshots(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+def graph_diff(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
     """What changed between two snapshots: per site, objects born and died,
     and iorefs added/removed."""
     result: Dict[str, Any] = {}
@@ -144,3 +144,28 @@ def to_dot(
                         )
     lines.append("}")
     return "\n".join(lines)
+
+
+# -- deprecated aliases ------------------------------------------------------
+
+_DEPRECATED = {"snapshot": graph_snapshot, "diff_snapshots": graph_diff}
+
+
+def __getattr__(name: str):
+    """Old export names keep importing, with a :class:`DeprecationWarning`.
+
+    The canonical spellings are ``graph_snapshot`` / ``graph_diff`` (also on
+    the :mod:`repro.metrics` facade).
+    """
+    replacement = _DEPRECATED.get(name)
+    if replacement is not None:
+        import warnings
+
+        warnings.warn(
+            f"repro.analysis.export.{name} is deprecated; "
+            f"use {replacement.__name__} (or the repro.metrics facade)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return replacement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

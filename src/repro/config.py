@@ -8,6 +8,7 @@ immutable; derive variants with :func:`dataclasses.replace`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigError
 
@@ -138,6 +139,29 @@ class GcConfig:
     # bounded refresh recovers from updates lost to crashes or partitions
     # without any acknowledgement machinery.
     full_update_period: int = 4
+    # At-least-once update delivery (section 4.6 hardening): every update
+    # message carries a per-(sender, target) sequence number and is
+    # acknowledged; an update unacknowledged after
+    # ``update_retransmit_timeout`` triggers a *fresh full* update (updates
+    # are idempotent state transfers, so retransmitting current state both
+    # replaces the lost delta and resynchronizes the target).  Retries back
+    # off exponentially (x2 per consecutive failure, capped at 8x) and give
+    # up after ``update_retransmit_limit`` consecutive failures -- the
+    # periodic full refresh remains the backstop.  Receivers suppress
+    # duplicate deliveries by sequence number either way.
+    reliable_updates: bool = True
+    update_retransmit_timeout: float = 40.0
+    update_retransmit_limit: int = 5
+    # Exponential-backoff re-initiation of timed-out back traces: when a
+    # trace completes Live only because some frame or outcome timed out
+    # (section 4.6's conservative assumption), re-tracing the same root
+    # immediately would usually hit the same fault.  The initiator instead
+    # refuses re-initiation from that root for ``backtrace_retry_backoff``
+    # (default: ``backtrace_timeout``), doubling per consecutive
+    # timeout-assumed Live up to ``backtrace_retry_backoff_cap`` (default:
+    # 8x the base).  Any grounded verdict resets the backoff.
+    backtrace_retry_backoff: Optional[float] = None
+    backtrace_retry_backoff_cap: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.suspicion_threshold < 1:
@@ -176,11 +200,42 @@ class GcConfig:
                 "backinfo_algorithm must be 'bottomup' or 'independent', "
                 f"got {self.backinfo_algorithm!r}"
             )
+        if self.update_retransmit_timeout <= 0:
+            raise ConfigError("update_retransmit_timeout must be > 0")
+        if self.update_retransmit_limit < 0:
+            raise ConfigError("update_retransmit_limit must be >= 0")
+        if (
+            self.backtrace_retry_backoff is not None
+            and self.backtrace_retry_backoff <= 0
+        ):
+            raise ConfigError("backtrace_retry_backoff must be > 0")
+        if (
+            self.backtrace_retry_backoff_cap is not None
+            and self.backtrace_retry_backoff_cap < (
+                self.backtrace_retry_backoff or 0.0
+            )
+        ):
+            raise ConfigError(
+                "backtrace_retry_backoff_cap must be >= backtrace_retry_backoff"
+            )
 
     @property
     def initial_back_threshold(self) -> int:
         """T2 = T + L, the distance at which a first back trace triggers."""
         return self.suspicion_threshold + self.assumed_cycle_length
+
+    @property
+    def effective_retry_backoff(self) -> float:
+        """Base back-off delay for timeout-assumed-Live trace re-initiation."""
+        if self.backtrace_retry_backoff is not None:
+            return self.backtrace_retry_backoff
+        return self.backtrace_timeout
+
+    @property
+    def effective_retry_backoff_cap(self) -> float:
+        if self.backtrace_retry_backoff_cap is not None:
+            return self.backtrace_retry_backoff_cap
+        return 8.0 * self.effective_retry_backoff
 
 
 @dataclass(frozen=True)

@@ -47,7 +47,7 @@ from ...errors import BackTraceError
 from ...gc.inrefs import InrefTable
 from ...gc.outrefs import OutrefTable
 from ...ids import FrameId, ObjectId, SiteId, TraceId
-from ...metrics import MetricsRecorder
+from ...metrics import MetricsRecorder, names
 from ...net.message import Payload
 from ...sim.scheduler import Scheduler
 from .cache import VerdictCache
@@ -100,8 +100,17 @@ class BackTraceEngine:
         self._active_roots: Dict[ObjectId, TraceId] = {}
         self._next_trace_seq = 0
         self._next_frame_seq = 0
+        self._next_call_seq = 0
         self._batch_depth = 0
         self._outbox: List[Tuple[SiteId, Payload]] = []
+        # Traces already finished here -> expiry of the memory (2x the
+        # back-trace timeout, after which nothing legitimate can still be in
+        # flight).  Late/duplicate calls and outcomes for them are dropped
+        # instead of resurrecting a record and re-stepping junk.
+        self._finished_traces: Dict[TraceId, float] = {}
+        # Initiator-side exponential backoff for timeout-assumed-Live roots:
+        # root outref -> (consecutive timeout count, earliest re-initiation).
+        self._retry_state: Dict[ObjectId, Tuple[int, float]] = {}
 
     # -- public API -------------------------------------------------------------
 
@@ -117,8 +126,16 @@ class BackTraceEngine:
             return None
         entry = self.outrefs.get(outref_target)
         if entry is None or entry.is_clean:
+            self._retry_state.pop(outref_target, None)
             return None
         if self.cached_live(outref_target):
+            return None
+        state = self._retry_state.get(outref_target)
+        if state is not None and self.scheduler.now < state[1]:
+            # The last trace from this root was assumed Live only because of
+            # a timeout; retrying immediately would usually hit the same
+            # fault.  Wait out the (exponential, capped) backoff.
+            self.metrics.incr(names.BACKTRACE_RETRY_SUPPRESSED)
             return None
         trace_id = TraceId(initiator=self.site_id, seq=self._next_trace_seq)
         self._next_trace_seq += 1
@@ -158,7 +175,23 @@ class BackTraceEngine:
                 self._handle_one_call(src, call)
 
     def _handle_one_call(self, src: SiteId, payload: BackCall) -> None:
-        self._ensure_record(payload.trace_id)
+        expiry = self._finished_traces.get(payload.trace_id)
+        if expiry is not None:
+            if self.scheduler.now < expiry:
+                # The trace already finished here; a late (or duplicated)
+                # call must not resurrect its record and re-step.
+                self.metrics.incr("backtrace.stale_calls")
+                return
+            del self._finished_traces[payload.trace_id]
+        record = self._ensure_record(payload.trace_id)
+        if payload.seq >= 0:
+            key = (payload.reply_to, payload.seq)
+            if key in record.seen_calls:
+                # Duplicate delivery: the first copy already added a visited
+                # mark, so re-stepping would answer a spurious Garbage.
+                self.metrics.incr(names.dup_suppressed("BackCall"))
+                return
+            record.seen_calls.add(key)
         self._step_local(
             payload.trace_id,
             payload.target,
@@ -184,15 +217,32 @@ class BackTraceEngine:
             # timed out, or force-completed by the clean rule): ignore.
             self.metrics.incr("backtrace.stale_replies")
             return
+        if src in frame.replied:
+            # Duplicate delivery.  A frame sends exactly one call per source
+            # site, so a second reply from the same site must not decrement
+            # ``pending`` again -- that double-decrement could close the
+            # branch as Garbage while a real (possibly Live) reply is still
+            # outstanding, which is a safety violation.
+            self.metrics.incr(names.dup_suppressed("BackReply"))
+            return
+        frame.replied.add(src)
         self._child_done(
             frame,
             payload.verdict,
             set(payload.participants),
             cache_expires=payload.cache_expires_at,
+            timed_out=payload.timed_out,
         )
 
     def handle_back_outcome(self, src: SiteId, payload: BackOutcome) -> None:
         """Report phase: the initiator announced the final verdict."""
+        if (
+            payload.trace_id in self._finished_traces
+            and payload.trace_id not in self._records
+        ):
+            # Already applied here: a duplicated outcome is a no-op.
+            self.metrics.incr(names.dup_suppressed("BackOutcome"))
+            return
         with self._batched():
             self._apply_outcome(
                 payload.trace_id, payload.verdict, cache_expires=payload.cache_expires_at
@@ -392,9 +442,16 @@ class BackTraceEngine:
             return
         self._arm_frame_timeout(frame)
         for source in sources:
+            seq = self._next_call_seq
+            self._next_call_seq += 1
             self._send(
                 source,
-                BackCall(trace_id=trace_id, target=target, reply_to=frame.frame_id),
+                BackCall(
+                    trace_id=trace_id,
+                    target=target,
+                    reply_to=frame.frame_id,
+                    seq=seq,
+                ),
             )
 
     # -- coalescing ---------------------------------------------------------------
@@ -449,6 +506,7 @@ class BackTraceEngine:
                     premote,
                     TraceOutcome.LIVE,
                     cache_expires=frame.cache_expires_at,
+                    timed_out=frame.timed_out,
                 )
             elif frame.kind == OUTREF:
                 self._step_local(wtrace, frame.ioref, plocal, premote)
@@ -508,8 +566,12 @@ class BackTraceEngine:
         if frame is None or frame.completed:
             return
         # Section 4.6: a site waiting for a response that never comes can
-        # safely assume the call returned Live.
+        # safely assume the call returned Live.  The assumption rests on no
+        # evidence, so it is flagged (retry backoff at the initiator) and
+        # given an already-expired cache bound (never cached).
         self.metrics.incr("backtrace.frame_timeouts")
+        frame.timed_out = True
+        frame.note_expiry(self.scheduler.now)
         with self._batched():
             self._complete(frame, TraceOutcome.LIVE)
 
@@ -519,11 +581,14 @@ class BackTraceEngine:
         verdict: TraceOutcome,
         participants: Set[SiteId],
         cache_expires: Optional[float] = None,
+        timed_out: bool = False,
     ) -> None:
         if frame.completed:
             return
         frame.participants.update(participants)
         frame.note_expiry(cache_expires)
+        if timed_out:
+            frame.timed_out = True
         if verdict.is_live:
             self._complete(frame, TraceOutcome.LIVE)
             return
@@ -546,7 +611,11 @@ class BackTraceEngine:
             parent = self._frames.get(frame.parent_local)
             if parent is not None and not parent.completed:
                 self._child_done(
-                    parent, verdict, participants, cache_expires=frame.cache_expires_at
+                    parent,
+                    verdict,
+                    participants,
+                    cache_expires=frame.cache_expires_at,
+                    timed_out=frame.timed_out,
                 )
         elif frame.parent_remote is not None:
             caller_site, caller_frame = frame.parent_remote
@@ -558,11 +627,16 @@ class BackTraceEngine:
                     verdict=verdict,
                     participants=frozenset(participants),
                     cache_expires_at=frame.cache_expires_at,
+                    timed_out=frame.timed_out,
                 ),
             )
         else:
             self._finish_trace(
-                frame.trace_id, verdict, participants, frame.cache_expires_at
+                frame.trace_id,
+                verdict,
+                participants,
+                frame.cache_expires_at,
+                timed_out=frame.timed_out,
             )
         self._resolve_waiters(frame, verdict)
 
@@ -573,13 +647,18 @@ class BackTraceEngine:
         parent_remote: Optional[Tuple[SiteId, FrameId]],
         verdict: TraceOutcome,
         cache_expires: Optional[float] = None,
+        timed_out: bool = False,
     ) -> None:
         """Deliver an immediate (frameless) verdict to whoever asked."""
         if parent_local is not None:
             parent = self._frames.get(parent_local)
             if parent is not None and not parent.completed:
                 self._child_done(
-                    parent, verdict, {self.site_id}, cache_expires=cache_expires
+                    parent,
+                    verdict,
+                    {self.site_id},
+                    cache_expires=cache_expires,
+                    timed_out=timed_out,
                 )
         elif parent_remote is not None:
             caller_site, caller_frame = parent_remote
@@ -591,12 +670,15 @@ class BackTraceEngine:
                     verdict=verdict,
                     participants=frozenset({self.site_id}),
                     cache_expires_at=cache_expires,
+                    timed_out=timed_out,
                 ),
             )
         else:
             # The root step itself resolved immediately (e.g. the outref
             # turned clean before the trace began).
-            self._finish_trace(trace_id, verdict, {self.site_id}, cache_expires)
+            self._finish_trace(
+                trace_id, verdict, {self.site_id}, cache_expires, timed_out=timed_out
+            )
 
     # -- outcome ------------------------------------------------------------------------
 
@@ -606,6 +688,7 @@ class BackTraceEngine:
         verdict: TraceOutcome,
         participants: Set[SiteId],
         cache_expires: Optional[float] = None,
+        timed_out: bool = False,
     ) -> None:
         """Report phase, run at the initiator (section 4.5)."""
         if trace_id.initiator != self.site_id:
@@ -614,6 +697,7 @@ class BackTraceEngine:
             self.metrics.incr("backtrace.completed_garbage")
         else:
             self.metrics.incr("backtrace.completed_live")
+        self._note_retry(trace_id, verdict, timed_out)
         for participant in sorted(participants):
             if participant != self.site_id:
                 self.send(
@@ -625,6 +709,32 @@ class BackTraceEngine:
                     ),
                 )
         self._apply_outcome(trace_id, verdict, cache_expires=cache_expires)
+
+    def _note_retry(
+        self, trace_id: TraceId, verdict: TraceOutcome, timed_out: bool
+    ) -> None:
+        """Arm (timeout-assumed Live) or clear (grounded verdict) retry backoff.
+
+        A Live that leaned on a conservative timeout (section 4.6) carries no
+        evidence: re-initiating at the fixed suspicion cadence would hammer a
+        partitioned or crashed site.  Each consecutive timeout doubles the
+        wait before the same root may start a new trace, up to the cap; any
+        grounded verdict resets the ladder.
+        """
+        record = self._records.get(trace_id)
+        root = record.root_outref if record is not None else None
+        if root is None:
+            return
+        if verdict.is_live and timed_out:
+            attempts = self._retry_state.get(root, (0, 0.0))[0] + 1
+            base = self.config.effective_retry_backoff
+            cap = self.config.effective_retry_backoff_cap
+            delay = min(base * (2 ** (attempts - 1)), cap)
+            self._retry_state[root] = (attempts, self.scheduler.now + delay)
+            self.metrics.incr(names.BACKTRACE_COMPLETED_TIMEOUT_LIVE)
+            self.metrics.incr(names.BACKTRACE_RETRIES_BACKED_OFF)
+        else:
+            self._retry_state.pop(root, None)
 
     def _apply_outcome(
         self,
@@ -638,6 +748,17 @@ class BackTraceEngine:
             return
         record.finished = True
         record.cancel_timeout()
+        # Remember the trace long enough to recognize replayed or straggling
+        # messages for it (duplicate suppression in the handlers above); the
+        # 2x outcome-timeout horizon outlives any in-flight copy.
+        self._finished_traces[trace_id] = self.scheduler.now + (
+            2.0 * self.config.backtrace_timeout
+        )
+        if len(self._finished_traces) > 512:
+            now = self.scheduler.now
+            self._finished_traces = {
+                tid: exp for tid, exp in self._finished_traces.items() if exp > now
+            }
         if record.root_outref is not None:
             self._active_roots.pop(record.root_outref, None)
         for target in record.visited_inrefs:

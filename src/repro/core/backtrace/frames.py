@@ -49,6 +49,16 @@ class Frame:
     participants: Set[SiteId] = field(default_factory=set)
     timeout: Optional[EventHandle] = None
     waiters: List[Waiter] = field(default_factory=list)
+    # Sites whose BackReply for this frame already arrived: a remote frame
+    # sends exactly one call per source site, so a second reply from the
+    # same site is a duplicate delivery and must not decrement ``pending``
+    # again (that double-decrement could close a branch as Garbage while a
+    # real reply -- possibly Live -- is still outstanding: a safety bug).
+    replied: Set[SiteId] = field(default_factory=set)
+    # True once this frame's verdict leaned on a conservative timeout
+    # (its own, or a child subtree's).  Threaded to the initiator so
+    # timeout-assumed Lives trigger retry backoff, not instant re-suspicion.
+    timed_out: bool = False
     # Earliest expiry among the cached Live verdicts this frame's subtree
     # consumed (None = none consumed).  Propagated so a verdict derived from
     # a cache entry is never re-cached beyond that entry's own lifetime --
@@ -87,6 +97,9 @@ class TraceRecord:
     visited_outrefs: Set[ObjectId] = field(default_factory=set)
     finished: bool = False
     outcome_timeout: Optional[EventHandle] = None
+    # (reply_to frame, call seq) of every BackCall of this trace handled
+    # here: duplicate deliveries are dropped before they can re-step.
+    seen_calls: Set[Tuple[FrameId, int]] = field(default_factory=set)
 
     def cancel_timeout(self) -> None:
         if self.outcome_timeout is not None:

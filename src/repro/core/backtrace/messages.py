@@ -50,6 +50,11 @@ class BackCall(Payload):
     trace_id: TraceId
     target: ObjectId
     reply_to: FrameId
+    #: Per-engine call sequence number.  Duplicate-delivery suppression keys
+    #: on ``(trace_id, reply_to, seq)``: a replayed call must not re-run the
+    #: local step (the visited mark added by the first delivery would make
+    #: the replay answer a spurious Garbage).  -1 = unstamped (legacy).
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -69,6 +74,10 @@ class BackReply(Payload):
     # (None if the verdict rests entirely on fresh evidence).  A Live that
     # leaned on a cache must not be re-cached past that cache's lifetime.
     cache_expires_at: Optional[float] = None
+    # True when the subtree's verdict leaned on a conservative timeout
+    # (section 4.6's assumed Live).  Propagated to the initiator so it can
+    # back off before re-initiating from the same root.
+    timed_out: bool = False
 
 
 @dataclass(frozen=True)

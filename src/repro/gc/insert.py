@@ -45,6 +45,11 @@ class InsertRequest(Payload):
     target: ObjectId
     pin_holder: Optional[SiteId] = None
     release_owner_custody: bool = False
+    #: Per-(sender, receiver) mutation-protocol sequence number (stamped by
+    #: Site.send; -1 = unstamped).  A duplicate delivery of an insert is NOT
+    #: idempotent by itself -- it would re-run the transfer barrier and,
+    #: worse, release a pin twice -- so receivers suppress replays by seq.
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,7 @@ class InsertDone(Payload):
     """Z -> X: the owner has recorded the insert; X may release its pin."""
 
     target: ObjectId
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -59,3 +65,4 @@ class UnpinRequest(Payload):
     """Y -> X: no insert was needed (cases 1-3); X may release its pin."""
 
     target: ObjectId
+    seq: int = -1

@@ -33,14 +33,36 @@ from .inrefs import InrefTable
 
 @dataclass(frozen=True)
 class UpdatePayload(Payload):
-    """One post-trace update batch to a single target site."""
+    """One post-trace update batch to a single target site.
+
+    ``seq`` is the at-least-once channel sequence number stamped by the
+    sending site (``GcConfig.reliable_updates``): contiguous per
+    (sender, target) pair, acknowledged with :class:`UpdateAck`, and used by
+    the receiver to suppress duplicate deliveries.  ``-1`` marks a payload
+    outside the reliable channel (direct construction, reliability off).
+    """
 
     distances: Tuple[Tuple[ObjectId, int], ...] = ()
     removals: Tuple[ObjectId, ...] = ()
     full: bool = False
+    seq: int = -1
 
     def size_units(self) -> int:
         return max(1, len(self.distances) + len(self.removals))
+
+
+@dataclass(frozen=True)
+class UpdateAck(Payload):
+    """Receiver -> sender: update ``seq`` arrived (possibly as a duplicate).
+
+    Acks are per-sequence, not cumulative: under FIFO a higher ack does not
+    prove a lower sequence arrived (the lower one may have been dropped), so
+    each outstanding sequence is confirmed individually.  Acks are never
+    themselves retransmitted -- a lost ack just means one spurious
+    retransmission, which the receiver's dedup window absorbs (and re-acks).
+    """
+
+    seq: int
 
 
 def apply_update(inrefs: InrefTable, source: SiteId, payload: UpdatePayload) -> bool:

@@ -9,9 +9,14 @@ from .scenarios import (
 )
 from .report import Table
 from .profiling import profiled
+from .chaos import ChaosResult, run_chaos_case, run_chaos_matrix, standard_plans
 
 __all__ = [
     "profiled",
+    "ChaosResult",
+    "run_chaos_case",
+    "run_chaos_matrix",
+    "standard_plans",
     "FigureScenario",
     "build_figure1",
     "build_figure2",

@@ -26,6 +26,9 @@ class MutatorHop(Payload):
 
     mutator: str
     target: ObjectId
+    #: Duplicate-suppression sequence number (see InsertRequest.seq): a
+    #: replayed hop would fork a phantom second mutator at the destination.
+    seq: int = -1
 
     def carried_refs(self) -> Tuple[ObjectId, ...]:
         # The mutator will stand at ``target`` on arrival; until then the
@@ -45,6 +48,10 @@ class RemoteCopy(Payload):
     ref: ObjectId
     dest_holder: ObjectId
     pin_holder: Optional[SiteId] = None
+    #: Duplicate-suppression sequence number (see InsertRequest.seq): a
+    #: replayed copy would double-store the reference and double-release
+    #: the sender's insert pin.
+    seq: int = -1
 
     def carried_refs(self) -> Tuple[ObjectId, ...]:
         # Both ends are held by the mutator while the copy is in flight.

@@ -50,12 +50,20 @@ _envelope_counter = itertools.count()
 
 @dataclass(frozen=True)
 class Message:
-    """An addressed payload in flight."""
+    """An addressed payload in flight.
+
+    ``dup`` marks an envelope injected by fault-plan duplication
+    (:mod:`repro.net.faults`): the copy travels and delivers like any other
+    message but is accounted separately (``messages.duplicated.*`` /
+    ``messages.dup_delivered.*``) so sent/delivered/dropped counters
+    reconcile per payload kind.  Each copy gets its own ``uid``.
+    """
 
     src: SiteId
     dst: SiteId
     payload: Payload
     uid: int = field(default_factory=lambda: next(_envelope_counter))
+    dup: bool = False
 
     @property
     def kind(self) -> str:

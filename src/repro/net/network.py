@@ -1,11 +1,22 @@
 """The simulated network.
 
 Messages are handed to :meth:`Network.send`, which draws a latency, applies
-loss/partition/crash rules, and schedules delivery through the event
+loss/partition/crash rules and the optional declarative fault plan
+(:mod:`repro.net.faults`), and schedules delivery through the event
 scheduler.  With ``fifo_per_pair`` enabled (the default, matching the paper's
 assumption R1 in section 6.4), delivery times between any ordered pair of
 sites are monotonic, so messages between two sites never overtake each other
 even when their sampled latencies would reorder them.
+
+Accounting (all names in :mod:`repro.metrics.names`): every original send is
+counted under ``messages.{Kind}``; it then either delivers exactly once
+(``messages.delivered.{Kind}``) or is dropped exactly once
+(``messages.dropped.{Kind}``, plus a reason aggregate under
+``messages.dropped.{crash,partition,loss,fault}`` and the legacy
+``messages.lost``), so per kind ``sent = delivered + dropped`` once nothing
+is in flight.  Fault-plan duplicate copies are accounted separately
+(``messages.duplicated.{Kind}`` injected = ``messages.dup_delivered.{Kind}``
++ ``messages.dup_dropped.{Kind}``).
 """
 
 from __future__ import annotations
@@ -16,9 +27,10 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from ..config import NetworkConfig
 from ..errors import UnknownSiteError
 from ..ids import SiteId
-from ..metrics import MetricsRecorder
+from ..metrics import MetricsRecorder, names
 from ..sim.rng import RngRegistry
 from ..sim.scheduler import Scheduler
+from .faults import FaultPlan
 from .latency import LatencyModel, UniformLatency
 from .message import Message, Payload
 
@@ -35,6 +47,7 @@ class Network:
         metrics: MetricsRecorder,
         config: Optional[NetworkConfig] = None,
         latency_model: Optional[LatencyModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self._scheduler = scheduler
         self._rng_registry = rng
@@ -44,6 +57,10 @@ class Network:
         self._latency = latency_model or UniformLatency(
             self._config.min_latency, self._config.max_latency
         )
+        self._faults = fault_plan if fault_plan is not None and not fault_plan.is_empty else None
+        # Cheap per-send gate: outside this window no link rule can match,
+        # so roll() is skipped entirely (an idle plan costs one comparison).
+        self._fault_window = self._faults.link_window if self._faults else None
         self._endpoints: Dict[SiteId, DeliverFn] = {}
         self._crashed: Set[SiteId] = set()
         self._partition: Optional[Dict[SiteId, int]] = None
@@ -53,6 +70,10 @@ class Network:
         self._pair_streams: Optional[Dict[Tuple[SiteId, SiteId], random.Random]] = (
             {} if self._config.pair_rng_streams else None
         )
+        # Fault randomness always uses dedicated per-pair streams: a plan
+        # must neither perturb the latency draws of the clean path nor
+        # depend on the global send interleaving (shard safety).
+        self._fault_streams: Dict[Tuple[SiteId, SiteId], random.Random] = {}
         # Shard mode (set by the parallel engine inside a worker process):
         # sends to sites outside ``_shard_sites`` are not scheduled locally
         # but appended to ``_shard_outbox`` as (deliver_at, message) pairs
@@ -69,10 +90,14 @@ class Network:
     def known_sites(self) -> Set[SiteId]:
         return set(self._endpoints)
 
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return self._faults
+
     # -- failures -------------------------------------------------------------
 
     def crash(self, site_id: SiteId) -> None:
-        """Messages to/from a crashed site are silently lost."""
+        """Messages to/from a crashed site are lost (counted as drops)."""
         self._crashed.add(site_id)
 
     def recover(self, site_id: SiteId) -> None:
@@ -103,6 +128,29 @@ class Network:
             return False
         return self._partition.get(src) != self._partition.get(dst)
 
+    def _blocked(self, src: SiteId, dst: SiteId) -> Optional[str]:
+        """The drop reason a message on this link would die of, or None.
+
+        One helper for both ends of a message's life: :meth:`send` and
+        :meth:`_deliver` apply the same check, so crash/partition handling is
+        symmetric and every discard is counted.
+        """
+        if src in self._crashed or dst in self._crashed:
+            return "crash"
+        if self._partitioned(src, dst):
+            return "partition"
+        return None
+
+    def _drop(self, message: Message, reason: str) -> None:
+        """Count one discarded message (original vs duplicate copy)."""
+        kind = message.kind
+        if message.dup:
+            self._metrics.incr(names.msg_dup_dropped(kind))
+            return
+        self._metrics.incr(names.MSG_LOST)
+        self._metrics.incr(names.msg_dropped_kind(kind))
+        self._metrics.incr(names.msg_dropped_reason(reason))
+
     # -- sharding (parallel engine support) ---------------------------------
 
     def attach_shard(
@@ -116,7 +164,7 @@ class Network:
         coordinator to route, instead of being scheduled on the local
         scheduler.  Requires per-pair RNG streams, otherwise latency draws
         would depend on the global send interleaving the shards no longer
-        share.
+        share.  (Fault plans are fine: their randomness is always per-pair.)
         """
         if self._pair_streams is None:
             raise UnknownSiteError(
@@ -149,6 +197,13 @@ class Network:
             self._pair_streams[(src, dst)] = stream
         return stream
 
+    def _fault_rng(self, src: SiteId, dst: SiteId) -> random.Random:
+        stream = self._fault_streams.get((src, dst))
+        if stream is None:
+            stream = self._rng_registry.stream(f"fault:{src}->{dst}")
+            self._fault_streams[(src, dst)] = stream
+        return stream
+
     # -- sending ------------------------------------------------------------
 
     def send(self, src: SiteId, dst: SiteId, payload: Payload) -> None:
@@ -163,22 +218,51 @@ class Network:
         self._metrics.incr(f"involve.{message.kind}.{src}")
         self._metrics.incr(f"involve.{message.kind}.{dst}")
 
-        if src in self._crashed or dst in self._crashed or self._partitioned(src, dst):
-            self._metrics.incr("messages.lost")
+        reason = self._blocked(src, dst)
+        if reason is not None:
+            self._drop(message, reason)
             return
         rng = self._rng_for(src, dst)
         if self._config.drop_probability and rng.random() < self._config.drop_probability:
-            self._metrics.incr("messages.lost")
+            self._drop(message, "loss")
             return
+        extra_delay = 0.0
+        duplicate_lags: Tuple[float, ...] = ()
+        if (
+            self._fault_window is not None
+            and self._fault_window[0] <= self._scheduler.now < self._fault_window[1]
+        ):
+            fate = self._faults.roll(
+                self._scheduler.now, src, dst, self._fault_rng(src, dst)
+            )
+            if fate.drop:
+                self._drop(message, "fault")
+                return
+            extra_delay = fate.extra_delay
+            duplicate_lags = fate.duplicate_lags
 
-        delay = self._latency.sample(rng, src, dst)
-        deliver_at = self._scheduler.now + delay
-        if self._config.fifo_per_pair:
-            pair = (src, dst)
-            floor = self._last_delivery.get(pair, 0.0)
-            deliver_at = max(deliver_at, floor)
-            self._last_delivery[pair] = deliver_at
-        if self._shard_sites is not None and dst not in self._shard_sites:
+        delay = self._latency.sample(rng, src, dst) + extra_delay
+        deliver_at = self._clamp_fifo(src, dst, self._scheduler.now + delay)
+        self._dispatch(message, deliver_at)
+        for lag in duplicate_lags:
+            # A fresh envelope per copy: its own uid (in-flight tracking and
+            # cross-shard routing need distinct keys) and the dup marker for
+            # separate accounting.
+            copy = Message(src=src, dst=dst, payload=payload, dup=True)
+            self._metrics.incr(names.msg_duplicated(message.kind))
+            self._dispatch(copy, self._clamp_fifo(src, dst, deliver_at + lag))
+
+    def _clamp_fifo(self, src: SiteId, dst: SiteId, deliver_at: float) -> float:
+        if not self._config.fifo_per_pair:
+            return deliver_at
+        pair = (src, dst)
+        floor = self._last_delivery.get(pair, 0.0)
+        deliver_at = max(deliver_at, floor)
+        self._last_delivery[pair] = deliver_at
+        return deliver_at
+
+    def _dispatch(self, message: Message, deliver_at: float) -> None:
+        if self._shard_sites is not None and message.dst not in self._shard_sites:
             # Cross-shard: hand to the coordinator with the delivery time
             # already fixed; the receiving shard schedules it unchanged.
             self._shard_outbox.append((deliver_at, message))
@@ -188,7 +272,7 @@ class Network:
             deliver_at,
             lambda: self._deliver(message),
             label=f"deliver:{message.kind}",
-            site=dst,
+            site=message.dst,
         )
 
     def in_flight_messages(self):
@@ -199,11 +283,13 @@ class Network:
         self._in_flight.pop(message.uid, None)
         # Crashes/partitions that arose while the message was in flight also
         # destroy it -- the destination never processes it.
-        if message.dst in self._crashed or message.src in self._crashed:
-            self._metrics.incr("messages.lost")
+        reason = self._blocked(message.src, message.dst)
+        if reason is not None:
+            self._drop(message, reason)
             return
-        if self._partitioned(message.src, message.dst):
-            self._metrics.incr("messages.lost")
-            return
-        self._metrics.incr("messages.delivered")
+        if message.dup:
+            self._metrics.incr(names.msg_dup_delivered(message.kind))
+        else:
+            self._metrics.incr(names.MSG_DELIVERED)
+            self._metrics.incr(names.msg_delivered_kind(message.kind))
         self._endpoints[message.dst](message)

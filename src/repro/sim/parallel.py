@@ -342,13 +342,44 @@ class ParallelSimulation(Simulation):
     ``parallel_workers == 1`` (or when parallelism is impossible: zero
     ``min_latency``, no fork support, fewer than two sites) every call takes
     the inherited sequential path unchanged.
+
+    Construct through :meth:`Simulation.create`; direct instantiation is
+    deprecated (the factory picks the engine from ``parallel_workers`` and
+    keeps call sites engine-agnostic).
     """
+
+    #: > 0 while Simulation.create is constructing us (suppresses the
+    #: direct-construction deprecation warning).
+    _factory_depth = 0
+
+    @classmethod
+    def _create(
+        cls,
+        config: Optional[SimulationConfig] = None,
+        *,
+        latency_model: Optional[LatencyModel] = None,
+        fault_plan=None,
+    ) -> "ParallelSimulation":
+        cls._factory_depth += 1
+        try:
+            return cls(config, latency_model=latency_model, fault_plan=fault_plan)
+        finally:
+            cls._factory_depth -= 1
 
     def __init__(
         self,
         config: Optional[SimulationConfig] = None,
         latency_model: Optional[LatencyModel] = None,
+        fault_plan=None,
     ):
+        if ParallelSimulation._factory_depth == 0:
+            warnings.warn(
+                "constructing ParallelSimulation directly is deprecated; "
+                "use Simulation.create(config) (it selects the engine from "
+                "config.parallel_workers)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         config = config or SimulationConfig()
         requested = config.parallel_workers
         fallback = None
@@ -371,7 +402,7 @@ class ParallelSimulation(Simulation):
             config = replace(
                 config, network=replace(config.network, pair_rng_streams=True)
             )
-        super().__init__(config, latency_model=latency_model)
+        super().__init__(config, latency_model=latency_model, fault_plan=fault_plan)
         self._forked = False
         self._closed = False
         self._workers: List[_WorkerHandle] = []
@@ -648,9 +679,9 @@ class ParallelSimulation(Simulation):
     def snapshot(self) -> Dict[str, Any]:
         """Merged heap/ioref snapshot, same shape as ``analysis.export.snapshot``."""
         if not self._forked:
-            from ..analysis.export import snapshot as export_snapshot
+            from ..analysis.export import graph_snapshot
 
-            return export_snapshot(self)
+            return graph_snapshot(self)
         payloads, _ = self._broadcast(("snapshot",))
         merged: Dict[str, Any] = {}
         for shard_snapshot in payloads:

@@ -16,6 +16,7 @@ from ..config import SimulationConfig
 from ..errors import SimulationError
 from ..ids import ObjectId, SiteId, TraceId
 from ..metrics import MetricsRecorder
+from ..net.faults import FaultPlan
 from ..net.latency import LatencyModel
 from ..net.network import Network
 from ..site.site import Site
@@ -30,6 +31,7 @@ class Simulation:
         self,
         config: Optional[SimulationConfig] = None,
         latency_model: Optional[LatencyModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.config = config or SimulationConfig()
         self.scheduler = Scheduler()
@@ -41,10 +43,38 @@ class Simulation:
             self.metrics,
             config=self.config.network,
             latency_model=latency_model,
+            fault_plan=fault_plan,
         )
         self.sites: Dict[SiteId, Site] = {}
         self._mutator_hop_handlers: Dict[str, Callable[[ObjectId], None]] = {}
         self._trace_outcomes: List[tuple] = []
+
+    @classmethod
+    def create(
+        cls,
+        config: Optional[SimulationConfig] = None,
+        *,
+        latency_model: Optional[LatencyModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> "Simulation":
+        """Build the right engine for ``config``: the single entry point.
+
+        Returns a plain sequential :class:`Simulation` unless
+        ``config.parallel_workers > 1``, in which case the sharded parallel
+        engine is constructed (imported lazily -- most runs never need it).
+        Callers should prefer this over instantiating either class directly;
+        direct ``ParallelSimulation(...)`` construction is deprecated.
+        """
+        config = config or SimulationConfig()
+        target = cls
+        if cls is Simulation and config.parallel_workers > 1:
+            from .parallel import ParallelSimulation
+
+            target = ParallelSimulation
+        creator = getattr(target, "_create", None)
+        if creator is not None:
+            return creator(config, latency_model=latency_model, fault_plan=fault_plan)
+        return target(config, latency_model=latency_model, fault_plan=fault_plan)
 
     # -- construction ---------------------------------------------------------------
 

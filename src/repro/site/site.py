@@ -16,7 +16,8 @@ policies the paper describes:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..config import GcConfig
 from ..errors import GcInvariantError
@@ -34,17 +35,25 @@ from ..gc.insert import InsertDone, InsertRequest, UnpinRequest
 from ..gc.inrefs import InrefTable
 from ..gc.localtrace import LocalCollector, LocalTraceResult
 from ..gc.outrefs import OutrefTable
-from ..gc.update import UpdatePayload, apply_update
+from ..gc.update import UpdateAck, UpdatePayload, apply_update
 from ..ids import ObjectId, SiteId, TraceId
-from ..metrics import MetricsRecorder
+from ..metrics import MetricsRecorder, names
 from ..mutator.ops import MutatorHop, RemoteCopy
 from ..net.message import Message, Payload
 from ..net.network import Network
-from ..sim.scheduler import Scheduler
+from ..net.reliability import DedupWindow
+from ..sim.scheduler import EventHandle, Scheduler
 from ..store.heap import Heap
 
 HopCallback = Callable[[str, ObjectId], None]
 OutcomeCallback = Callable[[SiteId, TraceId, TraceOutcome], None]
+
+#: Mutation-protocol payloads stamped with a per-(sender, receiver) sequence
+#: number by :meth:`Site.send` and deduplicated by :meth:`Site.receive`.  A
+#: replayed delivery of any of these is *not* idempotent on its own: inserts
+#: re-run the transfer barrier and double-release pins, remote copies
+#: double-store references, hops fork phantom mutators.
+_SEQUENCED_MUTATIONS = (InsertRequest, InsertDone, UnpinRequest, RemoteCopy, MutatorHop)
 
 
 class Site:
@@ -127,6 +136,7 @@ class Site:
                     BackReplyBatch,
                     BackOutcome,
                     UpdatePayload,
+                    UpdateAck,
                     InsertRequest,
                     InsertDone,
                     UnpinRequest,
@@ -146,8 +156,24 @@ class Site:
         self._pending_writes: List[tuple] = []
         self._variable_outrefs: Dict[ObjectId, int] = {}
         self._gc_timer = None
+        # At-least-once protocol state (section 4.6 hardening): per-peer
+        # sequence counters for outgoing traffic, per-peer dedup windows for
+        # incoming traffic, and the unacked-update retransmission ledger
+        # dst -> {seq: (retransmit attempts so far, pending timer)}.
+        self._mutation_seq: Dict[SiteId, int] = {}
+        self._update_seq: Dict[SiteId, int] = {}
+        self._pending_updates: Dict[SiteId, Dict[int, Tuple[int, EventHandle]]] = {}
+        self._mutation_dedup: Dict[SiteId, DedupWindow] = {}
+        self._update_dedup: Dict[SiteId, DedupWindow] = {}
+        # Peers whose retransmission chain was abandoned: their view of our
+        # outref distances may be arbitrarily stale, which can freeze distance
+        # propagation system-wide (each side waits for the other to change).
+        # The next GC tick pushes them a fresh full update -- even a tick
+        # whose local trace is skipped by the incremental planner.
+        self._desynced_peers: Set[SiteId] = set()
         self._handlers = {
             UpdatePayload: self._on_update,
+            UpdateAck: self._on_update_ack,
             InsertRequest: self._on_insert_request,
             InsertDone: self._on_insert_done,
             UnpinRequest: self._on_unpin,
@@ -167,6 +193,10 @@ class Site:
     def send(self, dst: SiteId, payload: Payload) -> None:
         if self.crashed:
             return
+        if isinstance(payload, _SEQUENCED_MUTATIONS) and payload.seq < 0:
+            seq = self._mutation_seq.get(dst, 0) + 1
+            self._mutation_seq[dst] = seq
+            payload = replace(payload, seq=seq)
         if self._sender is not None:
             self._sender.send(dst, payload)
         else:
@@ -186,7 +216,13 @@ class Site:
             for payload in message.payload.payloads:
                 self.receive(Message(src=message.src, dst=message.dst, payload=payload))
             return
-        handler = self._handlers.get(type(message.payload))
+        payload = message.payload
+        if isinstance(payload, _SEQUENCED_MUTATIONS) and payload.seq > 0:
+            window = self._mutation_dedup.setdefault(message.src, DedupWindow())
+            if window.seen(payload.seq):
+                self.metrics.incr(names.dup_suppressed(message.kind))
+                return
+        handler = self._handlers.get(type(payload))
         if handler is None:
             raise TypeError(f"site {self.site_id}: no handler for {message.kind}")
         handler(message)
@@ -253,6 +289,10 @@ class Site:
             mode = self.collector.plan_trace(variable_outrefs)
         if mode == "skip":
             self.collector.record_skip()
+            # A skipped trace sends no updates, so peers that lost our
+            # earlier ones must still be repaired here or the system can
+            # deadlock with every site skipping and no one resyncing.
+            self._flush_desynced_peers()
             # Triggers still run: the previous check may have been capped by
             # max_traces_per_trigger_check, and back thresholds only ratchet
             # when traces actually visit -- eligibility can persist unchanged.
@@ -283,8 +323,97 @@ class Site:
     def _finalize_trace(self, result: LocalTraceResult, replay) -> None:
         self.collector.commit(result, replay_barrier_inrefs=replay)
         for dst, payload in sorted(result.updates_by_site.items()):
-            self.send(dst, payload)
+            self._send_update(dst, payload)
+        # Only a *full* update this tick repairs a desynced peer; a delta is
+        # computed against state the peer may not have.
+        self._flush_desynced_peers(
+            skip={dst for dst, p in result.updates_by_site.items() if p.full}
+        )
         self.check_backtrace_triggers()
+
+    # -- reliable update channel (at-least-once, section 4.6 hardening) ----------------
+
+    def _send_update(self, dst: SiteId, payload: UpdatePayload, attempts: int = 0) -> None:
+        """Send one post-trace update, retransmitted until acknowledged.
+
+        With ``reliable_updates`` off this is a plain send.  Otherwise the
+        payload is stamped with the next per-destination sequence number and
+        a retransmission timer is armed; ``attempts`` counts retransmissions
+        already spent on this repair and doubles the timer (capped at 8x).
+        """
+        if not self.config.reliable_updates:
+            self.send(dst, payload)
+            return
+        seq = self._update_seq.get(dst, 0) + 1
+        self._update_seq[dst] = seq
+        payload = replace(payload, seq=seq)
+        pending = self._pending_updates.setdefault(dst, {})
+        if payload.full:
+            # A full update is a complete state transfer: it supersedes every
+            # earlier unacked update to this destination, so their pending
+            # retransmissions are absorbed rather than retried.
+            for old_seq in [s for s in pending if s < seq]:
+                pending.pop(old_seq)[1].cancel()
+        delay = self.config.update_retransmit_timeout * (2 ** min(attempts, 3))
+        timer = self.scheduler.schedule(
+            delay,
+            lambda: self._retransmit_update(dst, seq),
+            label=f"update-retransmit:{self.site_id}->{dst}",
+            site=self.site_id,
+        )
+        pending[seq] = (attempts, timer)
+        self.send(dst, payload)
+
+    def _retransmit_update(self, dst: SiteId, seq: int) -> None:
+        pending = self._pending_updates.get(dst)
+        if pending is None or seq not in pending:
+            return  # acked (or absorbed by a full) in the meantime
+        attempts = pending.pop(seq)[0] + 1
+        if not pending:
+            self._pending_updates.pop(dst, None)
+        if self.crashed:
+            return
+        if attempts > self.config.update_retransmit_limit:
+            # Give up on *this chain*: the peer is gone or the partition
+            # outlives our patience.  Safe -- a missed update only delays
+            # collection -- but the peer is now marked desynced so the next
+            # GC tick restarts the repair with a fresh full update (and a
+            # fresh retransmission budget).
+            self.metrics.incr(names.UPDATE_RETRANSMITS_ABANDONED)
+            self._desynced_peers.add(dst)
+            return
+        self.metrics.incr(names.UPDATE_RETRANSMITS)
+        # Resending the original delta would be wrong: newer deltas may have
+        # been delivered ahead of the retransmission (FIFO places it *after*
+        # them), so its content is folded into a fresh full state transfer.
+        self._send_update(dst, self._build_full_update(dst), attempts=attempts)
+
+    def _flush_desynced_peers(self, skip: Optional[Set[SiteId]] = None) -> None:
+        """Resend a full update to every peer whose repair chain gave up.
+
+        ``skip`` names destinations this tick already updated through the
+        normal trace path (a second full would be redundant traffic).  Peers
+        still unreachable will abandon again and re-enter the set, so the
+        retry cadence is one chain per GC tick -- bounded, and it stops the
+        moment an ack arrives.
+        """
+        if not self._desynced_peers:
+            return
+        peers = sorted(self._desynced_peers)
+        self._desynced_peers.clear()
+        for dst in peers:
+            if skip is not None and dst in skip:
+                continue
+            self._send_update(dst, self._build_full_update(dst))
+
+    def _build_full_update(self, dst: SiteId) -> UpdatePayload:
+        """The complete current outref list toward ``dst`` (idempotent)."""
+        distances = tuple(
+            (entry.target, entry.distance)
+            for entry in sorted(self.outrefs.entries(), key=lambda e: e.target)
+            if entry.target.site == dst
+        )
+        return UpdatePayload(distances=distances, removals=(), full=True)
 
     @property
     def is_tracing(self) -> bool:
@@ -480,7 +609,27 @@ class Site:
     # -- handlers ------------------------------------------------------------------------------------
 
     def _on_update(self, message: Message) -> None:
-        apply_update(self.inrefs, message.src, message.payload)
+        payload: UpdatePayload = message.payload
+        if payload.seq > 0:
+            # Ack every receipt, duplicates included -- the previous ack may
+            # itself have been lost, and re-acking is what stops the sender's
+            # retransmission ladder.
+            self.send(message.src, UpdateAck(seq=payload.seq))
+            window = self._update_dedup.setdefault(message.src, DedupWindow())
+            if window.seen(payload.seq):
+                self.metrics.incr(names.dup_suppressed("UpdatePayload"))
+                return
+        apply_update(self.inrefs, message.src, payload)
+
+    def _on_update_ack(self, message: Message) -> None:
+        pending = self._pending_updates.get(message.src)
+        if not pending:
+            return
+        entry = pending.pop(message.payload.seq, None)
+        if entry is not None:
+            entry[1].cancel()
+        if not pending:
+            self._pending_updates.pop(message.src, None)
 
     def _on_insert_request(self, message: Message) -> None:
         payload: InsertRequest = message.payload

@@ -20,7 +20,7 @@ import pytest
 
 from repro import GcConfig, NetworkConfig, Simulation, SimulationConfig
 from repro.analysis import Oracle
-from repro.analysis.export import snapshot as export_snapshot
+from repro.analysis.export import graph_snapshot as export_snapshot
 from repro.errors import SimulationError
 from repro.sim.parallel import ParallelSimulation
 from repro.workloads import ChurnConfig, SiteChurn, build_ring_cycle
@@ -47,7 +47,7 @@ def _build(workers, seed):
         network=NetworkConfig(**NETWORK),
         parallel_workers=workers,
     )
-    sim = Simulation(config) if workers == 1 else ParallelSimulation(config)
+    sim = Simulation.create(config)
     sim.add_sites(SITES, auto_gc=True)
     return sim
 
@@ -156,7 +156,8 @@ def test_zero_min_latency_falls_back_to_sequential_with_warning():
         parallel_workers=4,
     )
     with pytest.warns(RuntimeWarning, match="min_latency"):
-        sim = ParallelSimulation(config)
+        sim = Simulation.create(config)
+    assert isinstance(sim, ParallelSimulation)
     assert not sim.parallel_active
     sim.add_sites(["P", "Q"], auto_gc=False)
     # Runs fine on the inherited sequential path; nothing ever forks.
@@ -169,14 +170,18 @@ def test_single_shard_degrades_to_sequential_with_warning():
     config = SimulationConfig(
         network=NetworkConfig(**NETWORK), parallel_workers=4
     )
-    sim = ParallelSimulation(config)
+    sim = Simulation.create(config)
     sim.add_site("only", auto_gc=False)
     with pytest.warns(RuntimeWarning, match="one shard"):
         sim.run_for(5.0)
     assert not sim.parallel_active and not sim._forked
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_workers_one_is_byte_identical_to_sequential_engine():
+    # Deliberate direct construction (hence the warning filter): the subject
+    # is the ParallelSimulation class itself on the workers=1 path, which
+    # Simulation.create would never hand back.
     # parallel_workers=1 must take the existing sequential path unchanged:
     # same classes, same RNG streams (pair_rng_streams stays at its default),
     # hence byte-identical final state against a plain Simulation.

@@ -2,7 +2,7 @@
 
 import json
 
-from repro.analysis.export import diff_snapshots, snapshot, to_dot
+from repro.analysis.export import graph_diff, graph_snapshot, to_dot
 from repro.workloads import GraphBuilder, build_ring_cycle
 
 from ..conftest import make_sim
@@ -21,7 +21,7 @@ def build_world():
 
 def test_snapshot_is_json_serializable():
     sim, b = build_world()
-    data = snapshot(sim)
+    data = graph_snapshot(sim)
     json.dumps(data)  # must not raise
     assert set(data["sites"]) == {"P", "Q"}
     assert str(b["root"]) in data["sites"]["P"]["objects"]
@@ -30,7 +30,7 @@ def test_snapshot_is_json_serializable():
 
 def test_snapshot_records_ioref_state():
     sim, b = build_world()
-    data = snapshot(sim)
+    data = graph_snapshot(sim)
     q_inrefs = data["sites"]["Q"]["inrefs"]
     assert q_inrefs[str(b["q"])]["sources"] == {"P": 1}
     p_outrefs = data["sites"]["P"]["outrefs"]
@@ -39,15 +39,15 @@ def test_snapshot_records_ioref_state():
 
 def test_diff_snapshots_tracks_deaths():
     sim, b = build_world()
-    before = snapshot(sim)
+    before = graph_snapshot(sim)
     sim.site("P").mutator_remove_ref(b["root"], b["p"])
     for _ in range(30):
         sim.run_gc_round()
         from repro.analysis import Oracle
         if not Oracle(sim).garbage_set():
             break
-    after = snapshot(sim)
-    delta = diff_snapshots(before, after)
+    after = graph_snapshot(sim)
+    delta = graph_diff(before, after)
     assert str(b["p"]) in delta["P"]["objects_died"]
     assert str(b["q"]) in delta["Q"]["objects_died"]
 

@@ -1,0 +1,243 @@
+"""Unit tests for the declarative fault-injection layer (repro.net.faults)."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import ConfigError
+from repro.metrics import MetricsRecorder, names
+from repro.net.faults import FaultPlan, LinkFault, PartitionWindow, SiteCrash
+from repro.net.latency import ConstantLatency
+from repro.net.message import Payload
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class Ping(Payload):
+    n: int = 0
+
+
+def make_net(plan=None, seed=0, sites=("A", "B", "C")):
+    sched = Scheduler()
+    metrics = MetricsRecorder()
+    net = Network(
+        sched,
+        RngRegistry(seed),
+        metrics,
+        config=NetworkConfig(),
+        latency_model=ConstantLatency(1.0),
+        fault_plan=plan,
+    )
+    inboxes = {s: [] for s in sites}
+    for s in sites:
+        net.register(s, (lambda sid: (lambda msg: inboxes[sid].append(msg)))(s))
+    return sched, net, inboxes, metrics
+
+
+# -- rule validation ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(loss=1.5),
+        dict(duplicate_probability=-0.1),
+        dict(reorder_probability=2.0),
+        dict(start=-1.0),
+        dict(start=10.0, end=10.0),
+        dict(duplicate_copies=0),
+        dict(duplicate_lag=-1.0),
+        dict(reorder_delay=-1.0),
+    ],
+)
+def test_link_fault_rejects_bad_parameters(kwargs):
+    with pytest.raises(ConfigError):
+        LinkFault(**kwargs)
+
+
+def test_site_crash_and_partition_validation():
+    with pytest.raises(ConfigError):
+        SiteCrash(site="A", at=10.0, recover_at=5.0)
+    with pytest.raises(ConfigError):
+        PartitionWindow(groups=(), at=0.0)
+    with pytest.raises(ConfigError):
+        PartitionWindow(groups=(frozenset({"A"}),), at=10.0, heal_at=10.0)
+
+
+def test_link_fault_matching_window_and_endpoints():
+    rule = LinkFault(start=10.0, end=20.0, src="A", loss=0.5)
+    assert not rule.matches(9.9, "A", "B")
+    assert rule.matches(10.0, "A", "B")
+    assert not rule.matches(20.0, "A", "B")  # end-exclusive
+    assert not rule.matches(15.0, "C", "B")  # wrong sender
+    rule = LinkFault(dst="B", loss=0.5)  # no end: never heals
+    assert rule.matches(1e9, "A", "B")
+    assert not rule.matches(1e9, "A", "C")
+
+
+# -- roll semantics ----------------------------------------------------------
+
+
+def test_roll_certain_loss_drops():
+    plan = FaultPlan.loss(1.0)
+    fate = plan.roll(0.0, "A", "B", random.Random(1))
+    assert fate.drop and not fate.duplicate_lags
+
+
+def test_roll_certain_duplication_yields_per_copy_lags():
+    plan = FaultPlan.duplication(1.0, copies=3, lag=5.0)
+    fate = plan.roll(0.0, "A", "B", random.Random(1))
+    assert not fate.drop
+    assert len(fate.duplicate_lags) == 3
+    assert all(0.0 <= lag <= 5.0 for lag in fate.duplicate_lags)
+
+
+def test_roll_certain_reorder_adds_bounded_delay():
+    plan = FaultPlan.reorder_burst(1.0, delay=40.0)
+    fate = plan.roll(0.0, "A", "B", random.Random(1))
+    assert 0.0 <= fate.extra_delay <= 40.0
+
+
+def test_roll_is_deterministic_in_the_rng():
+    plan = FaultPlan.loss(0.3).merge(
+        FaultPlan.duplication(0.4, copies=2, lag=10.0),
+        FaultPlan.reorder_burst(0.5, delay=20.0),
+    )
+    fates_a = [plan.roll(1.0, "A", "B", random.Random(42)) for _ in range(1)]
+    rng1, rng2 = random.Random(7), random.Random(7)
+    seq1 = [plan.roll(float(t), "A", "B", rng1) for t in range(50)]
+    seq2 = [plan.roll(float(t), "A", "B", rng2) for t in range(50)]
+    assert seq1 == seq2
+    assert fates_a == [plan.roll(1.0, "A", "B", random.Random(42))]
+
+
+def test_roll_outside_window_draws_nothing():
+    plan = FaultPlan.loss(1.0, start=100.0, end=200.0)
+    rng = random.Random(3)
+    before = rng.getstate()
+    fate = plan.roll(50.0, "A", "B", rng)
+    assert not fate.drop and rng.getstate() == before
+
+
+# -- composition and schedules -----------------------------------------------
+
+
+def test_merge_concatenates_rules_and_names():
+    merged = FaultPlan.loss(0.2).merge(
+        FaultPlan.duplication(0.1), FaultPlan.crash_window("A", at=5.0, recover_at=9.0)
+    )
+    assert len(merged.links) == 2 and len(merged.crashes) == 1
+    assert merged.name == "loss20+dup10+crash:A"
+    assert merged.named("storm").name == "storm"
+
+
+def test_schedule_edges_are_time_sorted():
+    plan = FaultPlan.crash_window("B", at=50.0, recover_at=90.0).merge(
+        FaultPlan.partition_window(
+            (frozenset({"A"}), frozenset({"B"})), at=10.0, heal_at=70.0
+        )
+    )
+    edges = plan.schedule_edges()
+    assert [time for time, _, _ in edges] == sorted(time for time, _, _ in edges)
+    assert [action for _, action, _ in edges] == [
+        "partition",
+        "crash",
+        "heal_partition",
+        "recover",
+    ]
+
+
+def test_healed_at_and_is_empty():
+    assert FaultPlan().is_empty
+    assert FaultPlan().healed_at == 0.0
+    assert FaultPlan.loss(0.2, end=300.0).healed_at == 300.0
+    assert FaultPlan.loss(0.2).healed_at == float("inf")
+    assert (
+        FaultPlan.crash_window("A", at=5.0, recover_at=400.0).healed_at == 400.0
+    )
+
+
+# -- network integration -----------------------------------------------------
+
+
+def test_network_drops_under_loss_plan_and_counts_reason():
+    sched, net, inboxes, metrics = make_net(FaultPlan.loss(1.0, end=10.0))
+    for n in range(3):
+        net.send("A", "B", Ping(n))
+    sched.schedule_at(11.0, lambda: net.send("A", "B", Ping(99)))
+    sched.drain()
+    # In-window sends die as fault drops; the post-heal send gets through.
+    assert [m.payload.n for m in inboxes["B"]] == [99]
+    assert metrics.count(names.msg_dropped_reason("fault")) == 3
+    assert metrics.count(names.msg_dropped_kind("Ping")) == 3
+    assert metrics.count(names.MSG_LOST) == 3
+    assert metrics.count(names.msg_sent("Ping")) == 4
+
+
+def test_network_duplication_accounts_copies_separately():
+    plan = FaultPlan.duplication(1.0, copies=2, lag=5.0)
+    sched, net, inboxes, metrics = make_net(plan)
+    net.send("A", "B", Ping(1))
+    sched.drain()
+    assert [m.payload.n for m in inboxes["B"]] == [1, 1, 1]
+    assert sum(1 for m in inboxes["B"] if m.dup) == 2
+    assert metrics.count(names.msg_duplicated("Ping")) == 2
+    assert metrics.count(names.msg_dup_delivered("Ping")) == 2
+    # Originals reconcile without the copies polluting the books.
+    assert metrics.count(names.msg_delivered_kind("Ping")) == 1
+    assert metrics.count(names.msg_sent("Ping")) == 1
+
+
+def test_network_reorder_burst_delays_but_keeps_pair_fifo():
+    plan = FaultPlan.reorder_burst(1.0, delay=50.0)
+    sched, net, inboxes, _ = make_net(plan)
+    for n in range(20):
+        net.send("A", "B", Ping(n))
+    sched.drain()
+    assert [m.payload.n for m in inboxes["B"]] == list(range(20))  # R1 holds
+    assert sched.now > 1.0  # at least one message was actually held back
+
+
+def test_inactive_plan_is_byte_identical_to_no_plan():
+    future = FaultPlan.loss(1.0, start=1000.0, end=2000.0)
+    runs = []
+    for plan in (None, future):
+        sched, net, inboxes, _ = make_net(plan, seed=5)
+        for n in range(10):
+            net.send("A", "B", Ping(n))
+            net.send("B", "C", Ping(n))
+        sched.drain()
+        runs.append(
+            (sched.now, [(m.src, m.payload.n) for m in inboxes["B"] + inboxes["C"]])
+        )
+    assert runs[0] == runs[1]
+
+
+# -- the crash-counter bugfix ------------------------------------------------
+
+
+def test_crash_drops_are_counted_at_send_and_in_flight():
+    sched, net, inboxes, metrics = make_net()
+    net.send("A", "B", Ping(1))  # in flight when the crash lands
+    net.crash("B")
+    net.send("A", "B", Ping(2))  # blocked at send time
+    sched.drain()
+    assert inboxes["B"] == []
+    assert metrics.count(names.MSG_DROPPED_CRASH) == 2
+    assert metrics.count(names.msg_dropped_kind("Ping")) == 2
+    assert metrics.count(names.MSG_LOST) == 2
+    assert metrics.count(names.msg_sent("Ping")) == 2
+
+
+def test_partition_drops_are_counted_symmetrically():
+    sched, net, inboxes, metrics = make_net()
+    net.send("A", "B", Ping(1))
+    net.partition({"A"}, {"B", "C"})
+    net.send("A", "B", Ping(2))
+    sched.drain()
+    assert inboxes["B"] == []
+    assert metrics.count(names.MSG_DROPPED_PARTITION) == 2
