@@ -36,11 +36,11 @@ NETWORK = dict(min_latency=8.0, max_latency=24.0, pair_rng_streams=True)
 GC = dict(local_trace_period=150.0, local_trace_period_jitter=30.0)
 
 
-def _build(workers, n_sites, seed=3):
+def _build(workers, n_sites, seed=3, gc_features=None):
     config = SimulationConfig(
         seed=seed,
         network=NetworkConfig(**NETWORK),
-        gc=GcConfig(**GC),
+        gc=GcConfig(**GC, **(gc_features or {})),
         parallel_workers=workers,
     )
     sim = Simulation.create(config)
@@ -53,9 +53,9 @@ def _build(workers, n_sites, seed=3):
     return sim
 
 
-def run_engine(workers, n_sites=N_SITES, duration=DURATION, seed=3):
+def run_engine(workers, n_sites=N_SITES, duration=DURATION, seed=3, gc_features=None):
     """One timed run; returns wall time, event throughput, and the snapshot."""
-    sim = _build(workers, n_sites, seed=seed)
+    sim = _build(workers, n_sites, seed=seed, gc_features=gc_features)
     started = time.perf_counter()
     fired = sim.run_for(duration)
     wall_seconds = time.perf_counter() - started
@@ -137,16 +137,29 @@ if __name__ == "__main__":
     n_sites = 16 if smoke else N_SITES
     duration = 400.0 if smoke else DURATION
     stats = run_comparison(n_sites=n_sites, duration=duration)
+    # The sequential baseline above uses the flat-graph kernel (the default);
+    # record the legacy set-based kernel next to it so the JSON separates
+    # "how much the kernel buys" from "how much the workers buy".
+    legacy_seq = run_engine(
+        1, n_sites=n_sites, duration=duration, gc_features=dict(flat_kernel=False)
+    )
     snapshots = [row.pop("snapshot") for row in stats.values()]
+    legacy_snapshot = legacy_seq.pop("snapshot")
     results = {
         "sites": n_sites,
         "duration": duration,
         "cpus": os.cpu_count(),
-        "snapshots_identical": all(s == snapshots[0] for s in snapshots),
+        "snapshots_identical": all(s == snapshots[0] for s in snapshots)
+        and legacy_snapshot == snapshots[0],
     }
     for workers, row in sorted(stats.items()):
         key = "sequential" if workers == 1 else f"workers_{workers}"
         results[key] = row
+    results["sequential_legacy_kernel"] = legacy_seq
+    if legacy_seq["wall_seconds"] > 0 and stats[1]["wall_seconds"] > 0:
+        results["flat_kernel_speedup"] = (
+            legacy_seq["wall_seconds"] / stats[1]["wall_seconds"]
+        )
     for workers in (2, 4):
         if workers in stats and stats[workers]["wall_seconds"] > 0:
             results[f"speedup_{workers}x"] = (

@@ -1,0 +1,408 @@
+"""E18 (extension) -- Delta updates + flat-graph kernel: data-plane cost.
+
+PR "delta-encoded update protocol and flat-graph trace kernel" claims two
+headline numbers on the E13 steady-state workload shape (16 sites, large
+local heaps, quiescent after an initial collection), each measured by its
+own segment:
+
+1. **Throughput** (timed segment): with auto-GC timers plus light churn
+   driving a deterministic event stream that is byte-identical across
+   modes, the optimized data plane fires >= 1.5x more scheduler events per
+   wall second, because the clean phase scans dense int arrays instead of
+   hashing ObjectIds (``flat_kernel``).
+2. **Bandwidth** (untimed manual-round segment): across a quiescent steady
+   state long enough to cover the periodic-full-trace safety net, update
+   traffic drops >= 60% in size units, because quiescent delta traces ship
+   nothing and full state transfers happen every ``full_update_period``-th
+   full trace instead of on every one (``delta_updates``).
+
+Both are *pure* optimizations: the bench re-runs the workload with the
+legacy kernel + full-snapshot updates and asserts the final snapshot and
+back-trace outcomes are identical -- including a 4-worker parallel twin and
+a chaos-plan twin of the optimized configuration.
+
+Standalone mode emits BENCH_data_plane.json; ``--smoke`` shrinks the
+workload for CI; ``--check-regression`` compares the (machine-independent)
+speedup and reduction ratios against the committed baseline and warns --
+without failing -- when either degrades by more than 20%.
+"""
+
+import gc as pygc
+import json
+import time
+
+from repro import GcConfig, NetworkConfig, Simulation, SimulationConfig
+from repro.analysis import Oracle
+from repro.harness.report import Table
+from repro.metrics import graph_snapshot
+from repro.net.faults import FaultPlan
+from repro.sim.parallel import ParallelSimulation
+from repro.workloads import ChurnConfig, GraphBuilder, SiteChurn, build_ring_cycle
+
+N_SITES = 16
+CHAIN = 800  # local chain objects per site: scanning dominates wall time
+# Outrefs per site, all toward ONE peer site: legacy's periodic re-listing
+# then costs FANOUT size units per full update (what the bandwidth claim
+# measures) without multiplying message/event counts.
+FANOUT = 8
+# One complete delta full-refresh cycle: the safety net forces a full trace
+# every ``full_trace_every_n``+1 quiescent ticks, legacy ships a full update
+# on each of those, and delta mode re-anchors on every
+# ``full_update_period``-th full trace -- so 36 rounds cover exactly four
+# forced fulls per site, of which delta mode refreshes once.
+STEADY_ROUNDS = 36
+CYCLE_SPAN = 8  # sites per distributed garbage ring
+
+LEGACY = dict(delta_updates=False, flat_kernel=False)
+
+
+def _build(
+    seed,
+    gc,
+    chain,
+    parallel_workers=1,
+    fault_plan=None,
+    network=None,
+    auto_gc=False,
+):
+    config = SimulationConfig(
+        seed=seed,
+        gc=gc,
+        network=network or NetworkConfig(),
+        parallel_workers=parallel_workers,
+    )
+    sim = Simulation.create(config, fault_plan=fault_plan)
+    sites = [f"s{i:02d}" for i in range(N_SITES)]
+    sim.add_sites(sites, auto_gc=auto_gc)
+    builder = GraphBuilder(sim)
+    # Large per-site heaps (a rooted chain) plus FANOUT outrefs toward the
+    # next site, so every full trace scans real structure and every full
+    # update re-lists real distances.
+    roots = []
+    for index, site in enumerate(sites):
+        root = builder.obj(site, root=True)
+        roots.append(root)
+        prev = root
+        for _ in range(chain):
+            nxt = builder.obj(site)
+            builder.link(prev, nxt)
+            prev = nxt
+        for _ in range(FANOUT):
+            peer = builder.obj(sites[(index + 1) % N_SITES])
+            builder.link(prev, peer)
+    cycles = [
+        build_ring_cycle(sim, sites[k : k + CYCLE_SPAN])
+        for k in range(0, N_SITES, CYCLE_SPAN)
+    ]
+    return sim, cycles, roots
+
+
+THROUGHPUT_DURATION = 2000.0
+THROUGHPUT_CHAIN = 2400  # big enough that full-trace scans dominate wall time
+THROUGHPUT_GC = dict(local_trace_period=150.0, local_trace_period_jitter=30.0)
+THROUGHPUT_CHURN_INTERVAL = 40.0  # light churn: keep the scan share dominant
+THROUGHPUT_REPEATS = 3
+
+
+def _timed_run(mode, chain, duration, seed):
+    features = {} if mode == "optimized" else dict(LEGACY)
+    sim, _, _ = _build(
+        seed, GcConfig(**THROUGHPUT_GC, **features), chain, auto_gc=True
+    )
+    churn = SiteChurn(
+        sim,
+        sorted(sim.sites),
+        ChurnConfig(mean_interval=THROUGHPUT_CHURN_INTERVAL),
+    )
+    churn.start()
+    # The interpreter's cycle detector would otherwise walk the (large,
+    # mode-independent) heap mirror at allocation-driven intervals, burying
+    # the kernel difference under identical noise.
+    pygc.collect()
+    pygc.freeze()
+    pygc.disable()
+    try:
+        started = time.perf_counter()
+        fired = sim.run_for(duration)
+        wall_seconds = time.perf_counter() - started
+    finally:
+        pygc.enable()
+        pygc.unfreeze()
+    return sim, fired, wall_seconds
+
+
+def run_throughput(mode, chain=THROUGHPUT_CHAIN, duration=THROUGHPUT_DURATION, seed=3):
+    """Event throughput under live load (same measure as bench e16).
+
+    Auto-GC timers plus a churn workload drive a large event stream that is
+    the same for both modes to within the update traffic (under a percent);
+    with ``chain``-sized heaps, wall time is dominated by the periodic full
+    traces, which is exactly what the flat kernel accelerates.  The run is
+    repeated and the best wall time kept: the simulation is deterministic,
+    so repeats only shed cold-start noise.
+    """
+    walls = []
+    for _ in range(THROUGHPUT_REPEATS):
+        sim, fired, wall_seconds = _timed_run(mode, chain, duration, seed)
+        walls.append(wall_seconds)
+    wall_seconds = min(walls)
+    scanned = sim.metrics.count("gc.objects_scanned")
+    return {
+        "mode": mode,
+        "chain": chain,
+        "duration": duration,
+        "events": fired,
+        "wall_seconds": wall_seconds,
+        "wall_seconds_all": walls,
+        "events_per_sec": fired / wall_seconds if wall_seconds > 0 else 0.0,
+        "objects_scanned": scanned,
+        "objects_scanned_per_sec": scanned / wall_seconds
+        if wall_seconds > 0
+        else 0.0,
+        "churn_ops": sim.metrics.count("churn.ops"),
+        "update_units": sim.metrics.count("units.UpdatePayload")
+        + sim.metrics.count("units.UpdateDeltaPayload"),
+    }
+
+
+def run_steady_state(mode, chain=CHAIN, rounds=STEADY_ROUNDS, seed=2):
+    """Update bandwidth on the e13 steady state (and the identity twin).
+
+    The cycles are collected, then ``rounds`` quiescent rounds run at the
+    natural periodic-GC cadence: the incremental planner resolves most ticks
+    as skips, and every ``full_trace_every_n``-th tick is a planner-forced
+    full trace.  Legacy mode sends a full update (re-listing every outref
+    distance) on each of those; delta mode ships nothing until its own
+    sparser ``full_update_period`` refresh comes due.
+    """
+    features = {} if mode == "optimized" else dict(LEGACY)
+    sim, cycles, roots = _build(seed, GcConfig(**features), chain)
+    for _ in range(2):
+        sim.run_gc_round()
+    for cycle in cycles:
+        cycle.make_garbage(sim)
+    oracle = Oracle(sim)
+    collect_rounds = 0
+    for _ in range(60):
+        sim.run_gc_round()
+        collect_rounds += 1
+        oracle.check_safety()
+        if not oracle.garbage_set():
+            break
+    assert not oracle.garbage_set(), "initial garbage not collected"
+
+    before = sim.metrics.snapshot()
+    for index in range(rounds):
+        if index == 2:
+            # One live mutation mid-window so the quiescent segment also
+            # exercises the delta path (an add), identically in both modes.
+            sim.sites[sorted(sim.sites)[0]].mutator_add_ref(roots[0], roots[1])
+        sim.run_gc_round()
+    delta = sim.metrics.snapshot().diff(before)
+    oracle.check_safety()
+
+    update_units = delta.get("units.UpdatePayload", 0) + delta.get(
+        "units.UpdateDeltaPayload", 0
+    )
+    snap = graph_snapshot(sim)
+    snap.pop("time", None)
+    return {
+        "mode": mode,
+        "rounds": rounds,
+        "collect_rounds": collect_rounds,
+        "chain": chain,
+        "objects_scanned": delta.get("gc.objects_scanned", 0),
+        "update_units": update_units,
+        "update_messages": delta.get("messages.UpdatePayload", 0)
+        + delta.get("messages.UpdateDeltaPayload", 0),
+        "full_refreshes": delta.get("gc.update_full_refreshes", 0),
+        "deltas_sent": delta.get("gc.update_deltas_sent", 0),
+        "fingerprint": json.dumps(snap, sort_keys=True),
+        "outcomes": sorted(
+            (s, str(t), str(v)) for _, s, t, v in sim.trace_outcomes
+        ),
+    }
+
+
+# -- twins: the optimizations must not change a single outcome ---------------
+
+TWIN_NETWORK = dict(min_latency=5.0, max_latency=20.0, pair_rng_streams=True)
+TWIN_PLAN = FaultPlan.loss(0.15, start=30.0, end=200.0).merge(
+    FaultPlan.duplication(0.2, copies=1, lag=10.0, start=30.0, end=200.0)
+).named("e18-storm")
+
+
+def run_twin(workers=1, chain=40, seed=7, plan=None, rounds=12, **features):
+    sim, cycles, _ = _build(
+        seed,
+        GcConfig(**features),
+        chain,
+        parallel_workers=workers,
+        fault_plan=plan,
+        network=NetworkConfig(**TWIN_NETWORK),
+    )
+    for _ in range(2):
+        sim.run_gc_round()
+    for cycle in cycles:
+        cycle.make_garbage(sim)
+    for _ in range(rounds):
+        sim.run_gc_round()
+    sim.settle(quiet_time=30.0, max_rounds=3000)
+    outcomes = sorted((s, str(t), str(v)) for _, s, t, v in sim.trace_outcomes)
+    if isinstance(sim, ParallelSimulation):
+        snap = sim.snapshot()
+        sim.close()
+    else:
+        snap = graph_snapshot(sim)
+    snap.pop("time", None)
+    return json.dumps(snap, sort_keys=True), outcomes
+
+
+def run_bench(
+    chain=CHAIN,
+    rounds=STEADY_ROUNDS,
+    twin_chain=40,
+    duration=THROUGHPUT_DURATION,
+    throughput_chain=THROUGHPUT_CHAIN,
+):
+    throughput_opt = run_throughput(
+        "optimized", chain=throughput_chain, duration=duration
+    )
+    throughput_leg = run_throughput(
+        "legacy", chain=throughput_chain, duration=duration
+    )
+    optimized = run_steady_state("optimized", chain=chain, rounds=rounds)
+    legacy = run_steady_state("legacy", chain=chain, rounds=rounds)
+    twin_opt = run_twin(chain=twin_chain)
+    twin_leg = run_twin(chain=twin_chain, **LEGACY)
+    twin_par = run_twin(chain=twin_chain, workers=4)
+    twin_chaos_seq = run_twin(chain=twin_chain, plan=TWIN_PLAN)
+    twin_chaos_par = run_twin(chain=twin_chain, workers=4, plan=TWIN_PLAN)
+    reduction = (
+        1.0 - optimized["update_units"] / legacy["update_units"]
+        if legacy["update_units"]
+        else 0.0
+    )
+    return {
+        "throughput_optimized": throughput_opt,
+        "throughput_legacy": throughput_leg,
+        "steady_optimized": optimized,
+        "steady_legacy": legacy,
+        "events_per_sec_speedup": (
+            throughput_opt["events_per_sec"] / throughput_leg["events_per_sec"]
+            if throughput_leg["events_per_sec"]
+            else 0.0
+        ),
+        "update_units_reduction": reduction,
+        "steady_state_identical": (
+            optimized["fingerprint"] == legacy["fingerprint"]
+            and optimized["outcomes"] == legacy["outcomes"]
+        ),
+        "mode_twin_identical": twin_opt == twin_leg,
+        "parallel_twin_identical": twin_opt == twin_par,
+        "chaos_twin_identical": twin_chaos_seq == twin_chaos_par,
+    }
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_e18_data_plane(benchmark, record_table):
+    stats = benchmark.pedantic(
+        run_bench,
+        kwargs=dict(chain=80, twin_chain=20, duration=400.0, throughput_chain=200),
+        rounds=1,
+        iterations=1,
+    )
+    opt, leg = stats["steady_optimized"], stats["steady_legacy"]
+    table = Table(
+        "E18: steady-state data plane, optimized vs legacy (16 sites)",
+        ["mode", "update units", "update msgs", "full refreshes", "deltas"],
+    )
+    for row in (leg, opt):
+        table.add_row(
+            row["mode"],
+            row["update_units"],
+            row["update_messages"],
+            row["full_refreshes"],
+            row["deltas_sent"],
+        )
+    record_table("e18_data_plane", table)
+
+    # Deterministic claims are strict; the wall-clock ratio is asserted
+    # only loosely here (CI machines are noisy, and at this CI-sized heap
+    # scanning does not dominate) -- the full-size ratio is pinned in the
+    # committed JSON and watched by --check-regression.
+    assert stats["steady_state_identical"]
+    assert stats["mode_twin_identical"]
+    assert stats["parallel_twin_identical"]
+    assert stats["chaos_twin_identical"]
+    assert stats["update_units_reduction"] >= 0.60
+    assert stats["events_per_sec_speedup"] > 0.5
+
+
+# -- standalone --------------------------------------------------------------
+
+BASELINE_FILE = "BENCH_data_plane.json"
+REGRESSION_TOLERANCE = 0.20
+
+
+def _check_regression(results):
+    """Warn (never fail) when the headline ratios degrade vs the baseline."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", BASELINE_FILE)
+    try:
+        with open(path) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        print(f"regression check: no readable baseline at {BASELINE_FILE}; skipping")
+        return
+    for key in ("events_per_sec_speedup", "update_units_reduction"):
+        if key == "events_per_sec_speedup" and results.get("smoke") != baseline.get(
+            "smoke"
+        ):
+            # The speedup ratio depends on heap scale (scan share of wall
+            # time); comparing a smoke run against a full-size baseline
+            # would warn unconditionally.  The units reduction is a pure
+            # protocol ratio and compares across scales.
+            print(f"regression check: {key} skipped (scale mismatch vs baseline)")
+            continue
+        base = baseline.get(key)
+        cur = results.get(key)
+        if not base or not cur:
+            continue
+        if cur < base * (1.0 - REGRESSION_TOLERANCE):
+            print(
+                f"WARNING: {key} regressed >20%: {cur:.3f} vs baseline {base:.3f}"
+            )
+        else:
+            print(f"regression check: {key} ok ({cur:.3f} vs baseline {base:.3f})")
+
+
+if __name__ == "__main__":
+    import sys
+
+    smoke = "--smoke" in sys.argv
+    kwargs = (
+        dict(chain=60, twin_chain=20, duration=400.0, throughput_chain=200)
+        if smoke
+        else {}
+    )
+    results = run_bench(**kwargs)
+    for row in (results["steady_optimized"], results["steady_legacy"]):
+        row.pop("fingerprint")
+        row.pop("outcomes")
+    results["smoke"] = smoke
+    json.dump(results, sys.stdout, indent=2)
+    print()
+    if "--check-regression" in sys.argv:
+        _check_regression(results)
+    ok = (
+        results["steady_state_identical"]
+        and results["mode_twin_identical"]
+        and results["parallel_twin_identical"]
+        and results["chaos_twin_identical"]
+    )
+    if not ok:
+        sys.exit(1)

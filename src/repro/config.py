@@ -152,6 +152,24 @@ class GcConfig:
     reliable_updates: bool = True
     update_retransmit_timeout: float = 40.0
     update_retransmit_limit: int = 5
+    # Delta-encoded updates: after a trace, ship only the outref adds,
+    # removals, and distance changes since the last update to each peer
+    # (:class:`repro.gc.update.UpdateDeltaPayload`) instead of re-listing
+    # everything.  Deltas ride the reliable-update channel's per-(sender,
+    # dst) sequence numbers; a receiver applies them strictly in order and
+    # answers a gap with a refresh request, which the sender repairs with a
+    # full state transfer.  Periodic full updates (every
+    # ``full_update_period``-th full trace) re-anchor peers regardless.
+    # Requires ``reliable_updates``; without it the site warns once and
+    # falls back to the legacy full-snapshot protocol.
+    delta_updates: bool = True
+    # Flat-graph trace kernel: the heap maintains a dense integer-index
+    # mirror of the local object graph (interned ids, append-only adjacency
+    # arrays with a free-list) and the clean phase runs over int arrays with
+    # a reusable bytearray mark bitmap instead of per-trace ObjectId sets.
+    # Byte-identical trace results; False selects the legacy kernel (twin
+    # runs, debugging).
+    flat_kernel: bool = True
     # Exponential-backoff re-initiation of timed-out back traces: when a
     # trace completes Live only because some frame or outcome timed out
     # (section 4.6's conservative assumption), re-tracing the same root

@@ -38,7 +38,7 @@ class TraceOutcome(enum.Enum):
         return self is TraceOutcome.GARBAGE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BackCall(Payload):
     """Remote step: ask a source site to back-step its outref for ``target``.
 
@@ -57,7 +57,7 @@ class BackCall(Payload):
     seq: int = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BackReply(Payload):
     """Response to a :class:`BackCall`.
 
@@ -80,7 +80,7 @@ class BackReply(Payload):
     timed_out: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BackOutcome(Payload):
     """Report phase: the initiator tells each participant the final verdict."""
 
@@ -91,7 +91,7 @@ class BackOutcome(Payload):
     cache_expires_at: Optional[float] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BackCallBatch(Payload):
     """Several :class:`BackCall`\\ s to one destination in one physical message.
 
@@ -106,7 +106,7 @@ class BackCallBatch(Payload):
         return max(1, len(self.calls))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BackReplyBatch(Payload):
     """Several :class:`BackReply`\\ s to one destination in one physical message."""
 

@@ -76,6 +76,80 @@ def trace_clean_phase(
     return result
 
 
+def trace_clean_phase_flat(
+    heap: Heap,
+    roots: Iterable[Tuple[ObjectId, int]],
+    variable_outrefs: Iterable[ObjectId] = (),
+) -> CleanPhaseResult:
+    """The clean phase over the heap's flat-graph mirror.
+
+    Semantically identical to :func:`trace_clean_phase` (same clean set,
+    same outref distances, same cost counters -- the integration twins
+    assert byte-equality), but the traversal runs over dense int indices:
+    the mark "set" is the heap's reusable bytearray bitmap, the stack holds
+    ints, and local successor edges cost a list-of-int iteration plus two
+    bytearray probes instead of ObjectId hashing.  The bitmap is zeroed
+    index-by-index on the way out, so between traces it is all-zero and no
+    per-trace allocation proportional to the heap survives.
+    """
+    result = CleanPhaseResult()
+    distances = result.outref_distances
+    for target in variable_outrefs:
+        result.clean_variable_outrefs.add(target)
+        current = distances.get(target)
+        distances[target] = 1 if current is None else min(current, 1)
+
+    idx_map, alive, succ_local, succ_remote, mark, oids = heap.flat_graph()
+    distances_get = distances.get
+    site_id = heap.site_id
+    marked: List[int] = []
+    marked_append = marked.append
+    scanned = 0
+    edges = 0
+    for root, root_distance in sorted(roots, key=lambda pair: (pair[1], pair[0])):
+        if root.site != site_id:
+            continue
+        ridx = idx_map.get(root)
+        if ridx is None or not alive[ridx] or mark[ridx]:
+            continue
+        outref_distance = root_distance + 1
+        stack: List[int] = [ridx]
+        stack_pop = stack.pop
+        stack_append = stack.append
+        while stack:
+            i = stack_pop()
+            if mark[i]:
+                continue
+            mark[i] = 1
+            marked_append(i)
+            scanned += 1
+            loc = succ_local[i]
+            rem = succ_remote[i]
+            edges += len(loc) + len(rem)
+            for s in loc:
+                if not mark[s] and alive[s]:
+                    stack_append(s)
+            for ref in rem:
+                current = distances_get(ref)
+                if current is None or outref_distance < current:
+                    distances[ref] = outref_distance
+    if len(marked) == len(heap):
+        # Everything alive was marked (the common case for a quiescent full
+        # trace): the clean set IS the resident set, and the heap hands out
+        # a C-level copy of it without re-hashing a single ObjectId.
+        result.clean_objects = heap.object_id_set()
+        for i in marked:
+            mark[i] = 0
+    else:
+        clean_add = result.clean_objects.add
+        for i in marked:
+            clean_add(oids[i])
+            mark[i] = 0
+    result.objects_scanned = scanned
+    result.edges_examined = edges
+    return result
+
+
 def _trace_from_root(
     heap: Heap, root: ObjectId, root_distance: int, result: CleanPhaseResult
 ) -> None:

@@ -206,6 +206,7 @@ class InrefTable:
         self._suspicion_threshold = suspicion_threshold
         self.initial_back_threshold = initial_back_threshold
         self._entries: Dict[ObjectId, InrefEntry] = {}
+        self._order_dirty = False
         self._structure_epoch = 0
         self._distance_epoch = 0
         # Monotonic feed for per-entry epochs (see InrefEntry.epoch).
@@ -267,10 +268,24 @@ class InrefTable:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _ensure_order(self) -> None:
+        """Keep ``_entries`` sorted by target, re-sorting only after inserts.
+
+        Deletions preserve order, so steady-state iteration costs nothing
+        extra; the sorted order is the deterministic iteration invariant the
+        collector's update building relies on.
+        """
+        if self._order_dirty:
+            self._entries = dict(sorted(self._entries.items()))
+            self._order_dirty = False
+
     def entries(self) -> Iterator[InrefEntry]:
+        """All entries in deterministic (target) order (see _ensure_order)."""
+        self._ensure_order()
         return iter(self._entries.values())
 
     def targets(self) -> List[ObjectId]:
+        self._ensure_order()
         return list(self._entries)
 
     def targets_from_source(self, source: SiteId) -> List[ObjectId]:
@@ -313,6 +328,7 @@ class InrefTable:
             )
             entry.epoch = self._advance_entry_epoch()
             self._entries[target] = entry
+            self._order_dirty = True
             self.bump_structure()
         entry.add_source(source, distance)
         return entry
@@ -338,6 +354,7 @@ class InrefTable:
 
     def root_targets(self) -> List[ObjectId]:
         """Inref targets that serve as local-trace roots (not garbage-flagged)."""
+        self._ensure_order()
         return [target for target, entry in self._entries.items() if not entry.garbage]
 
     def entries_by_distance(self) -> List[InrefEntry]:
@@ -347,9 +364,11 @@ class InrefTable:
         )
 
     def clean_entries(self) -> List[InrefEntry]:
+        self._ensure_order()
         return [e for e in self._entries.values() if e.is_clean(self.suspicion_threshold)]
 
     def suspected_entries(self) -> List[InrefEntry]:
+        self._ensure_order()
         return [
             e for e in self._entries.values() if e.is_suspected(self.suspicion_threshold)
         ]

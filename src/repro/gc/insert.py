@@ -28,7 +28,7 @@ from ..ids import ObjectId, SiteId
 from ..net.message import Payload
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InsertRequest(Payload):
     """Y -> Z: 'I now hold a reference to your object ``target``'.
 
@@ -52,7 +52,7 @@ class InsertRequest(Payload):
     seq: int = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InsertDone(Payload):
     """Z -> X: the owner has recorded the insert; X may release its pin."""
 
@@ -60,7 +60,7 @@ class InsertDone(Payload):
     seq: int = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnpinRequest(Payload):
     """Y -> X: no insert was needed (cases 1-3); X may release its pin."""
 

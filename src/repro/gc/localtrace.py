@@ -35,13 +35,13 @@ from ..core.backinfo import (
     compute_outsets_independent,
     invert_outsets,
 )
-from ..core.distance import CleanPhaseResult, trace_clean_phase
+from ..core.distance import CleanPhaseResult, trace_clean_phase, trace_clean_phase_flat
 from ..ids import ObjectId, SiteId
-from ..metrics import MetricsRecorder
+from ..metrics import MetricsRecorder, names
 from ..store.heap import Heap
 from .inrefs import InrefTable
 from .outrefs import OutrefTable
-from .update import UpdatePayload
+from .update import UpdateDeltaPayload, UpdatePayload
 
 
 @dataclass
@@ -110,13 +110,31 @@ class LocalCollector:
         self.outrefs = outrefs
         self.config = config
         self.metrics = metrics or MetricsRecorder()
-        self._last_reported_distance: Dict[Tuple[SiteId, ObjectId], int] = {}
+        # What the last update chain told each destination: dst -> (outref
+        # target -> last shipped distance).  Legacy mode uses it as the
+        # changed-distance dedup (the former ``_last_reported_distance``);
+        # delta mode additionally diffs the committed table against it to
+        # build :class:`UpdateDeltaPayload`s, so it must be re-based whenever
+        # a full state transfer goes out (see :meth:`build_full_update`).
+        self._shipped: Dict[SiteId, Dict[ObjectId, int]] = {}
+        # Outref mutation epoch as of the last delta build: when unchanged
+        # (and no periodic refresh is due) no entry can have moved, so the
+        # whole diff is skipped -- a quiescent tick builds nothing at all.
+        self._shipped_epoch: Optional[int] = None
+        # Full traces committed so far; every ``full_update_period``-th one
+        # sends the periodic full refresh in delta mode.
+        self._full_traces_run = 0
         self.traces_run = 0
         # Incremental-trace state (the mutation-epoch / dirty-tracking layer).
         self._cached: Optional[_TraceCache] = None
         self._ticks_since_full = 0
         self._periodic_full_due = False
         self._epochs_at_compute: Optional[Tuple[int, int, int, int]] = None
+
+    @property
+    def _delta_mode(self) -> bool:
+        """Deltas require the reliable channel's ordering guarantees."""
+        return self.config.delta_updates and self.config.reliable_updates
 
     # -- incremental planning ----------------------------------------------------
 
@@ -133,7 +151,7 @@ class LocalCollector:
 
         - ``"skip"``: nothing relevant changed since the cached committed
           trace; retracing would recompute identical tables and (thanks to
-          the ``_last_reported_distance`` dedup) send no new updates.
+          the ``_shipped`` dedup) send no new updates.
         - ``"fast"``: only distances of suspected inrefs moved, and no inref
           crossed the suspicion threshold; reachability, outsets and insets
           are unchanged, so only suspected outref distances need
@@ -198,8 +216,11 @@ class LocalCollector:
         result.forced_full = self._periodic_full_due
         result.variable_outrefs = frozenset(variable_outrefs)
         self._periodic_full_due = False
-        result.snapshot_outrefs = set(self.outrefs.targets())
-        result.snapshot_objects = set(self.heap.object_ids())
+        # targets() is maintained in sorted target order; iterating the list
+        # (not the set) below keeps ``result.removals`` sorted by construction.
+        snapshot_outref_order = self.outrefs.targets()
+        result.snapshot_outrefs = set(snapshot_outref_order)
+        result.snapshot_objects = self.heap.object_id_set()
         # Read the (possibly tuner-adjusted) live threshold off the table,
         # not the static config (see repro.core.tuning).
         threshold = self.inrefs.suspicion_threshold
@@ -218,9 +239,10 @@ class LocalCollector:
                 roots.append((entry.target, entry.distance))
             else:
                 suspected_targets.append(entry.target)
-        clean_phase = trace_clean_phase(
-            self.heap, roots, variable_outrefs=variable_outrefs
+        kernel = (
+            trace_clean_phase_flat if self.config.flat_kernel else trace_clean_phase
         )
+        clean_phase = kernel(self.heap, roots, variable_outrefs=variable_outrefs)
         result.clean_phase = clean_phase
         result.clean_objects = clean_phase.clean_objects
 
@@ -258,7 +280,7 @@ class LocalCollector:
             distance = 1 + (min(distances) if distances else 0)
             result.outref_states[target] = (False, distance)
         result.kept_pinned = pinned - set(result.outref_states)
-        for target in result.snapshot_outrefs:
+        for target in snapshot_outref_order:
             if target not in result.outref_states and target not in result.kept_pinned:
                 result.removals.append(target)
 
@@ -281,10 +303,11 @@ class LocalCollector:
         prev = cache.result
         result = LocalTraceResult(mode="fast")
         result.variable_outrefs = frozenset(variable_outrefs)
-        result.snapshot_outrefs = set(self.outrefs.targets())
-        result.snapshot_objects = set(self.heap.object_ids())
-        result.clean_objects = set(prev.clean_objects)
-        result.suspected_objects = set(prev.suspected_objects)
+        snapshot_outref_order = self.outrefs.targets()
+        result.snapshot_outrefs = set(snapshot_outref_order)
+        result.snapshot_objects = self.heap.object_id_set()
+        result.clean_objects = prev.clean_objects.copy()
+        result.suspected_objects = prev.suspected_objects.copy()
         result.outsets = dict(prev.outsets)
         result.insets = dict(prev.insets)
         result.clean_phase = prev.clean_phase
@@ -303,42 +326,70 @@ class LocalCollector:
             entry.target for entry in self.outrefs.entries() if entry.pin_count > 0
         }
         result.kept_pinned = pinned - set(result.outref_states)
-        for target in result.snapshot_outrefs:
+        for target in snapshot_outref_order:
             if target not in result.outref_states and target not in result.kept_pinned:
                 result.removals.append(target)
         self.metrics.incr("gc.local_traces")
         self.metrics.incr("gc.traces_fast_path")
         return result
 
-    def _build_updates(self, result: LocalTraceResult) -> None:
-        """Batch removals and distance changes per target site.
+    def _assert_update_order(self, entries: List) -> None:
+        """Debug-mode check of the maintained-sorted iteration invariant.
 
-        Runs at *commit* time, against the reconciled outref table, so that a
-        full update's "complete list" semantics cannot miss entries created
-        while a non-atomic trace was computing.  Normally only changed
-        distances are sent (the paper's optimization); every
-        ``full_update_period``-th trace sends the full list, which
-        resynchronizes targets that missed earlier messages -- updates are
-        idempotent, so duplicates are harmless.
+        ``_build_updates`` used to ``sorted()`` the table (and the removal
+        list) on every full trace; both now rely on the tables keeping
+        deterministic target order on mutation, so a regression here would
+        silently reorder wire messages.  Compiled out under ``-O``.
         """
+        targets = [entry.target for entry in entries]
+        assert targets == sorted(targets), "outref iteration order invariant broken"
+
+    def _build_updates(self, result: LocalTraceResult) -> None:
+        """Batch per-target-site update payloads at *commit* time.
+
+        Runs against the reconciled outref table, so that a full update's
+        "complete list" semantics cannot miss entries created while a
+        non-atomic trace was computing.  Legacy mode (``delta_updates`` off
+        or unreliable channel) sends changed distances plus removals, with a
+        full list every ``full_update_period``-th trace and on every forced
+        full.  Delta mode ships :class:`UpdateDeltaPayload` diffs against the
+        per-destination shipped state and reserves full state transfers for
+        every ``full_update_period``-th *full* trace (the reliable channel
+        and the gap-triggered refresh cover loss, so the periodic cadence can
+        be much sparser).
+        """
+        if self._delta_mode:
+            self._build_delta_updates(result)
+        else:
+            self._build_legacy_updates(result)
+
+    def _build_legacy_updates(self, result: LocalTraceResult) -> None:
         full_refresh = (
             self.traces_run % self.config.full_update_period == 0
             or result.forced_full
         )
         distances_by_site: Dict[SiteId, List[Tuple[ObjectId, int]]] = {}
         removals_by_site: Dict[SiteId, List[ObjectId]] = {}
-        entries = sorted(self.outrefs.entries(), key=lambda entry: entry.target)
+        entries = list(self.outrefs.entries())
+        if __debug__:
+            self._assert_update_order(entries)
         for entry in entries:
             target = entry.target
-            key = (target.site, target)
-            if full_refresh or self._last_reported_distance.get(key) != entry.distance:
+            shipped = self._shipped.setdefault(target.site, {})
+            if full_refresh or shipped.get(target) != entry.distance:
                 distances_by_site.setdefault(target.site, []).append(
                     (target, entry.distance)
                 )
-                self._last_reported_distance[key] = entry.distance
-        for target in sorted(result.removals):
+                shipped[target] = entry.distance
+        # result.removals is already sorted (built from the ordered snapshot).
+        if __debug__:
+            assert result.removals == sorted(result.removals)
+        for target in result.removals:
             if target not in self.outrefs:  # actually removed (not pinned)
                 removals_by_site.setdefault(target.site, []).append(target)
+                shipped = self._shipped.get(target.site)
+                if shipped is not None:
+                    shipped.pop(target, None)
         sites = set(distances_by_site) | set(removals_by_site)
         if full_refresh:
             # A site that holds *no* outrefs toward a previous target would
@@ -351,6 +402,97 @@ class LocalCollector:
                 removals=tuple(removals_by_site.get(site, ())),
                 full=full_refresh,
             )
+
+    def _build_delta_updates(self, result: LocalTraceResult) -> None:
+        if result.mode == "full":
+            self._full_traces_run += 1
+        full_refresh = (
+            result.mode == "full"
+            and (self._full_traces_run - 1) % self.config.full_update_period == 0
+        )
+        outrefs_epoch = self.outrefs.mutation_epoch
+        if not full_refresh and self._shipped_epoch == outrefs_epoch:
+            # Nothing in the table moved since the last build: every diff
+            # would be empty.  A quiescent steady-state tick ends here.
+            return
+        entries = list(self.outrefs.entries())
+        if __debug__:
+            self._assert_update_order(entries)
+            assert result.removals == sorted(result.removals)
+        current: Dict[SiteId, Dict[ObjectId, int]] = {}
+        for entry in entries:
+            current.setdefault(entry.target.site, {})[entry.target] = entry.distance
+        # Outrefs the trace trimmed must be reported even when they were
+        # never shipped in an update: the peer learned of us as a source
+        # through the *insert protocol*, so the shipped-state diff alone
+        # would never empty its inref source list (acyclic distributed
+        # garbage would survive forever).
+        explicit_removals: Dict[SiteId, List[ObjectId]] = {}
+        for target in result.removals:
+            if target not in self.outrefs:  # actually removed (not pinned)
+                explicit_removals.setdefault(target.site, []).append(target)
+        sites = set(current) | set(self._shipped) | set(explicit_removals)
+        for site in sorted(sites):
+            cur = current.get(site, {})
+            shipped = self._shipped.get(site, {})
+            explicit = explicit_removals.get(site, ())
+            if full_refresh:
+                if not cur and not shipped and not explicit:
+                    continue
+                # Complete list; the receiver-side prune replaces explicit
+                # removals, and the payload re-anchors a desynced peer.
+                result.updates_by_site[site] = UpdatePayload(
+                    distances=tuple(cur.items()), removals=(), full=True
+                )
+                self.metrics.incr(names.UPDATE_FULL_REFRESHES)
+            else:
+                adds = tuple(
+                    (target, distance)
+                    for target, distance in cur.items()
+                    if target not in shipped
+                )
+                changes = tuple(
+                    (target, distance)
+                    for target, distance in cur.items()
+                    if target in shipped and shipped[target] != distance
+                )
+                removal_set = {t for t in shipped if t not in cur}
+                removal_set.update(explicit)
+                if not adds and not changes and not removal_set:
+                    continue
+                result.updates_by_site[site] = UpdateDeltaPayload(
+                    adds=adds, distances=changes, removals=tuple(sorted(removal_set))
+                )
+                self.metrics.incr(names.UPDATE_DELTAS_SENT)
+            if cur:
+                self._shipped[site] = dict(cur)
+            else:
+                self._shipped.pop(site, None)
+        self._shipped_epoch = outrefs_epoch
+
+    def build_full_update(self, dst: SiteId) -> UpdatePayload:
+        """The complete current outref list toward ``dst`` (idempotent).
+
+        The site layer sends these for retransmissions, desynced-peer repair,
+        and refresh requests.  In delta mode the shipped state is re-based on
+        the transfer so subsequent deltas diff against what the peer now
+        holds; legacy mode leaves the changed-distance dedup untouched
+        (historical behaviour).
+        """
+        entries = list(self.outrefs.entries())
+        if __debug__:
+            self._assert_update_order(entries)
+        distances = tuple(
+            (entry.target, entry.distance)
+            for entry in entries
+            if entry.target.site == dst
+        )
+        if self._delta_mode:
+            if distances:
+                self._shipped[dst] = dict(distances)
+            else:
+                self._shipped.pop(dst, None)
+        return UpdatePayload(distances=distances, removals=(), full=True)
 
     def _record_metrics(self, result: LocalTraceResult) -> None:
         metrics = self.metrics
@@ -395,7 +537,6 @@ class LocalCollector:
                 # Pinned since computation started: retain (insert barrier).
                 continue
             self.outrefs.remove(target)
-            self._last_reported_distance.pop((target.site, target), None)
         for target, (clean, distance) in result.outref_states.items():
             entry = self.outrefs.get(target)
             if entry is None:

@@ -156,9 +156,19 @@ class OutrefTable:
         return len(self._entries)
 
     def entries(self) -> Iterator[OutrefEntry]:
+        """All entries in deterministic (target) order.
+
+        The sorted order is an invariant maintained on mutation (lazily: the
+        first read after an insert re-sorts, deletions preserve order), so
+        per-trace consumers -- update building, the back-trace trigger check
+        -- never pay a ``sorted()`` of their own.
+        """
+        self._ensure_order()
         return iter(self._entries.values())
 
     def targets(self) -> List[ObjectId]:
+        """All targets, same deterministic (target) order as :meth:`entries`."""
+        self._ensure_order()
         return list(self._entries)
 
     # -- mutation -----------------------------------------------------------------

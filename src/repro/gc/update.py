@@ -31,7 +31,7 @@ from ..net.message import Payload
 from .inrefs import InrefTable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdatePayload(Payload):
     """One post-trace update batch to a single target site.
 
@@ -51,7 +51,51 @@ class UpdatePayload(Payload):
         return max(1, len(self.distances) + len(self.removals))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
+class UpdateDeltaPayload(Payload):
+    """Only what changed since the previous update to this target site.
+
+    ``GcConfig.delta_updates``: instead of re-listing distances for every
+    surviving outref, the sender diffs its committed outref table against
+    the per-destination *shipped* state (what the last update chain said)
+    and transmits ``adds`` (outrefs the peer has not been told distances
+    for), ``distances`` (changed estimates), and ``removals``.  Deltas only
+    make sense applied **in order on top of the state they were diffed
+    against**, so they require the reliable update channel: ``seq`` numbers
+    are contiguous with the full updates on the same (sender, dst) pair and
+    the receiver applies a delta only when ``seq`` is exactly one past its
+    anchor (the last in-order update).  Anything else is a *gap*: the
+    receiver discards the delta, requests a state transfer with
+    :class:`UpdateRefreshRequest`, and stays un-anchored (rejecting further
+    deltas) until a full :class:`UpdatePayload` re-anchors it.
+
+    ``full`` mirrors :class:`UpdatePayload` so the channel layer can treat
+    both uniformly; a delta is never a full state transfer.
+    """
+
+    adds: Tuple[Tuple[ObjectId, int], ...] = ()
+    distances: Tuple[Tuple[ObjectId, int], ...] = ()
+    removals: Tuple[ObjectId, ...] = ()
+    seq: int = -1
+
+    full = False  # class attribute: deltas never carry full-refresh semantics
+
+    def size_units(self) -> int:
+        return max(1, len(self.adds) + len(self.distances) + len(self.removals))
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateRefreshRequest(Payload):
+    """Receiver -> sender: 'my update state desynced; send a full update'.
+
+    Sent on every gap-rejected delta.  Not itself acknowledged or
+    retransmitted: a lost request is repaired by the next rejected delta,
+    by the sender's own retransmission ladder (the gapped sequence was never
+    acked), or at the latest by the periodic full refresh.
+    """
+
+
+@dataclass(frozen=True, slots=True)
 class UpdateAck(Payload):
     """Receiver -> sender: update ``seq`` arrived (possibly as a duplicate).
 
@@ -63,6 +107,42 @@ class UpdateAck(Payload):
     """
 
     seq: int
+
+
+def apply_update_delta(
+    inrefs: InrefTable, source: SiteId, payload: UpdateDeltaPayload
+) -> bool:
+    """Apply one in-order delta at the target site.
+
+    The caller (the site's gap check) guarantees ordering; application
+    itself is the non-full half of :func:`apply_update`: adds and changed
+    distances both fold into the per-source distance of the matching inref
+    (an "add" the receiver has no source entry for is stale news about a
+    reference already dropped -- ignored, exactly like a distance for an
+    unknown source), removals empty source lists.  No prune: a delta never
+    claims to be the complete list.
+    """
+    changed = False
+    for target, distance in payload.adds:
+        entry = inrefs.get(target)
+        if entry is None or source not in entry.sources:
+            continue
+        if entry.sources[source] != distance:
+            entry.set_source_distance(source, distance)
+            changed = True
+    for target, distance in payload.distances:
+        entry = inrefs.get(target)
+        if entry is None or source not in entry.sources:
+            continue
+        if entry.sources[source] != distance:
+            entry.set_source_distance(source, distance)
+            changed = True
+    for target in payload.removals:
+        entry = inrefs.get(target)
+        if entry is not None and source in entry.sources:
+            inrefs.remove_source(target, source)
+            changed = True
+    return changed
 
 
 def apply_update(inrefs: InrefTable, source: SiteId, payload: UpdatePayload) -> bool:

@@ -84,6 +84,19 @@ OBJECTS_SCANNED = "gc.objects_scanned"
 UPDATE_RETRANSMITS = "gc.update_retransmits"
 UPDATE_RETRANSMITS_ABANDONED = "gc.update_retransmits_abandoned"
 
+# -- delta update protocol ---------------------------------------------------
+
+#: Delta payloads built at trace commit (sender side).
+UPDATE_DELTAS_SENT = "gc.update_deltas_sent"
+#: Periodic full state transfers built at trace commit in delta mode.
+UPDATE_FULL_REFRESHES = "gc.update_full_refreshes"
+#: Deltas rejected by the receiver's in-order gap check.
+UPDATE_GAPS_DETECTED = "gc.update_gaps_detected"
+#: Refresh requests sent by a desynced receiver.
+UPDATE_REFRESHES_REQUESTED = "gc.update_refreshes_requested"
+#: Full updates served in response to a refresh request.
+UPDATE_REFRESHES_SERVED = "gc.update_refreshes_served"
+
 # -- back tracing -----------------------------------------------------------
 
 BACKTRACE_STARTED = "backtrace.started"

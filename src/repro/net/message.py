@@ -18,7 +18,15 @@ from ..ids import SiteId
 
 
 class Payload:
-    """Base class for message payloads.  Subclass per protocol message."""
+    """Base class for message payloads.  Subclass per protocol message.
+
+    Declares empty ``__slots__`` so that hot payload dataclasses (updates,
+    back-trace calls, inserts) can opt into ``slots=True`` and actually shed
+    their per-instance ``__dict__``; subclasses that don't opt in still get
+    a ``__dict__`` automatically.
+    """
+
+    __slots__ = ()
 
     @classmethod
     def kind(cls) -> str:
@@ -48,7 +56,7 @@ class Payload:
 _envelope_counter = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An addressed payload in flight.
 

@@ -45,6 +45,17 @@ class DedupWindow:
             self._pending.discard(self.high_water)
         return False
 
+    def was_seen(self, seq: int) -> bool:
+        """Non-marking query: was ``seq`` already recorded by :meth:`seen`?
+
+        The delta-update gap check needs to distinguish "duplicate of a
+        payload we applied" (re-ack it) from "duplicate of a payload we
+        rejected as a gap" (keep refusing -- an ack would cancel the
+        sender's retransmission ladder, which is the repair backstop), so
+        gap-rejected sequences are deliberately never recorded.
+        """
+        return seq <= self.high_water or seq in self._pending
+
     @property
     def pending_gaps(self) -> int:
         """Out-of-order arrivals still above the contiguous frontier."""

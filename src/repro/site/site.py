@@ -16,6 +16,7 @@ policies the paper describes:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -35,7 +36,14 @@ from ..gc.insert import InsertDone, InsertRequest, UnpinRequest
 from ..gc.inrefs import InrefTable
 from ..gc.localtrace import LocalCollector, LocalTraceResult
 from ..gc.outrefs import OutrefTable
-from ..gc.update import UpdateAck, UpdatePayload, apply_update
+from ..gc.update import (
+    UpdateAck,
+    UpdateDeltaPayload,
+    UpdatePayload,
+    UpdateRefreshRequest,
+    apply_update,
+    apply_update_delta,
+)
 from ..ids import ObjectId, SiteId, TraceId
 from ..metrics import MetricsRecorder, names
 from ..mutator.ops import MutatorHop, RemoteCopy
@@ -76,6 +84,16 @@ class Site:
         self.network = network
         self.config = config
         self.metrics = metrics or MetricsRecorder()
+        if config.delta_updates and not config.reliable_updates:
+            # Deltas are diffs against in-order state; without the reliable
+            # channel there is no ordering to anchor them to.  The collector
+            # makes the same check and builds legacy full updates instead.
+            warnings.warn(
+                f"site {site_id}: delta_updates requires reliable_updates; "
+                "falling back to full update snapshots",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._jitter_rng = jitter_rng
         self.on_mutator_hop = on_mutator_hop
         self.on_trace_outcome = on_trace_outcome
@@ -136,6 +154,8 @@ class Site:
                     BackReplyBatch,
                     BackOutcome,
                     UpdatePayload,
+                    UpdateDeltaPayload,
+                    UpdateRefreshRequest,
                     UpdateAck,
                     InsertRequest,
                     InsertDone,
@@ -171,8 +191,17 @@ class Site:
         # The next GC tick pushes them a fresh full update -- even a tick
         # whose local trace is skipped by the incremental planner.
         self._desynced_peers: Set[SiteId] = set()
+        # Delta-update ordering state (``GcConfig.delta_updates``): per peer,
+        # the sequence number of the last update applied *in order* (the
+        # anchor a delta must sit exactly one past), and the peers whose
+        # chain gapped -- their deltas are rejected until a full update
+        # re-anchors them.
+        self._update_anchor: Dict[SiteId, int] = {}
+        self._update_unanchored: Set[SiteId] = set()
         self._handlers = {
             UpdatePayload: self._on_update,
+            UpdateDeltaPayload: self._on_update_delta,
+            UpdateRefreshRequest: self._on_update_refresh_request,
             UpdateAck: self._on_update_ack,
             InsertRequest: self._on_insert_request,
             InsertDone: self._on_insert_done,
@@ -407,13 +436,12 @@ class Site:
             self._send_update(dst, self._build_full_update(dst))
 
     def _build_full_update(self, dst: SiteId) -> UpdatePayload:
-        """The complete current outref list toward ``dst`` (idempotent)."""
-        distances = tuple(
-            (entry.target, entry.distance)
-            for entry in sorted(self.outrefs.entries(), key=lambda e: e.target)
-            if entry.target.site == dst
-        )
-        return UpdatePayload(distances=distances, removals=(), full=True)
+        """The complete current outref list toward ``dst`` (idempotent).
+
+        Delegates to the collector, which owns the per-destination shipped
+        state that delta mode must re-base on every full state transfer.
+        """
+        return self.collector.build_full_update(dst)
 
     @property
     def is_tracing(self) -> bool:
@@ -620,6 +648,49 @@ class Site:
                 self.metrics.incr(names.dup_suppressed("UpdatePayload"))
                 return
         apply_update(self.inrefs, message.src, payload)
+        if payload.seq > 0:
+            if payload.full:
+                # A full update is self-contained state: it re-anchors the
+                # delta chain regardless of what was missed before it.
+                self._update_anchor[message.src] = payload.seq
+                self._update_unanchored.discard(message.src)
+            elif payload.seq == self._update_anchor.get(message.src, 0) + 1:
+                self._update_anchor[message.src] = payload.seq
+
+    def _on_update_delta(self, message: Message) -> None:
+        payload: UpdateDeltaPayload = message.payload
+        if payload.seq > 0:
+            window = self._update_dedup.setdefault(message.src, DedupWindow())
+            if window.was_seen(payload.seq):
+                # Duplicate of a delta we *applied* (gap-rejected sequences
+                # are never recorded): re-ack to stop the retransmission
+                # ladder, change nothing.
+                self.send(message.src, UpdateAck(seq=payload.seq))
+                self.metrics.incr(names.dup_suppressed("UpdateDeltaPayload"))
+                return
+            anchored = message.src not in self._update_unanchored
+            expected = self._update_anchor.get(message.src, 0) + 1
+            if not anchored or payload.seq != expected:
+                # Gap: this delta was diffed against state we never applied.
+                # Discard it and ask for a state transfer.  Deliberately NOT
+                # acked and NOT recorded in the dedup window -- if the
+                # refresh request is lost, the sender's retransmission ladder
+                # (which resends *full* updates) is the backstop that
+                # eventually re-anchors us, and it only keeps running while
+                # the sequence stays unacked.
+                self._update_unanchored.add(message.src)
+                self.metrics.incr(names.UPDATE_GAPS_DETECTED)
+                self.metrics.incr(names.UPDATE_REFRESHES_REQUESTED)
+                self.send(message.src, UpdateRefreshRequest())
+                return
+            window.seen(payload.seq)
+            self.send(message.src, UpdateAck(seq=payload.seq))
+            self._update_anchor[message.src] = payload.seq
+        apply_update_delta(self.inrefs, message.src, payload)
+
+    def _on_update_refresh_request(self, message: Message) -> None:
+        self.metrics.incr(names.UPDATE_REFRESHES_SERVED)
+        self._send_update(message.src, self._build_full_update(message.src))
 
     def _on_update_ack(self, message: Message) -> None:
         pending = self._pending_updates.get(message.src)

@@ -5,11 +5,30 @@ The heap owns object allocation, persistent roots, and *application roots*
 section 6.3 of the paper).  The local collector treats both root kinds as
 trace roots; application roots additionally keep the transfer-barrier story
 safe when a mutator stashes a reference and reuses it later.
+
+Flat-graph mirror
+-----------------
+Alongside the ``oid -> HeapObject`` map the heap maintains a dense
+integer-indexed mirror of the local object graph for the flat trace kernel
+(:func:`repro.core.distance.trace_clean_phase_flat`):
+
+- local object ids are *interned* to dense indices (``_idx`` / ``_oids``);
+- per-index adjacency is split into ``_succ_local`` (int indices of local
+  successors, duplicates preserved) and ``_succ_remote`` (remote ObjectIds);
+- ``_alive`` is a bytearray liveness bitmap and ``_mark`` a same-sized
+  reusable trace bitmap (zeroed by the kernel after each trace);
+- a dangling local reference (its target already swept -- ids are never
+  reused, so it can never resurrect) keeps the target's index interned but
+  dead; an index returns to the free-list only once it is dead *and* no
+  adjacency slot points at it (``_slot_refs``), so indices never alias.
+
+The mirror is maintained on every allocation, reference add/remove, and
+sweep; traces read it without building any per-trace set keyed by ObjectId.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..errors import NotLocalError, UnknownObjectError
 from ..ids import ObjectId, SiteId
@@ -22,12 +41,25 @@ class Heap:
     def __init__(self, site_id: SiteId):
         self.site_id = site_id
         self._objects: Dict[ObjectId, HeapObject] = {}
+        # Maintained mirror of ``_objects``' key set: ``object_id_set`` hands
+        # out C-level copies of it so per-trace snapshots never re-hash every
+        # ObjectId on the heap.
+        self._oid_set: Set[ObjectId] = set()
         self._persistent_roots: Set[ObjectId] = set()
         self._variable_roots: Dict[ObjectId, int] = {}
         self._next_serial = 0
         self.objects_allocated = 0
         self.objects_collected = 0
         self._mutation_epoch = 0
+        # -- flat-graph mirror (see module docstring) -----------------------
+        self._idx: Dict[ObjectId, int] = {}
+        self._oids: List[Optional[ObjectId]] = []
+        self._alive = bytearray()
+        self._mark = bytearray()
+        self._succ_local: List[List[int]] = []
+        self._succ_remote: List[List[ObjectId]] = []
+        self._slot_refs: List[int] = []
+        self._free: List[int] = []
 
     # -- mutation epoch ---------------------------------------------------------
     #
@@ -44,6 +76,132 @@ class Heap:
     def bump_epoch(self) -> None:
         self._mutation_epoch += 1
 
+    # -- flat-graph mirror maintenance -----------------------------------------
+
+    def _intern(self, oid: ObjectId) -> int:
+        idx = self._idx.get(oid)
+        if idx is not None:
+            return idx
+        if self._free:
+            idx = self._free.pop()
+            self._oids[idx] = oid
+        else:
+            idx = len(self._oids)
+            self._oids.append(oid)
+            self._alive.append(0)
+            self._mark.append(0)
+            self._succ_local.append([])
+            self._succ_remote.append([])
+            self._slot_refs.append(0)
+        self._idx[oid] = idx
+        return idx
+
+    def _maybe_release(self, idx: int) -> None:
+        """Return a dead, unreferenced index to the free-list."""
+        if self._alive[idx] or self._slot_refs[idx]:
+            return
+        oid = self._oids[idx]
+        if oid is None:
+            return  # already free
+        del self._idx[oid]
+        self._oids[idx] = None
+        self._free.append(idx)
+
+    def _edge_added(self, holder_idx: int, target: ObjectId) -> None:
+        if target.site == self.site_id:
+            tidx = self._intern(target)
+            self._succ_local[holder_idx].append(tidx)
+            self._slot_refs[tidx] += 1
+        else:
+            self._succ_remote[holder_idx].append(target)
+
+    def _edge_removed(self, holder_idx: int, target: ObjectId) -> None:
+        if target.site == self.site_id:
+            # Duplicate occurrences are interchangeable; drop the first.
+            tidx = self._idx[target]
+            self._succ_local[holder_idx].remove(tidx)
+            self._slot_refs[tidx] -= 1
+            self._maybe_release(tidx)
+        else:
+            self._succ_remote[holder_idx].remove(target)
+
+    def _note_ref_added(self, obj: HeapObject, target: ObjectId) -> None:
+        """Called by :meth:`HeapObject.add_ref` (the object knows its heap)."""
+        if obj.index >= 0:
+            self._edge_added(obj.index, target)
+        self.bump_epoch()
+
+    def _note_ref_removed(self, obj: HeapObject, target: ObjectId) -> None:
+        if obj.index >= 0:
+            self._edge_removed(obj.index, target)
+        self.bump_epoch()
+
+    def _retire(self, obj: HeapObject) -> None:
+        """Drop a dying object from the mirror (keep its index while held)."""
+        idx = obj.index
+        obj.index = -1
+        self._alive[idx] = 0
+        local = self._succ_local[idx]
+        self._succ_remote[idx].clear()
+        for tidx in local:
+            self._slot_refs[tidx] -= 1
+            if tidx != idx:
+                self._maybe_release(tidx)
+        local.clear()
+        self._maybe_release(idx)
+
+    def flat_graph(
+        self,
+    ) -> Tuple[
+        Dict[ObjectId, int],
+        bytearray,
+        List[List[int]],
+        List[List[ObjectId]],
+        bytearray,
+        List[Optional[ObjectId]],
+    ]:
+        """The mirror's internals for the flat trace kernel (no copies).
+
+        Returns ``(idx, alive, succ_local, succ_remote, mark, oids)``.  The
+        caller must leave ``mark`` all-zero when done (the kernel zeroes
+        exactly the indices it marked).
+        """
+        return (
+            self._idx,
+            self._alive,
+            self._succ_local,
+            self._succ_remote,
+            self._mark,
+            self._oids,
+        )
+
+    def check_flat_mirror(self) -> None:
+        """Assert mirror == object map (test/debug support; O(V+E))."""
+        assert self._oid_set == set(self._objects), "oid set drift"
+        for oid, obj in self._objects.items():
+            idx = self._idx.get(oid)
+            assert idx is not None and self._alive[idx], f"missing mirror: {oid}"
+            assert obj.index == idx, f"index drift: {oid}"
+            want_local = sorted(
+                self._oids[t] for t in self._succ_local[idx]
+            )
+            have_local = sorted(r for r in obj.ref_view if r.site == self.site_id)
+            assert want_local == have_local, f"local adjacency drift: {oid}"
+            want_remote = sorted(self._succ_remote[idx])
+            have_remote = sorted(r for r in obj.ref_view if r.site != self.site_id)
+            assert want_remote == have_remote, f"remote adjacency drift: {oid}"
+        alive_count = sum(1 for b in self._alive if b)
+        assert alive_count == len(self._objects), "alive bitmap drift"
+        assert not any(self._mark), "mark bitmap not zeroed after trace"
+        for idx, oid in enumerate(self._oids):
+            if oid is None:
+                assert not self._alive[idx] and not self._slot_refs[idx]
+            else:
+                assert self._idx[oid] == idx
+                assert self._alive[idx] or self._slot_refs[idx] > 0, (
+                    f"dead unreferenced index kept: {oid}"
+                )
+
     # -- allocation -----------------------------------------------------------
 
     def alloc(
@@ -56,8 +214,14 @@ class Heap:
         oid = ObjectId(site=self.site_id, serial=self._next_serial)
         self._next_serial += 1
         obj = HeapObject(oid, refs=refs, payload_size=payload_size)
-        obj.on_mutate = self.bump_epoch
+        obj._owner = self
+        idx = self._intern(oid)
+        obj.index = idx
+        self._alive[idx] = 1
+        for ref in obj.ref_view:
+            self._edge_added(idx, ref)
         self._objects[oid] = obj
+        self._oid_set.add(oid)
         self.objects_allocated += 1
         if persistent_root:
             self._persistent_roots.add(oid)
@@ -92,9 +256,9 @@ class Heap:
     def objects_map(self) -> Dict[ObjectId, HeapObject]:
         """The internal oid->object mapping, no copy -- read-only by convention.
 
-        The clean phase's hot loop uses it for membership tests and successor
-        fetches without a method call per edge; everything else should go
-        through :meth:`get` / :meth:`contains`.
+        The legacy clean phase's hot loop uses it for membership tests and
+        successor fetches without a method call per edge; everything else
+        should go through :meth:`get` / :meth:`contains`.
         """
         return self._objects
 
@@ -103,6 +267,10 @@ class Heap:
 
     def object_ids(self) -> List[ObjectId]:
         return list(self._objects)
+
+    def object_id_set(self) -> Set[ObjectId]:
+        """A fresh set of every resident oid, copied without re-hashing."""
+        return self._oid_set.copy()
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -192,9 +360,11 @@ class Heap:
         """Delete exactly the listed objects (ids not present are skipped)."""
         deleted: List[ObjectId] = []
         for oid in dead:
-            if oid not in self._objects:
+            obj = self._objects.pop(oid, None)
+            if obj is None:
                 continue
-            del self._objects[oid]
+            self._oid_set.discard(oid)
+            self._retire(obj)
             self._persistent_roots.discard(oid)
             self._variable_roots.pop(oid, None)
             deleted.append(oid)
@@ -205,7 +375,10 @@ class Heap:
 
     def delete(self, oid: ObjectId) -> None:
         """Remove a single object (migration baseline support)."""
-        if self._objects.pop(oid, None) is not None:
+        obj = self._objects.pop(oid, None)
+        if obj is not None:
+            self._oid_set.discard(oid)
+            self._retire(obj)
             self.bump_epoch()
         self._persistent_roots.discard(oid)
         self._variable_roots.pop(oid, None)

@@ -18,7 +18,7 @@ from ..ids import ObjectId
 class HeapObject:
     """One object in a site's heap."""
 
-    __slots__ = ("oid", "_refs", "payload_size", "on_mutate")
+    __slots__ = ("oid", "_refs", "payload_size", "_owner", "index")
 
     def __init__(
         self,
@@ -30,9 +30,12 @@ class HeapObject:
         self._refs: List[ObjectId] = list(refs or [])
         self.payload_size = payload_size
         # Set by the owning heap at allocation time: reference mutations must
-        # bump the heap's mutation epoch even when callers hold the object
-        # directly (the incremental local trace relies on this).
-        self.on_mutate: Optional[callable] = None
+        # notify the heap even when callers hold the object directly -- the
+        # incremental local trace relies on the mutation epoch, and the
+        # flat-graph mirror relies on learning which edge changed.  ``index``
+        # is the object's dense slot in that mirror (-1 = not adopted).
+        self._owner = None
+        self.index: int = -1
 
     @property
     def refs(self) -> List[ObjectId]:
@@ -45,7 +48,7 @@ class HeapObject:
 
         Exists for hot loops (the clean phase scans every edge of every
         object per trace); mutate only through add_ref/remove_ref so the
-        mutation epoch stays accurate.
+        mutation epoch and the flat-graph mirror stay accurate.
         """
         return self._refs
 
@@ -54,8 +57,8 @@ class HeapObject:
 
     def add_ref(self, target: ObjectId) -> None:
         self._refs.append(target)
-        if self.on_mutate is not None:
-            self.on_mutate()
+        if self._owner is not None:
+            self._owner._note_ref_added(self, target)
 
     def remove_ref(self, target: ObjectId) -> None:
         """Remove one occurrence of ``target``; error if absent."""
@@ -63,8 +66,8 @@ class HeapObject:
             self._refs.remove(target)
         except ValueError:
             raise HeapError(f"{self.oid} holds no reference to {target}") from None
-        if self.on_mutate is not None:
-            self.on_mutate()
+        if self._owner is not None:
+            self._owner._note_ref_removed(self, target)
 
     def holds_ref(self, target: ObjectId) -> bool:
         return target in self._refs

@@ -296,7 +296,8 @@ def test_crash_drops_messages_and_recovery_resumes_gc():
     # Q heard nothing.
     assert sim.site("Q").inrefs.require(b["t"]).sources == {"P": 1}
     sim.site("Q").recover()
-    sim.site("P").collector._last_reported_distance.clear()
+    sim.site("P").collector._shipped.clear()
+    sim.site("P").collector._shipped_epoch = None
     sim.site("P").run_local_trace()
     sim.settle()
     assert sim.site("Q").inrefs.require(b["t"]).sources == {"P": 1}

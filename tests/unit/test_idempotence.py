@@ -25,6 +25,7 @@ SEQUENCED = {
     "RemoteCopy",
     "MutatorHop",
     "UpdatePayload",
+    "UpdateDeltaPayload",
 }
 
 

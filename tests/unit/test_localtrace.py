@@ -105,7 +105,35 @@ def test_untraced_outref_is_trimmed_and_reported():
     c.outrefs.ensure(remote)  # nothing in the heap references it
     result = c.run()
     assert remote not in c.outrefs
-    assert result.updates_by_site["R"].removals == (remote,)
+    # In delta mode the first trace is a full state transfer: the trim is
+    # reported by *omission* (receiver-side prune), not an explicit removal.
+    payload = result.updates_by_site["R"]
+    assert payload.full
+    assert remote not in dict(payload.distances)
+    # A receiver holding the inref actually drops this source.
+    from repro.gc.inrefs import InrefTable
+    from repro.gc.update import apply_update
+
+    peer = InrefTable("R", 4, 0)
+    peer.ensure(remote, source="Q", distance=1)
+    apply_update(peer, "Q", payload)
+    # Sole source pruned away -> the inref itself dies (acyclic garbage).
+    assert remote not in peer
+
+
+def test_untraced_outref_trim_travels_as_delta_removal():
+    # Past the first (periodic-full) trace, a trimmed-but-never-shipped
+    # outref must still produce an explicit delta removal: the peer learned
+    # of us as a source through the insert protocol, not through updates.
+    c = make_collector()
+    c.run()  # trace 1: periodic full (anchors the shipped state)
+    remote = ObjectId("R", 0)
+    c.outrefs.ensure(remote)
+    result = c.run()
+    assert remote not in c.outrefs
+    payload = result.updates_by_site["R"]
+    assert not payload.full
+    assert payload.removals == (remote,)
 
 
 def test_pinned_outref_survives_trim():
