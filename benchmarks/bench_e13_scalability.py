@@ -217,7 +217,13 @@ if __name__ == "__main__":
     import json
     import sys
 
-    results = {
+    try:
+        from .hostinfo import host_header
+    except ImportError:
+        from hostinfo import host_header
+
+    results = {"host": host_header()}
+    results |= {
         "incremental" if inc else "full": {
             key: value
             for key, value in run_steady_state(16, inc).items()

@@ -192,9 +192,15 @@ if __name__ == "__main__":
     import json
     import sys
 
+    try:
+        from .hostinfo import host_header
+    except ImportError:
+        from hostinfo import host_header
+
     rounds = 8 if "--smoke" in sys.argv else STEADY_ROUNDS
     stats = run_comparison(steady_rounds=rounds)
-    results = {
+    results = {"host": host_header()}
+    results |= {
         row["mode"]: {k: v for k, v in row.items() if k not in ("survivors", "mode")}
         for row in stats.values()
     }

@@ -133,6 +133,11 @@ if __name__ == "__main__":
     # shortened window for CI.
     import sys
 
+    try:
+        from .hostinfo import host_header
+    except ImportError:
+        from hostinfo import host_header
+
     smoke = "--smoke" in sys.argv
     n_sites = 16 if smoke else N_SITES
     duration = 400.0 if smoke else DURATION
@@ -148,7 +153,7 @@ if __name__ == "__main__":
     results = {
         "sites": n_sites,
         "duration": duration,
-        "cpus": os.cpu_count(),
+        "host": host_header(),
         "snapshots_identical": all(s == snapshots[0] for s in snapshots)
         and legacy_snapshot == snapshots[0],
     }

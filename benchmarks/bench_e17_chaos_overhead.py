@@ -152,7 +152,13 @@ if __name__ == "__main__":
     smoke = "--smoke" in sys.argv
     run_for = 300.0 if smoke else RUN_FOR
     stats = run_comparison(run_for=run_for, repeats=2 if smoke else 5)
-    results = {
+    try:
+        from .hostinfo import host_header
+    except ImportError:
+        from hostinfo import host_header
+
+    results = {"host": host_header()}
+    results |= {
         mode: {k: v for k, v in row.items() if k not in ("survivors", "mode")}
         for mode, row in stats.items()
     }

@@ -389,7 +389,13 @@ if __name__ == "__main__":
         if smoke
         else {}
     )
-    results = run_bench(**kwargs)
+    try:
+        from .hostinfo import host_header
+    except ImportError:
+        from hostinfo import host_header
+
+    results = {"host": host_header()}
+    results |= run_bench(**kwargs)
     for row in (results["steady_optimized"], results["steady_legacy"]):
         row.pop("fingerprint")
         row.pop("outcomes")

@@ -1,0 +1,276 @@
+"""E19 (extension) -- Persistent pool, packed wire, shared arena.
+
+Two claims about the rebuilt parallel data plane, measured separately:
+
+1. **Throughput at scale** -- 256 sites of churn + auto GC sharded over a
+   persistent worker pool.  With >= 4 physical cores the 4-worker run must
+   finish in at most half the sequential wall time (the assertion is gated
+   on ``os.cpu_count()``; the JSON records whatever the host produced).
+2. **Coordination overhead** -- the packed wire format + shared arena
+   against the pickled-list baseline (``packed_wire=False`` /
+   ``shared_arena=False``) on an identical workload.  Counted on both
+   sides of every worker pipe: messages still pickled per window (the hot
+   payload kinds all pack, so this should drop to ~zero) and cross-shard
+   payload bytes per window.  This half is meaningful even on a 1-core
+   host -- the bytes cross the pipes regardless of physical parallelism.
+
+Standalone mode emits the combined BENCH_parallel_sim.json document (host
+header + the regenerated E16 segment + this E19 segment):
+
+    PYTHONPATH=src python benchmarks/bench_e19_persistent_pool.py > BENCH_parallel_sim.json
+
+``--smoke`` shrinks both segments for CI.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import GcConfig, NetworkConfig, Simulation, SimulationConfig
+from repro.harness.report import Table
+from repro.workloads import ChurnConfig, SiteChurn
+
+try:  # package-relative when imported by pytest, flat when run standalone
+    from .hostinfo import host_header
+except ImportError:  # pragma: no cover
+    from hostinfo import host_header
+
+N_SITES = 256
+DURATION = 600.0
+NETWORK = dict(min_latency=8.0, max_latency=24.0, pair_rng_streams=True)
+GC = dict(local_trace_period=150.0, local_trace_period_jitter=30.0)
+
+OVERHEAD_SITES = 64
+OVERHEAD_DURATION = 400.0
+OVERHEAD_WORKERS = 4
+
+
+def _build(workers, n_sites, seed=3, packed=True, arena=True):
+    config = SimulationConfig(
+        seed=seed,
+        network=NetworkConfig(**NETWORK),
+        gc=GcConfig(**GC),
+        parallel_workers=workers,
+        packed_wire=packed,
+        shared_arena=arena,
+    )
+    sim = Simulation.create(config)
+    sites = [f"s{i:03d}" for i in range(n_sites)]
+    sim.add_sites(sites, auto_gc=True)
+    churn = SiteChurn(
+        sim, sites, ChurnConfig(mean_interval=3.0, send_weight=2.5)
+    )
+    churn.start()
+    return sim
+
+
+def run_throughput(workers, n_sites=N_SITES, duration=DURATION, seed=3):
+    """One timed run on the persistent pool; snapshot proves the twin."""
+    sim = _build(workers, n_sites, seed=seed)
+    started = time.perf_counter()
+    fired = sim.run_for(duration)
+    wall_seconds = time.perf_counter() - started
+    parallel = hasattr(sim, "coordination_stats")
+    row = {
+        "workers": workers,
+        "events": fired,
+        "wall_seconds": wall_seconds,
+        "events_per_sec": fired / wall_seconds if wall_seconds > 0 else 0.0,
+        "total_objects": sim.total_objects(),
+    }
+    if parallel and sim.parallel_active:
+        stats = sim.coordination_stats()
+        row["windows"] = stats["windows"]
+        row["cross_shard_messages"] = stats["cross_shard_messages"]
+        snap = sim.snapshot()
+        sim.close()
+    else:
+        from repro.analysis.export import graph_snapshot
+
+        snap = graph_snapshot(sim)
+    row["snapshot"] = snap
+    return row
+
+
+def run_throughput_comparison(
+    n_sites=N_SITES, duration=DURATION, worker_counts=(1, 2, 4)
+):
+    rows = {
+        workers: run_throughput(workers, n_sites=n_sites, duration=duration)
+        for workers in worker_counts
+    }
+    snapshots = [row.pop("snapshot") for row in rows.values()]
+    results = {
+        "sites": n_sites,
+        "duration": duration,
+        "snapshots_identical": all(s == snapshots[0] for s in snapshots),
+    }
+    for workers, row in sorted(rows.items()):
+        key = "sequential" if workers == 1 else f"workers_{workers}"
+        results[key] = row
+    base = rows[1]["wall_seconds"]
+    for workers in worker_counts:
+        if workers != 1 and rows[workers]["wall_seconds"] > 0:
+            results[f"speedup_{workers}x"] = (
+                base / rows[workers]["wall_seconds"]
+            )
+    return results
+
+
+def run_overhead(
+    packed, n_sites=OVERHEAD_SITES, duration=OVERHEAD_DURATION, seed=5
+):
+    """Per-window coordination cost in one wire mode."""
+    sim = _build(
+        OVERHEAD_WORKERS, n_sites, seed=seed, packed=packed, arena=packed
+    )
+    sim.run_for(duration)
+    stats = sim.coordination_stats()
+    snap = sim.snapshot()
+    sim.close()
+    windows = max(1, stats["windows"])
+    return {
+        "mode": "packed" if packed else "legacy_pickled_lists",
+        "windows": stats["windows"],
+        "cross_shard_messages": stats["cross_shard_messages"],
+        "payloads_packed": stats["payloads_packed"],
+        "payloads_pickled": stats["payloads_pickled"],
+        "pickled_msgs_per_window": stats["payloads_pickled"] / windows,
+        "payload_bytes": stats["payload_bytes"],
+        "payload_bytes_per_window": stats["payload_bytes"] / windows,
+        "pipe_bytes_total": stats["bytes_sent"] + stats["bytes_recv"],
+        "pipe_bytes_per_window": (stats["bytes_sent"] + stats["bytes_recv"])
+        / windows,
+        "arena_bytes": stats["arena_bytes"],
+        "snapshot": snap,
+    }
+
+
+def run_overhead_comparison(n_sites=OVERHEAD_SITES, duration=OVERHEAD_DURATION):
+    packed = run_overhead(True, n_sites=n_sites, duration=duration)
+    legacy = run_overhead(False, n_sites=n_sites, duration=duration)
+    identical = packed.pop("snapshot") == legacy.pop("snapshot")
+    results = {
+        "sites": n_sites,
+        "duration": duration,
+        "workers": OVERHEAD_WORKERS,
+        "snapshots_identical": identical,
+        "packed": packed,
+        "legacy": legacy,
+    }
+    # The ">= 5x drop" acceptance rides on messages still pickled per
+    # window: the packed wire encodes every hot payload kind, so this goes
+    # to ~zero (null ratio = nothing left to divide by).
+    if packed["pickled_msgs_per_window"] > 0:
+        results["pickled_msgs_per_window_drop"] = (
+            legacy["pickled_msgs_per_window"] / packed["pickled_msgs_per_window"]
+        )
+    else:
+        results["pickled_msgs_per_window_drop"] = None
+    results["pickled_msgs_drop_at_least_5x"] = (
+        packed["pickled_msgs_per_window"] == 0
+        or results["pickled_msgs_per_window_drop"] >= 5.0
+    )
+    if packed["payload_bytes_per_window"] > 0:
+        results["payload_bytes_per_window_drop"] = (
+            legacy["payload_bytes_per_window"]
+            / packed["payload_bytes_per_window"]
+        )
+    return results
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_e19_overhead_drop(benchmark, record_table):
+    """CI-sized packed-vs-legacy comparison; twin + overhead assertions."""
+
+    def run():
+        return run_overhead_comparison(n_sites=16, duration=300.0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "E19: coordination overhead per window (16 sites, 4 workers)",
+        ["mode", "windows", "msgs", "pickled/win", "payload B/win", "pipe B/win"],
+    )
+    for mode in ("packed", "legacy"):
+        row = results[mode]
+        table.add_row(
+            row["mode"],
+            row["windows"],
+            row["cross_shard_messages"],
+            f"{row['pickled_msgs_per_window']:.2f}",
+            f"{row['payload_bytes_per_window']:.0f}",
+            f"{row['pipe_bytes_per_window']:.0f}",
+        )
+    record_table("e19_persistent_pool", table)
+
+    assert results["snapshots_identical"]
+    assert results["pickled_msgs_drop_at_least_5x"]
+    assert results["packed"]["payloads_pickled"] == 0
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup needs >= 4 physical cores; overhead is measured above",
+)
+def test_e19_speedup_at_256_sites(benchmark):
+    results = benchmark.pedantic(
+        run_throughput_comparison, rounds=1, iterations=1
+    )
+    assert results["snapshots_identical"]
+    assert results["speedup_4x"] >= 2.0
+
+
+if __name__ == "__main__":
+    # Standalone mode: regenerate the whole BENCH_parallel_sim.json --
+    # host header, the E16 segment (engine comparison at 64 sites), and
+    # this E19 segment (persistent pool at 256 sites + overhead).
+    import json
+    import sys
+
+    import bench_e16_parallel_speedup as e16
+
+    smoke = "--smoke" in sys.argv
+    e16_stats = e16.run_comparison(
+        n_sites=16 if smoke else e16.N_SITES,
+        duration=400.0 if smoke else e16.DURATION,
+    )
+    e16_snapshots = [row.pop("snapshot") for row in e16_stats.values()]
+    e16_segment = {
+        "sites": 16 if smoke else e16.N_SITES,
+        "duration": 400.0 if smoke else e16.DURATION,
+        "snapshots_identical": all(s == e16_snapshots[0] for s in e16_snapshots),
+    }
+    for workers, row in sorted(e16_stats.items()):
+        key = "sequential" if workers == 1 else f"workers_{workers}"
+        e16_segment[key] = row
+    for workers in (2, 4):
+        if workers in e16_stats and e16_stats[workers]["wall_seconds"] > 0:
+            e16_segment[f"speedup_{workers}x"] = (
+                e16_stats[1]["wall_seconds"] / e16_stats[workers]["wall_seconds"]
+            )
+
+    e19_segment = {
+        "throughput": run_throughput_comparison(
+            n_sites=32 if smoke else N_SITES,
+            duration=300.0 if smoke else DURATION,
+        ),
+        "coordination_overhead": run_overhead_comparison(
+            n_sites=16 if smoke else OVERHEAD_SITES,
+            duration=200.0 if smoke else OVERHEAD_DURATION,
+        ),
+    }
+
+    results = {"host": host_header(), "e16": e16_segment, "e19": e19_segment}
+    json.dump(results, sys.stdout, indent=2)
+    print()
+    ok = (
+        e16_segment["snapshots_identical"]
+        and e19_segment["throughput"]["snapshots_identical"]
+        and e19_segment["coordination_overhead"]["snapshots_identical"]
+        and e19_segment["coordination_overhead"]["pickled_msgs_drop_at_least_5x"]
+    )
+    if not ok:
+        sys.exit(1)

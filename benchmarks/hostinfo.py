@@ -1,0 +1,33 @@
+"""Host provenance header shared by every pinned-JSON bench writer.
+
+Wall-clock numbers are only interpretable next to the host that produced
+them: a 1-core container cannot show parallel speedup, and a numpy-free
+install runs the flat kernel instead of the vectorized one.  Every
+``BENCH_*.json`` embeds this header so the pinned numbers stay honest.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import platform
+from typing import Any, Dict
+
+
+def host_header() -> Dict[str, Any]:
+    try:
+        import numpy
+    except ImportError:
+        numpy_version = None
+    else:
+        numpy_version = numpy.__version__
+    return {
+        "cpus": os.cpu_count(),
+        "start_method": (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else multiprocessing.get_start_method(allow_none=True)
+        ),
+        "numpy": numpy_version,
+        "python": platform.python_version(),
+    }

@@ -170,6 +170,16 @@ class GcConfig:
     # Byte-identical trace results; False selects the legacy kernel (twin
     # runs, debugging).
     flat_kernel: bool = True
+    # Vectorized clean phase: when numpy is importable (optional extra
+    # ``pip install .[fast]``) and the heap is at least
+    # ``vector_kernel_min_objects`` objects, the clean phase runs as
+    # level-synchronous numpy frontier sweeps over a cached CSR snapshot of
+    # the flat mirror (:func:`repro.core.distance.trace_clean_phase_vector`)
+    # instead of the per-object DFS.  Byte-identical results; the threshold
+    # exists because the kernel's fixed numpy costs lose to the flat DFS on
+    # tiny heaps.  Ignored when ``flat_kernel`` is False or numpy is absent.
+    vector_kernel: bool = True
+    vector_kernel_min_objects: int = 512
     # Exponential-backoff re-initiation of timed-out back traces: when a
     # trace completes Live only because some frame or outcome timed out
     # (section 4.6's conservative assumption), re-tracing the same root
@@ -220,6 +230,8 @@ class GcConfig:
             )
         if self.update_retransmit_timeout <= 0:
             raise ConfigError("update_retransmit_timeout must be > 0")
+        if self.vector_kernel_min_objects < 0:
+            raise ConfigError("vector_kernel_min_objects must be >= 0")
         if self.update_retransmit_limit < 0:
             raise ConfigError("update_retransmit_limit must be >= 0")
         if (
@@ -278,12 +290,31 @@ class SimulationConfig:
     gc: GcConfig = field(default_factory=GcConfig)
     parallel_workers: int = 1
     shard_policy: str = "contiguous"
+    # Packed wire format for coordinator<->worker traffic: hot cross-shard
+    # payload kinds ship as struct-packed int records batched per (window,
+    # destination shard) instead of pickled Message objects
+    # (:mod:`repro.net.wire`).  False keeps the legacy pickled lists -- the
+    # overhead-comparison baseline and a debugging aid.
+    packed_wire: bool = True
+    # Shared-memory arena for the flat-graph mirror: the coordinator
+    # pre-sizes one region per site before forking and shard workers re-home
+    # their alive/mark bitmaps (and CSR scratch) into it
+    # (:mod:`repro.store.shm`), letting the coordinator read per-site
+    # resident counts without a broadcast.  Falls back with a RuntimeWarning
+    # where shared memory is unavailable.
+    shared_arena: bool = True
+    # Slots per site region; None auto-sizes from the pre-fork heaps
+    # (8x headroom, power of two, at least 4096).  Outgrowing the region is
+    # safe -- the heap spills back to private buffers with a warning.
+    arena_slots_per_site: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int):
             raise ConfigError("seed must be an int")
         if not isinstance(self.parallel_workers, int) or self.parallel_workers < 1:
             raise ConfigError("parallel_workers must be an int >= 1")
+        if self.arena_slots_per_site is not None and self.arena_slots_per_site < 8:
+            raise ConfigError("arena_slots_per_site must be >= 8")
         if self.shard_policy not in ("contiguous", "round_robin"):
             raise ConfigError(
                 "shard_policy must be 'contiguous' or 'round_robin', "

@@ -26,6 +26,11 @@ from typing import Dict, Iterable, List, Set, Tuple
 from ..ids import ObjectId
 from ..store.heap import Heap
 
+try:  # numpy is an optional extra (pip install .[fast])
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
 
 @dataclass
 class CleanPhaseResult:
@@ -147,6 +152,129 @@ def trace_clean_phase_flat(
             mark[i] = 0
     result.objects_scanned = scanned
     result.edges_examined = edges
+    return result
+
+
+def trace_clean_phase_vector(
+    heap: Heap,
+    roots: Iterable[Tuple[ObjectId, int]],
+    variable_outrefs: Iterable[ObjectId] = (),
+) -> CleanPhaseResult:
+    """The clean phase as numpy frontier sweeps over the CSR mirror.
+
+    Same contract as :func:`trace_clean_phase` / the flat kernel: identical
+    clean set, outref distances, and cost counters.  The equivalence
+    argument: in the sequential kernels an object's *label* -- the root
+    distance whose DFS first marks it -- is the minimum distance over all
+    clean roots that reach it, because roots run in ascending distance
+    order and marked objects are never re-entered.  Level-synchronous BFS
+    per distinct root distance computes exactly those labels, so every
+    outref distance (``1 + label`` of a holder, minimised over holders via
+    ``np.minimum.at``) matches, and the counters are order-independent
+    (scanned = number marked, edges = summed degree of marked objects).
+
+    Falls back to the flat kernel when numpy is unavailable.  The mark
+    bitmap is borrowed from the heap as a writable uint8 view and restored
+    to all-zero before returning; no view outlives the call (the heap's
+    buffers must stay resizable).
+    """
+    csr = heap.csr_graph() if np is not None else None
+    if csr is None:
+        return trace_clean_phase_flat(heap, roots, variable_outrefs)
+
+    result = CleanPhaseResult()
+    distances = result.outref_distances
+    for target in variable_outrefs:
+        result.clean_variable_outrefs.add(target)
+        current = distances.get(target)
+        distances[target] = 1 if current is None else min(current, 1)
+
+    idx_map, alive_buf, _succ_local, _succ_remote, mark_buf, oids = (
+        heap.flat_graph()
+    )
+    n = len(oids)
+    indptr, indices, r_indptr, r_indices, r_oids = csr
+    alive = np.frombuffer(alive_buf, dtype=np.uint8, count=n)
+    mark = np.frombuffer(mark_buf, dtype=np.uint8, count=n)
+
+    by_distance: Dict[int, List[int]] = {}
+    site_id = heap.site_id
+    for root, root_distance in roots:
+        if root.site != site_id:
+            continue
+        ridx = idx_map.get(root)
+        if ridx is not None:
+            by_distance.setdefault(root_distance, []).append(ridx)
+
+    no_hit = np.iinfo(np.int64).max
+    remote_min = np.full(len(r_oids), no_hit, dtype=np.int64)
+    marked_chunks: List["np.ndarray"] = []
+    for root_distance in sorted(by_distance):
+        seeds = np.array(by_distance[root_distance], dtype=np.int64)
+        seeds = seeds[(alive[seeds] != 0) & (mark[seeds] == 0)]
+        if not seeds.size:
+            continue
+        frontier = np.unique(seeds)
+        level_chunks: List["np.ndarray"] = []
+        while frontier.size:
+            mark[frontier] = 1
+            level_chunks.append(frontier)
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if not total:
+                break
+            # Ragged gather: for each frontier node, its slice of `indices`.
+            offsets = np.repeat(starts, counts) + (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(np.cumsum(counts) - counts, counts)
+            )
+            succ = indices[offsets]
+            succ = succ[(alive[succ] != 0) & (mark[succ] == 0)]
+            frontier = np.unique(succ)
+        level = (
+            level_chunks[0]
+            if len(level_chunks) == 1
+            else np.concatenate(level_chunks)
+        )
+        marked_chunks.append(level)
+        # Everything marked at this level has label `root_distance`, so its
+        # remote references see a candidate distance of root_distance + 1.
+        rstarts = r_indptr[level]
+        rcounts = r_indptr[level + 1] - rstarts
+        rtotal = int(rcounts.sum())
+        if rtotal:
+            roffsets = np.repeat(rstarts, rcounts) + (
+                np.arange(rtotal, dtype=np.int64)
+                - np.repeat(np.cumsum(rcounts) - rcounts, rcounts)
+            )
+            np.minimum.at(remote_min, r_indices[roffsets], root_distance + 1)
+
+    if marked_chunks:
+        marked = (
+            marked_chunks[0]
+            if len(marked_chunks) == 1
+            else np.concatenate(marked_chunks)
+        )
+        result.objects_scanned = int(marked.size)
+        result.edges_examined = int(
+            (indptr[marked + 1] - indptr[marked]).sum()
+            + (r_indptr[marked + 1] - r_indptr[marked]).sum()
+        )
+        if marked.size == len(heap):
+            result.clean_objects = heap.object_id_set()
+        else:
+            clean_add = result.clean_objects.add
+            for i in marked.tolist():
+                clean_add(oids[i])
+        mark[marked] = 0
+
+    for rid in np.flatnonzero(remote_min != no_hit).tolist():
+        ref = r_oids[rid]
+        value = int(remote_min[rid])
+        current = distances.get(ref)
+        if current is None or value < current:
+            distances[ref] = value
     return result
 
 

@@ -35,7 +35,13 @@ from ..core.backinfo import (
     compute_outsets_independent,
     invert_outsets,
 )
-from ..core.distance import CleanPhaseResult, trace_clean_phase, trace_clean_phase_flat
+from ..core.distance import (
+    CleanPhaseResult,
+    np as _np,
+    trace_clean_phase,
+    trace_clean_phase_flat,
+    trace_clean_phase_vector,
+)
 from ..ids import ObjectId, SiteId
 from ..metrics import MetricsRecorder, names
 from ..store.heap import Heap
@@ -239,9 +245,19 @@ class LocalCollector:
                 roots.append((entry.target, entry.distance))
             else:
                 suspected_targets.append(entry.target)
-        kernel = (
-            trace_clean_phase_flat if self.config.flat_kernel else trace_clean_phase
-        )
+        # Kernel ladder: all three produce identical results (the twin tests
+        # assert byte-equality); pick the cheapest that applies.  The vector
+        # kernel's fixed numpy costs only amortise past a minimum heap size.
+        if not self.config.flat_kernel:
+            kernel = trace_clean_phase
+        elif (
+            self.config.vector_kernel
+            and _np is not None
+            and len(self.heap) >= self.config.vector_kernel_min_objects
+        ):
+            kernel = trace_clean_phase_vector
+        else:
+            kernel = trace_clean_phase_flat
         clean_phase = kernel(self.heap, roots, variable_outrefs=variable_outrefs)
         result.clean_phase = clean_phase
         result.clean_objects = clean_phase.clean_objects

@@ -33,23 +33,37 @@ contents, inref/outref tables, and collection survivors as a sequential run
 of the same seed (with ``pair_rng_streams`` set) -- the equivalence tests
 compare full snapshots byte for byte.
 
-Workers are created by *forking* after the simulation is fully constructed:
-the child inherits the whole object graph by copy-on-write memory, prunes
-its scheduler queue to its shard (:meth:`Scheduler.retain_sites`), and puts
-its network into shard mode (:meth:`Network.attach_shard`).  Nothing but
-plain messages, site-call results, and merged statistics ever crosses a
-process boundary.
+The data plane, in the spirit of the paper's small-messages discipline:
+
+- **Persistent pool** (:class:`ShardWorkerPool`): workers fork once, after
+  the simulation is fully constructed -- the child inherits the whole
+  object graph by copy-on-write, prunes its scheduler to its shard
+  (:meth:`Scheduler.retain_sites`), and puts its network into shard mode
+  (:meth:`Network.attach_shard`).  From then on windows are driven over
+  long-lived duplex pipes; nothing re-forks, and every byte that crosses a
+  pipe is counted (:meth:`ParallelSimulation.coordination_stats`).
+- **Packed wire format** (:mod:`repro.net.wire`, ``config.packed_wire``):
+  cross-shard messages travel as struct-packed int records batched per
+  (window, destination shard); the coordinator routes by scanning fixed
+  headers without decoding payloads.  Payload kinds outside the hot set
+  fall back to per-record pickling, so the protocol is total.
+- **Shared arena** (:mod:`repro.store.shm`, ``config.shared_arena``): the
+  coordinator pre-sizes one shared-memory region per site before forking;
+  each worker re-homes its heaps' flat-mirror bitmaps (and CSR scratch)
+  into its regions, and the coordinator reads per-site resident counts
+  straight from the region headers instead of broadcasting.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import pickle
 import traceback
 import warnings
 from collections import Counter
 from dataclasses import replace
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..config import SimulationConfig
 from ..errors import SimulationError
@@ -57,12 +71,18 @@ from ..ids import ObjectId, SiteId
 from ..metrics import MetricsRecorder
 from ..net.latency import LatencyModel
 from ..net.message import Message
+from ..net.wire import WireCodec
+from ..store.shm import create_arena
 from .simulation import Simulation
 
 _INF = float("inf")
 
 #: (deliver_at, message) pairs as prepared sender-side by Network.send.
 RoutedMessage = Tuple[float, Message]
+
+#: Coordinator-side routing entry for a packed record:
+#: (deliver_at, dst index, src index, uid, record bytes).
+_PackedPending = Tuple[float, int, int, int, Any]
 
 
 def assign_shards(
@@ -108,8 +128,12 @@ class SafeTimePlanner:
             )
         self.lookahead = lookahead
 
-    def horizon(self, next_times: Sequence[float]) -> float:
-        """Earliest unexecuted work across all shards (inf when idle)."""
+    def horizon(self, next_times: Iterable[float]) -> float:
+        """Earliest unexecuted work across all shards (inf when idle).
+
+        Accepts any iterable -- the coordinator hot loop passes a generator
+        over its worker handles rather than materialising a list per window.
+        """
         return min(next_times, default=_INF)
 
     def window(self, horizon: float, target_excl: float) -> Optional[float]:
@@ -125,6 +149,43 @@ class SafeTimePlanner:
         if safe <= horizon:
             safe = min(math.nextafter(horizon, _INF), target_excl)
         return safe
+
+
+# ---------------------------------------------------------------------------
+# Counted duplex channel (both sides of every worker pipe)
+# ---------------------------------------------------------------------------
+
+
+class _Channel:
+    """A Connection wrapper that pickles explicitly and counts bytes.
+
+    Explicit ``send_bytes(pickle.dumps(...))`` instead of ``Connection.send``
+    so both endpoints know exactly how many bytes cross the process boundary
+    -- the coordination-overhead numbers in BENCH_parallel_sim.json come
+    from these counters, in packed and legacy wire modes alike.
+    """
+
+    __slots__ = ("conn", "bytes_sent", "bytes_recv", "messages_sent")
+
+    def __init__(self, conn):
+        self.conn = conn
+        self.bytes_sent = 0
+        self.bytes_recv = 0
+        self.messages_sent = 0
+
+    def send(self, obj) -> None:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.conn.send_bytes(data)
+        self.bytes_sent += len(data)
+        self.messages_sent += 1
+
+    def recv(self):
+        data = self.conn.recv_bytes()
+        self.bytes_recv += len(data)
+        return pickle.loads(data)
+
+    def close(self) -> None:
+        self.conn.close()
 
 
 # ---------------------------------------------------------------------------
@@ -212,46 +273,85 @@ def _execute(sim: Simulation, shard: Set[SiteId], command: tuple):
     raise SimulationError(f"unknown worker command {op!r}")
 
 
-def _worker_main(conn, shard_sites: List[SiteId], sim: Simulation) -> None:
+def _worker_main(
+    conn,
+    shard_sites: List[SiteId],
+    sim: Simulation,
+    wire_sites: Optional[List[SiteId]],
+    arena,
+) -> None:
     """Entry point of a forked shard worker.
 
     The child inherited the fully built simulation by fork; it prunes the
-    scheduler to its shard, puts the network into shard mode, and then obeys
+    scheduler to its shard, puts the network into shard mode, re-homes its
+    heaps into the shared arena (when one exists), and then obeys
     coordinator commands.  Every reply is a uniform
     ``("ok", payload, outgoing, next_event_time, events_fired)`` tuple (or
     ``("error", traceback_text)``), so the coordinator always learns the
     shard's new frontier and pending cross-shard messages in one exchange.
+    With a wire codec (``wire_sites`` given), ``incoming``/``outgoing`` are
+    packed record blobs instead of pickled RoutedMessage lists.
     """
     shard = set(shard_sites)
+    channel = _Channel(conn)
     outbox: List[RoutedMessage] = []
+    codec = WireCodec(wire_sites) if wire_sites is not None else None
     try:
         sim.scheduler.retain_sites(shard)
         sim.network.attach_shard(shard, outbox)
+        if arena is not None:
+            for site_id in shard:
+                sim.sites[site_id].heap.attach_shared_region(
+                    arena.region(site_id)
+                )
     except Exception:
-        conn.send(("error", traceback.format_exc()))
-        conn.close()
+        channel.send(("error", traceback.format_exc()))
+        channel.close()
         return
-    conn.send(("ok", None, [], sim.scheduler.next_event_time(), 0))
+
+    def packed_outgoing():
+        if codec is None:
+            outgoing = outbox[:]
+        else:
+            outgoing = codec.pack_routed(outbox)
+        del outbox[:]
+        return outgoing
+
+    channel.send(("ok", None, packed_outgoing(), sim.scheduler.next_event_time(), 0))
     while True:
         try:
-            command = conn.recv()
+            command = channel.recv()
         except EOFError:
             break
         try:
+            if codec is not None and command[0] in ("window", "align"):
+                command = (
+                    command[0],
+                    command[1],
+                    codec.unpack_blob(command[2]),
+                )
             payload, fired = _execute(sim, shard, command)
         except _Stop:
-            conn.send(("ok", None, [], _INF, 0))
+            channel.send(("ok", None, packed_outgoing(), _INF, 0))
             break
         except Exception:
             del outbox[:]
-            conn.send(("error", traceback.format_exc()))
+            channel.send(("error", traceback.format_exc()))
             continue
-        outgoing = outbox[:]
-        del outbox[:]
-        conn.send(
-            ("ok", payload, outgoing, sim.scheduler.next_event_time(), fired)
+        channel.send(
+            (
+                "ok",
+                payload,
+                packed_outgoing(),
+                sim.scheduler.next_event_time(),
+                fired,
+            )
         )
-    conn.close()
+    if arena is not None:
+        for site_id in shard:
+            sim.sites[site_id].heap.detach_shared_region()
+        arena.detach()
+    channel.close()
 
 
 # ---------------------------------------------------------------------------
@@ -262,13 +362,123 @@ def _worker_main(conn, shard_sites: List[SiteId], sim: Simulation) -> None:
 class _WorkerHandle:
     """Coordinator-side bookkeeping for one shard worker."""
 
-    __slots__ = ("process", "conn", "shard", "next_time")
+    __slots__ = ("process", "channel", "shard", "shard_indices", "next_time")
 
-    def __init__(self, process, conn, shard: Set[SiteId]):
+    def __init__(self, process, channel: _Channel, shard: Set[SiteId]):
         self.process = process
-        self.conn = conn
+        self.channel = channel
         self.shard = shard
+        self.shard_indices: Set[int] = set()
         self.next_time = _INF
+
+
+class ShardWorkerPool:
+    """The persistent fork-once worker pool behind :class:`ParallelSimulation`.
+
+    Owns the processes and counted channels; fork happens exactly once, in
+    :meth:`start`, and afterwards every window/drain/merge exchange travels
+    over the same long-lived pipes.  A worker death mid-exchange surfaces as
+    a prompt :class:`SimulationError` (the dead pipe raises ``EOFError``
+    rather than hanging), after which the whole pool is reaped.
+    """
+
+    def __init__(self):
+        self.workers: List[_WorkerHandle] = []
+        self._stopped = False
+
+    def start(
+        self,
+        shards: Sequence[Sequence[SiteId]],
+        sim: Simulation,
+        wire_sites: Optional[List[SiteId]],
+        arena,
+    ) -> None:
+        context = multiprocessing.get_context("fork")
+        for shard in shards:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, list(shard), sim, wire_sites, arena),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.workers.append(
+                _WorkerHandle(process, _Channel(parent_conn), set(shard))
+            )
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __iter__(self):
+        return iter(self.workers)
+
+    def send(self, worker: _WorkerHandle, command: tuple) -> None:
+        try:
+            worker.channel.send(command)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            self._raise_dead(worker)
+
+    def recv(self, worker: _WorkerHandle):
+        try:
+            return worker.channel.recv()
+        except (EOFError, ConnectionResetError, OSError):
+            self._raise_dead(worker)
+
+    def _raise_dead(self, worker: _WorkerHandle) -> None:
+        """A pipe failed: reap everything and raise without hanging."""
+        worker.process.join(timeout=1)
+        exitcode = worker.process.exitcode
+        index = self.workers.index(worker)
+        self.reap()
+        raise SimulationError(
+            f"shard worker {index} (pid {worker.process.pid}) died "
+            f"mid-command (exit code {exitcode}); parallel simulation "
+            "is unrecoverable -- all workers stopped"
+        )
+
+    def reap(self) -> None:
+        """Terminate and join every worker unconditionally."""
+        self._stopped = True
+        for worker in self.workers:
+            worker.channel.close()
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in self.workers:
+            worker.process.join(timeout=5)
+
+    def stop(self) -> None:
+        """Orderly shutdown: ask nicely, then reap stragglers."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for worker in self.workers:
+            try:
+                worker.channel.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self.workers:
+            try:
+                worker.channel.recv()
+            except (EOFError, OSError):
+                pass
+            worker.channel.close()
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(worker.channel.bytes_sent for worker in self.workers)
+
+    @property
+    def bytes_recv(self) -> int:
+        return sum(worker.channel.bytes_recv for worker in self.workers)
+
+    @property
+    def commands_sent(self) -> int:
+        return sum(worker.channel.messages_sent for worker in self.workers)
 
 
 _PROXY_METHODS = frozenset(
@@ -337,11 +547,11 @@ class ParallelSimulation(Simulation):
     Construction, topology building, and everything before the first
     ``run_*`` call behave exactly like the sequential engine (same classes,
     same RNG streams).  The first time simulated time advances, the
-    coordinator forks ``config.parallel_workers`` shard workers and from
-    then on drives them with conservative-lookahead windows.  With
-    ``parallel_workers == 1`` (or when parallelism is impossible: zero
-    ``min_latency``, no fork support, fewer than two sites) every call takes
-    the inherited sequential path unchanged.
+    coordinator forks ``config.parallel_workers`` shard workers -- once --
+    and from then on drives them over the persistent pool with
+    conservative-lookahead windows.  With ``parallel_workers == 1`` (or when
+    parallelism is impossible: zero ``min_latency``, no fork support, fewer
+    than two sites) every call takes the inherited sequential path unchanged.
 
     Construct through :meth:`Simulation.create`; direct instantiation is
     deprecated (the factory picks the engine from ``parallel_workers`` and
@@ -405,8 +615,12 @@ class ParallelSimulation(Simulation):
         super().__init__(config, latency_model=latency_model, fault_plan=fault_plan)
         self._forked = False
         self._closed = False
-        self._workers: List[_WorkerHandle] = []
-        self._pending: List[RoutedMessage] = []
+        self._pool = ShardWorkerPool()
+        self._codec: Optional[WireCodec] = None
+        self._arena = None
+        #: Legacy mode: RoutedMessage tuples.  Packed mode: _PackedPending
+        #: tuples.  Both start with deliver_at, so horizon scans are shared.
+        self._pending: List[Any] = []
         self._site_to_worker: Dict[SiteId, int] = {}
         self._crashed_sites: Set[SiteId] = set()
         self._proxies: Dict[SiteId, SiteProxy] = {}
@@ -415,6 +629,7 @@ class ParallelSimulation(Simulation):
         self._planner = (
             SafeTimePlanner(config.network.min_latency) if self._parallel else None
         )
+        self._stats = Counter()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -422,6 +637,10 @@ class ParallelSimulation(Simulation):
     def parallel_active(self) -> bool:
         """True when runs are (or will be) executed by shard workers."""
         return self._parallel
+
+    @property
+    def _workers(self) -> List[_WorkerHandle]:
+        return self._pool.workers
 
     def _ensure_forked(self) -> None:
         if self._forked or not self._parallel:
@@ -446,45 +665,45 @@ class ParallelSimulation(Simulation):
         self._crashed_sites = {
             site_id for site_id, site in self.sites.items() if site.crashed
         }
-        context = multiprocessing.get_context("fork")
-        for shard in shards:
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_worker_main,
-                args=(child_conn, list(shard), self),
-                daemon=True,
+        wire_sites = sorted(self.sites) if self.config.packed_wire else None
+        if wire_sites is not None:
+            self._codec = WireCodec(wire_sites)
+        if self.config.shared_arena:
+            # Created before the fork so every worker inherits the mapping;
+            # a post-fork segment would be private to its creator.
+            self._arena = create_arena(
+                {
+                    site_id: site.heap.mirror_slots
+                    for site_id, site in self.sites.items()
+                },
+                slot_capacity=self.config.arena_slots_per_site,
             )
-            process.start()
-            child_conn.close()
-            self._workers.append(_WorkerHandle(process, parent_conn, set(shard)))
+        self._pool.start(shards, self, wire_sites, self._arena)
         # Flag flips only after every fork: children must see the sequential
         # view of `self` so their internal calls take direct paths.
         self._forked = True
-        for index, worker in enumerate(self._workers):
-            self._absorb(worker, worker.conn.recv())
+        for index, worker in enumerate(self._pool):
+            if self._codec is not None:
+                worker.shard_indices = {
+                    self._codec.site_index(site_id) for site_id in worker.shard
+                }
+            self._absorb(worker, self._pool.recv(worker))
             for site_id in worker.shard:
                 self._site_to_worker[site_id] = index
 
     def close(self) -> None:
-        """Stop the shard workers.  Idempotent; further runs raise."""
+        """Stop the shard workers and release the arena.  Idempotent."""
         if not self._forked or self._closed:
             self._closed = self._closed or self._forked
+            if self._arena is not None:
+                self._arena.close()
+                self._arena = None
             return
         self._closed = True
-        for worker in self._workers:
-            try:
-                worker.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for worker in self._workers:
-            try:
-                worker.conn.recv()
-            except (EOFError, OSError):
-                pass
-            worker.conn.close()
-            worker.process.join(timeout=5)
-            if worker.process.is_alive():  # pragma: no cover - defensive
-                worker.process.terminate()
+        self._pool.stop()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "ParallelSimulation":
         return self
@@ -505,7 +724,30 @@ class ParallelSimulation(Simulation):
         if reply[0] == "error":
             raise SimulationError(f"shard worker failed:\n{reply[1]}")
         _, payload, outgoing, next_time, fired = reply
-        self._pending.extend(outgoing)
+        if self._codec is not None:
+            # A blob of packed records: route by scanning headers only.
+            pending_append = self._pending.append
+            stats = self._stats
+            if len(outgoing) > 4:  # more than the empty-blob count prefix
+                stats["payload_bytes"] += len(outgoing)
+            for deliver_at, dst, src, kind, uid, record in self._codec.scan_blob(
+                outgoing
+            ):
+                stats["cross_shard_messages"] += 1
+                if kind == 0:
+                    stats["payloads_pickled"] += 1
+                else:
+                    stats["payloads_packed"] += 1
+                pending_append((deliver_at, dst, src, uid, record))
+        elif outgoing:
+            # Legacy wire: the payload cost is what pickling the routed list
+            # costs (it crossed the pipe inside the reply tuple just so).
+            self._stats["payload_bytes"] += len(
+                pickle.dumps(outgoing, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            self._stats["cross_shard_messages"] += len(outgoing)
+            self._stats["payloads_pickled"] += len(outgoing)
+            self._pending.extend(outgoing)
         worker.next_time = next_time
         return payload, fired
 
@@ -513,12 +755,14 @@ class ParallelSimulation(Simulation):
         """Send ``command`` to every worker; gather payloads in shard order."""
         if self._closed:
             raise SimulationError("parallel simulation has been closed")
-        for worker in self._workers:
-            worker.conn.send(command)
+        self._stats["broadcasts"] += 1
+        pool = self._pool
+        for worker in pool:
+            pool.send(worker, command)
         payloads: List[Any] = []
         total_fired = 0
-        for worker in self._workers:
-            payload, fired = self._absorb(worker, worker.conn.recv())
+        for worker in pool:
+            payload, fired = self._absorb(worker, pool.recv(worker))
             payloads.append(payload)
             total_fired += fired
         return payloads, total_fired
@@ -526,20 +770,36 @@ class ParallelSimulation(Simulation):
     def _site_call(self, site_id: SiteId, method: str, *args, **kwargs):
         if self._closed:
             raise SimulationError("parallel simulation has been closed")
-        worker = self._workers[self._site_to_worker[site_id]]
-        worker.conn.send(("site_call", site_id, method, args, kwargs))
-        payload, _ = self._absorb(worker, worker.conn.recv())
+        self._stats["site_calls"] += 1
+        pool = self._pool
+        worker = pool.workers[self._site_to_worker[site_id]]
+        pool.send(worker, ("site_call", site_id, method, args, kwargs))
+        payload, _ = self._absorb(worker, pool.recv(worker))
         return payload
 
-    def _take_pending(self, shard: Set[SiteId], bound: float) -> List[RoutedMessage]:
-        """Remove and return pending messages for ``shard`` due before ``bound``.
+    def _take_pending(self, worker: _WorkerHandle, bound: float):
+        """Remove and return pending messages for a shard due before ``bound``.
 
-        The returned list is sorted by (deliver_at, source site, sender
-        sequence): delivery time first, with the paper-prescribed
-        deterministic tie-break for simultaneous cross-shard arrivals.
+        The result is sorted by (deliver_at, source site, sender sequence):
+        delivery time first, with the paper-prescribed deterministic
+        tie-break for simultaneous cross-shard arrivals.  In packed mode the
+        site index order equals lexicographic SiteId order (the codec's
+        table is sorted), so sorting by source *index* is the same order --
+        and the due records are re-framed into one blob without decoding.
         """
-        due: List[RoutedMessage] = []
-        rest: List[RoutedMessage] = []
+        due: List[Any] = []
+        rest: List[Any] = []
+        if self._codec is not None:
+            shard_indices = worker.shard_indices
+            for item in self._pending:
+                if item[1] in shard_indices and item[0] < bound:
+                    due.append(item)
+                else:
+                    rest.append(item)
+            self._pending = rest
+            due.sort(key=lambda item: (item[0], item[2], item[3]))
+            return self._codec.pack_blob([item[4] for item in due])
+        shard = worker.shard
         for item in self._pending:
             deliver_at, message = item
             if message.dst in shard and deliver_at < bound:
@@ -552,35 +812,68 @@ class ParallelSimulation(Simulation):
 
     def _effective_horizon(self) -> float:
         horizon = self._planner.horizon(
-            [worker.next_time for worker in self._workers]
+            worker.next_time for worker in self._pool
         )
-        for deliver_at, _ in self._pending:
-            horizon = min(horizon, deliver_at)
+        pending = self._pending
+        if pending:
+            # First element is deliver_at in both wire modes.
+            horizon = min(horizon, min(item[0] for item in pending))
         return horizon
 
     def _advance(self, target: float) -> int:
         """Advance every shard to exactly ``target`` via safe-time windows."""
         target_excl = math.nextafter(target, _INF)
         total_fired = 0
+        pool = self._pool
         while True:
             safe = self._planner.window(self._effective_horizon(), target_excl)
             if safe is None:
                 break
-            for worker in self._workers:
-                incoming = self._take_pending(worker.shard, safe)
-                worker.conn.send(("window", safe, incoming))
-            for worker in self._workers:
-                _, fired = self._absorb(worker, worker.conn.recv())
+            self._stats["windows"] += 1
+            for worker in pool:
+                pool.send(worker, ("window", safe, self._take_pending(worker, safe)))
+            for worker in pool:
+                _, fired = self._absorb(worker, pool.recv(worker))
                 total_fired += fired
         # Align: park messages due beyond the target in their receiving
         # shards' queues and move every clock (ours included) to the target.
-        for worker in self._workers:
-            incoming = self._take_pending(worker.shard, _INF)
-            worker.conn.send(("align", target, incoming))
-        for worker in self._workers:
-            self._absorb(worker, worker.conn.recv())
+        self._stats["aligns"] += 1
+        for worker in pool:
+            pool.send(worker, ("align", target, self._take_pending(worker, _INF)))
+        for worker in pool:
+            self._absorb(worker, pool.recv(worker))
         self.scheduler.advance_clock(target)
         return total_fired
+
+    def coordination_stats(self) -> Dict[str, int]:
+        """Counters of coordinator<->worker traffic since the fork.
+
+        ``windows``/``aligns`` count synchronization rounds; ``bytes_sent``/
+        ``bytes_recv`` are coordinator-side pipe totals (every pickled byte,
+        both wire modes); ``cross_shard_messages`` counts routed messages, of
+        which ``payloads_packed`` used the struct wire format and
+        ``payloads_pickled`` fell back to (or ran as, in legacy mode)
+        per-message pickling.  ``arena_bytes`` is the shared segment size (0
+        without one).
+        """
+        stats = dict(self._stats)
+        for key in (
+            "windows",
+            "aligns",
+            "broadcasts",
+            "site_calls",
+            "cross_shard_messages",
+            "payloads_packed",
+            "payloads_pickled",
+            "payload_bytes",
+        ):
+            stats.setdefault(key, 0)
+        stats["bytes_sent"] = self._pool.bytes_sent
+        stats["bytes_recv"] = self._pool.bytes_recv
+        stats["commands_sent"] = self._pool.commands_sent
+        stats["packed_wire"] = int(self._codec is not None)
+        stats["arena_bytes"] = self._arena.nbytes if self._arena is not None else 0
+        return stats
 
     # -- time control (Simulation API) ---------------------------------------
 
@@ -728,6 +1021,15 @@ class ParallelSimulation(Simulation):
     def total_objects(self) -> int:
         if not self._forked:
             return super().total_objects()
+        if self._arena is not None:
+            # Workers publish per-site resident counts into their region
+            # headers on every alloc/sweep, and they are parked in recv
+            # between exchanges -- a direct read, no broadcast.  Any heap
+            # that spilled its region invalidates the fast path (None).
+            total = self._arena.total_alive()
+            if total is not None:
+                self._stats["arena_count_reads"] += 1
+                return total
         payloads, _ = self._broadcast(("counts",))
         return sum(payloads)
 

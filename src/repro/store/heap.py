@@ -28,11 +28,35 @@ sweep; traces read it without building any per-trace set keyed by ObjectId.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+import warnings
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from ..errors import NotLocalError, UnknownObjectError
 from ..ids import ObjectId, SiteId
 from .objects import HeapObject
+from .shm import FLAG_CSR_LOCAL, FLAG_SLOTS_OVERFLOW
+
+try:  # numpy is an optional extra (pip install .[fast])
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
+
+class FlatCsr(NamedTuple):
+    """Dense CSR snapshot of the mirror for the vectorized kernel.
+
+    ``indptr``/``indices`` give each slot's local successor indices
+    (duplicates preserved, dead slots have empty rows);
+    ``r_indptr``/``r_indices`` do the same for remote references against
+    the interned ``r_oids`` table.  Valid while the heap's graph epoch is
+    unchanged; :meth:`Heap.csr_graph` rebuilds lazily.
+    """
+
+    indptr: "np.ndarray"
+    indices: "np.ndarray"
+    r_indptr: "np.ndarray"
+    r_indices: "np.ndarray"
+    r_oids: List[ObjectId]
 
 
 class Heap:
@@ -60,6 +84,15 @@ class Heap:
         self._succ_remote: List[List[ObjectId]] = []
         self._slot_refs: List[int] = []
         self._free: List[int] = []
+        # Shared-memory backing (parallel engine): when attached, ``_alive``
+        # and ``_mark`` are memoryviews over a SiteRegion instead of private
+        # bytearrays, and the region header mirrors the resident count.
+        self._region = None
+        # Structural epoch for the CSR snapshot: bumped only on changes to
+        # slots or adjacency (not roots/pins, which churn far more often).
+        self._graph_epoch = 0
+        self._csr: Optional[FlatCsr] = None
+        self._csr_epoch = -1
 
     # -- mutation epoch ---------------------------------------------------------
     #
@@ -82,14 +115,20 @@ class Heap:
         idx = self._idx.get(oid)
         if idx is not None:
             return idx
+        self._graph_epoch += 1
         if self._free:
             idx = self._free.pop()
             self._oids[idx] = oid
         else:
+            region = self._region
+            if region is not None and len(self._oids) >= region.slot_capacity:
+                self._spill_shared_region()
             idx = len(self._oids)
             self._oids.append(oid)
-            self._alive.append(0)
-            self._mark.append(0)
+            if self._region is None:
+                self._alive.append(0)
+                self._mark.append(0)
+            # else: the region's slots are pre-zeroed at creation
             self._succ_local.append([])
             self._succ_remote.append([])
             self._slot_refs.append(0)
@@ -108,6 +147,7 @@ class Heap:
         self._free.append(idx)
 
     def _edge_added(self, holder_idx: int, target: ObjectId) -> None:
+        self._graph_epoch += 1
         if target.site == self.site_id:
             tidx = self._intern(target)
             self._succ_local[holder_idx].append(tidx)
@@ -116,6 +156,7 @@ class Heap:
             self._succ_remote[holder_idx].append(target)
 
     def _edge_removed(self, holder_idx: int, target: ObjectId) -> None:
+        self._graph_epoch += 1
         if target.site == self.site_id:
             # Duplicate occurrences are interchangeable; drop the first.
             tidx = self._idx[target]
@@ -138,6 +179,7 @@ class Heap:
 
     def _retire(self, obj: HeapObject) -> None:
         """Drop a dying object from the mirror (keep its index while held)."""
+        self._graph_epoch += 1
         idx = obj.index
         obj.index = -1
         self._alive[idx] = 0
@@ -174,6 +216,148 @@ class Heap:
             self._mark,
             self._oids,
         )
+
+    # -- shared-memory backing (parallel engine) --------------------------------
+
+    def attach_shared_region(self, region) -> bool:
+        """Re-home the alive/mark bitmaps into a shared-memory region.
+
+        Called by a shard worker just after the fork (see
+        :mod:`repro.store.shm` for the ownership rules).  The current bitmap
+        contents are copied into the region -- which this heap now owns
+        exclusively -- and the header's resident count is published.
+        Returns False (leaving the heap untouched) if the heap already
+        exceeds the region's slot capacity.
+        """
+        n = len(self._oids)
+        if n > region.slot_capacity:
+            region.set_flag(FLAG_SLOTS_OVERFLOW)
+            return False
+        if n:
+            region.alive[:n] = bytes(self._alive[:n])
+            region.mark[:n] = bytes(self._mark[:n])
+        self._alive = region.alive
+        self._mark = region.mark
+        self._region = region
+        region.set_alive_count(len(self._objects))
+        self._csr = None  # rebuild into the region's CSR area
+        self._csr_epoch = -1
+        return True
+
+    def detach_shared_region(self) -> None:
+        """Copy the bitmaps back to private buffers and drop every view.
+
+        Workers call this on shutdown (before the arena itself detaches) so
+        no memoryview exports outlive the shared segment.
+        """
+        region = self._region
+        if region is None:
+            return
+        n = len(self._oids)
+        self._alive = bytearray(region.alive[:n])
+        self._mark = bytearray(region.mark[:n])
+        self._region = None
+        self._csr = None  # its arrays may view the region's CSR area
+        self._csr_epoch = -1
+
+    def _spill_shared_region(self) -> None:
+        """Outgrew the region: fall back to private buffers, flag, and warn."""
+        region = self._region
+        n = len(self._oids)
+        self._alive = bytearray(region.alive[:n])
+        self._mark = bytearray(region.mark[:n])
+        self._region = None
+        self._csr = None
+        self._csr_epoch = -1
+        region.set_flag(FLAG_SLOTS_OVERFLOW)
+        warnings.warn(
+            f"heap {self.site_id!r} outgrew its shared-memory region "
+            f"({n} slots >= capacity {region.slot_capacity}); continuing "
+            "with private buffers",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _publish_alive_count(self) -> None:
+        if self._region is not None:
+            self._region.set_alive_count(len(self._objects))
+
+    @property
+    def shared_region_attached(self) -> bool:
+        return self._region is not None
+
+    @property
+    def mirror_slots(self) -> int:
+        """Slots the flat mirror occupies (resident + dead interned oids).
+
+        This -- not ``len(heap)`` -- is what a shared region must be sized
+        against, since interned slots are never compacted.
+        """
+        return len(self._oids)
+
+    @property
+    def graph_epoch(self) -> int:
+        return self._graph_epoch
+
+    def csr_graph(self) -> Optional[FlatCsr]:
+        """The mirror as int64 CSR arrays (numpy only; None without it).
+
+        Rebuilt lazily when the graph epoch moved; when a shared region is
+        attached and the arrays fit its CSR area they are built there
+        (zero-copy views), otherwise in private numpy memory.
+        """
+        if np is None:
+            return None
+        if self._csr is not None and self._csr_epoch == self._graph_epoch:
+            return self._csr
+        n = len(self._oids)
+        local_lens = [len(s) for s in self._succ_local]
+        remote_lens = [len(s) for s in self._succ_remote]
+        edges = sum(local_lens)
+        remote_edges = sum(remote_lens)
+        words = 2 * (n + 1) + edges + remote_edges
+        region = self._region
+        if region is not None and words * 8 <= region.csr_bytes:
+            buf = np.frombuffer(region.csr, dtype=np.int64, count=words)
+        else:
+            buf = np.empty(words, dtype=np.int64)
+            if region is not None:
+                region.set_flag(FLAG_CSR_LOCAL)
+        indptr = buf[: n + 1]
+        indices = buf[n + 1 : n + 1 + edges]
+        r_indptr = buf[n + 1 + edges : 2 * (n + 1) + edges]
+        r_indices = buf[2 * (n + 1) + edges :]
+        indptr[0] = 0
+        if n:
+            np.cumsum(local_lens, out=indptr[1:])
+        if edges:
+            indices[:] = np.fromiter(
+                (t for row in self._succ_local for t in row),
+                dtype=np.int64,
+                count=edges,
+            )
+        r_indptr[0] = 0
+        if n:
+            np.cumsum(remote_lens, out=r_indptr[1:])
+        # Remote ObjectIds interned in first-seen slot order: deterministic
+        # given the mirror, and only ever consumed order-insensitively.
+        r_oids: List[ObjectId] = []
+        r_map: Dict[ObjectId, int] = {}
+        if remote_edges:
+            fill = r_indices
+            pos = 0
+            for row in self._succ_remote:
+                for target in row:
+                    rid = r_map.get(target)
+                    if rid is None:
+                        rid = len(r_oids)
+                        r_map[target] = rid
+                        r_oids.append(target)
+                    fill[pos] = rid
+                    pos += 1
+        self._csr = FlatCsr(indptr, indices, r_indptr, r_indices, r_oids)
+        self._csr_epoch = self._graph_epoch
+        return self._csr
 
     def check_flat_mirror(self) -> None:
         """Assert mirror == object map (test/debug support; O(V+E))."""
@@ -225,6 +409,7 @@ class Heap:
         self.objects_allocated += 1
         if persistent_root:
             self._persistent_roots.add(oid)
+        self._publish_alive_count()
         self.bump_epoch()
         return obj
 
@@ -370,6 +555,7 @@ class Heap:
             deleted.append(oid)
         self.objects_collected += len(deleted)
         if deleted:
+            self._publish_alive_count()
             self.bump_epoch()
         return deleted
 
@@ -379,6 +565,7 @@ class Heap:
         if obj is not None:
             self._oid_set.discard(oid)
             self._retire(obj)
+            self._publish_alive_count()
             self.bump_epoch()
         self._persistent_roots.discard(oid)
         self._variable_roots.pop(oid, None)

@@ -113,5 +113,6 @@ def _twin_run(workers, seed):
     return json.dumps(snap, sort_keys=True)
 
 
-def test_parallel_twin_is_byte_identical_under_fault_plan():
-    assert _twin_run(1, seed=17) == _twin_run(2, seed=17)
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_twin_is_byte_identical_under_fault_plan(workers):
+    assert _twin_run(1, seed=17) == _twin_run(workers, seed=17)

@@ -40,12 +40,13 @@ GC = dict(
 NETWORK = dict(min_latency=5.0, max_latency=20.0, pair_rng_streams=True)
 
 
-def _build(workers, seed):
+def _build(workers, seed, **overrides):
     config = SimulationConfig(
         seed=seed,
         gc=GcConfig(**GC),
         network=NetworkConfig(**NETWORK),
         parallel_workers=workers,
+        **overrides,
     )
     sim = Simulation.create(config)
     sim.add_sites(SITES, auto_gc=True)
@@ -74,13 +75,13 @@ def _snapshot_bytes(sim):
     return json.dumps(snap, sort_keys=True)
 
 
-def _run_scenario(workers, seed, crash=False):
+def _run_scenario(workers, seed, crash=False, **overrides):
     """The e13-shaped workload: churn + doomed ring + GC rounds.
 
     Returns (snapshot_json, trace_outcomes, churn_ops).  The sequential twin
     (workers == 1) is oracle-audited along the way.
     """
-    sim = _build(workers, seed)
+    sim = _build(workers, seed, **overrides)
     doomed = build_ring_cycle(sim, SITES[:6])
     build_ring_cycle(sim, SITES[::2])  # a live ring that must survive
     churn = SiteChurn(sim, SITES, ChurnConfig(mean_interval=4.0))
@@ -217,3 +218,85 @@ def test_post_fork_guardrails():
     with pytest.raises(SimulationError, match="closed"):
         sim.run_for(10.0)
     sim.close()  # idempotent
+
+
+# -- wire modes and numpy availability ---------------------------------------
+
+
+def test_legacy_wire_mode_is_byte_identical():
+    # packed_wire=False / shared_arena=False is the pickled-list baseline the
+    # e19 bench compares against; it must stay a perfect twin too.
+    seq = _run_scenario(1, seed=31)
+    legacy = _run_scenario(4, seed=31, packed_wire=False, shared_arena=False)
+    assert legacy == seq
+
+
+def test_numpy_free_workers_are_byte_identical(monkeypatch):
+    # Simulate the no-numpy install: the vector kernel and CSR mirror are
+    # gone, the packed wire and arena degrade gracefully (the arena itself
+    # is pure stdlib), and the twins must still match a numpy-enabled
+    # sequential run.  Patching before the fork makes every worker inherit
+    # the numpy-free view.
+    import repro.core.distance as distance_mod
+    import repro.store.heap as heap_mod
+
+    seq = _run_scenario(1, seed=41)
+    monkeypatch.setattr(distance_mod, "np", None)
+    monkeypatch.setattr(heap_mod, "np", None)
+    numpy_free = _run_scenario(4, seed=41)
+    assert numpy_free == seq
+
+
+def test_coordination_stats_count_packed_traffic():
+    sim = _build(4, seed=3)
+    churn = SiteChurn(sim, SITES, ChurnConfig(mean_interval=4.0))
+    churn.start(until=250.0)
+    sim.run_for(300.0)
+    stats = sim.coordination_stats()
+    sim.close()
+    assert stats["packed_wire"] == 1
+    assert stats["windows"] > 0
+    assert stats["bytes_sent"] > 0 and stats["bytes_recv"] > 0
+    assert stats["cross_shard_messages"] == (
+        stats["payloads_packed"] + stats["payloads_pickled"]
+    )
+    # Every hot-path payload kind in this workload has a packed encoding.
+    assert stats["payloads_pickled"] == 0
+
+
+# -- persistent pool lifecycle -----------------------------------------------
+
+
+def test_worker_crash_mid_run_raises_cleanly():
+    import os
+    import signal
+
+    sim = _build(4, seed=5)
+    sim.run_for(20.0)  # forks
+    assert sim._forked
+    victim = sim._pool.workers[1].process
+    os.kill(victim.pid, signal.SIGKILL)
+    with pytest.raises(SimulationError, match="died"):
+        # The dead pipe raises EOFError on the next exchange -- a prompt,
+        # attributable error instead of a hang.
+        sim.run_for(500.0)
+    # Every worker was reaped with the failure.
+    for worker in sim._pool.workers:
+        assert not worker.process.is_alive()
+    sim.close()  # idempotent after a crash teardown
+
+
+def test_close_reaps_children_and_context_manager_closes():
+    sim = _build(2, seed=6)
+    sim.run_for(20.0)
+    processes = [worker.process for worker in sim._pool.workers]
+    assert all(process.is_alive() for process in processes)
+    sim.close()
+    assert all(not process.is_alive() for process in processes)
+
+    with _build(2, seed=6) as sim2:
+        sim2.run_for(20.0)
+        processes = [worker.process for worker in sim2._pool.workers]
+    assert all(not process.is_alive() for process in processes)
+    with pytest.raises(SimulationError, match="closed"):
+        sim2.run_for(1.0)

@@ -116,6 +116,15 @@ def test_planner_requires_positive_lookahead():
         SafeTimePlanner(0.0)
 
 
+def test_planner_horizon_accepts_any_iterable():
+    planner = SafeTimePlanner(1.0)
+    # The coordinator passes a generator over its worker handles; the
+    # planner must not require a materialized sequence.
+    assert planner.horizon(t for t in (5.0, 2.0, 9.0)) == 2.0
+    assert planner.horizon(iter([])) == INF
+    assert planner.horizon(map(float, range(3, 7))) == 3.0
+
+
 def test_planner_window_is_horizon_plus_lookahead_clamped():
     planner = SafeTimePlanner(2.0)
     target = math.nextafter(10.0, INF)
