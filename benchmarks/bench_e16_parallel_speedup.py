@@ -59,16 +59,19 @@ def run_engine(workers, n_sites=N_SITES, duration=DURATION, seed=3, gc_features=
     started = time.perf_counter()
     fired = sim.run_for(duration)
     wall_seconds = time.perf_counter() - started
+    coordination = None
     if isinstance(sim, ParallelSimulation):
         final = sim.snapshot()
         metrics = sim.merged_metrics()
+        if sim.parallel_active:
+            coordination = sim.coordination_stats()
         sim.close()
     else:
         from repro.analysis.export import snapshot
 
         final = snapshot(sim)
         metrics = sim.metrics
-    return {
+    row = {
         "workers": workers,
         "events": fired,
         "wall_seconds": wall_seconds,
@@ -77,6 +80,16 @@ def run_engine(workers, n_sites=N_SITES, duration=DURATION, seed=3, gc_features=
         "messages": metrics.count("messages.total"),
         "snapshot": final,
     }
+    if coordination is not None:
+        windows = max(1, coordination["windows"])
+        row.update(
+            windows=coordination["windows"],
+            eot_jumps=coordination["eot_jumps"],
+            quiescence_jumps=coordination["quiescence_jumps"],
+            pipelined_windows=coordination["pipelined_windows"],
+            msgs_per_window=coordination["cross_shard_messages"] / windows,
+        )
+    return row
 
 
 def run_comparison(n_sites=N_SITES, duration=DURATION, worker_counts=(1, 2, 4)):
@@ -140,6 +153,8 @@ if __name__ == "__main__":
 
     smoke = "--smoke" in sys.argv
     n_sites = 16 if smoke else N_SITES
+    if "--sites" in sys.argv:
+        n_sites = int(sys.argv[sys.argv.index("--sites") + 1])
     duration = 400.0 if smoke else DURATION
     stats = run_comparison(n_sites=n_sites, duration=duration)
     # The sequential baseline above uses the flat-graph kernel (the default);

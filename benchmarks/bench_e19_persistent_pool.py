@@ -19,7 +19,10 @@ header + the regenerated E16 segment + this E19 segment):
 
     PYTHONPATH=src python benchmarks/bench_e19_persistent_pool.py > BENCH_parallel_sim.json
 
-``--smoke`` shrinks both segments for CI.
+``--smoke`` shrinks every segment for CI; ``--sites N`` overrides the
+throughput site count.  The regenerated document also carries fixed-vs-
+demand window-planner scale points (256 and 1024 sites) and the E20
+window-planning segment.
 """
 
 import os
@@ -46,7 +49,9 @@ OVERHEAD_DURATION = 400.0
 OVERHEAD_WORKERS = 4
 
 
-def _build(workers, n_sites, seed=3, packed=True, arena=True):
+def _build(
+    workers, n_sites, seed=3, packed=True, arena=True, planner=None, churn_until=None
+):
     config = SimulationConfig(
         seed=seed,
         network=NetworkConfig(**NETWORK),
@@ -54,14 +59,15 @@ def _build(workers, n_sites, seed=3, packed=True, arena=True):
         parallel_workers=workers,
         packed_wire=packed,
         shared_arena=arena,
+        **({} if planner is None else {"window_planner": planner}),
     )
     sim = Simulation.create(config)
-    sites = [f"s{i:03d}" for i in range(n_sites)]
+    sites = [f"s{i:04d}" for i in range(n_sites)]
     sim.add_sites(sites, auto_gc=True)
     churn = SiteChurn(
         sim, sites, ChurnConfig(mean_interval=3.0, send_weight=2.5)
     )
-    churn.start()
+    churn.start(until=churn_until)
     return sim
 
 
@@ -82,7 +88,13 @@ def run_throughput(workers, n_sites=N_SITES, duration=DURATION, seed=3):
     if parallel and sim.parallel_active:
         stats = sim.coordination_stats()
         row["windows"] = stats["windows"]
+        row["eot_jumps"] = stats["eot_jumps"]
+        row["quiescence_jumps"] = stats["quiescence_jumps"]
+        row["pipelined_windows"] = stats["pipelined_windows"]
         row["cross_shard_messages"] = stats["cross_shard_messages"]
+        row["msgs_per_window"] = stats["cross_shard_messages"] / max(
+            1, stats["windows"]
+        )
         snap = sim.snapshot()
         sim.close()
     else:
@@ -180,6 +192,52 @@ def run_overhead_comparison(n_sites=OVERHEAD_SITES, duration=OVERHEAD_DURATION):
     return results
 
 
+def run_scale_point(n_sites, duration, workers=4, seed=3):
+    """Fixed vs demand window planning at one site-count scale.
+
+    An e13-style steady state: churn for the first quarter of the run, then
+    a quiet tail of periodic GC -- the regime the demand planner exists
+    for.  Only window/jump counters are compared (plus twin snapshots);
+    wall time is recorded for honesty, never asserted.
+    """
+    churn_until = duration / 4.0
+    rows = {}
+    for planner in ("fixed", "demand"):
+        sim = _build(
+            workers, n_sites, seed=seed, planner=planner, churn_until=churn_until
+        )
+        started = time.perf_counter()
+        fired = sim.run_for(duration)
+        wall_seconds = time.perf_counter() - started
+        stats = sim.coordination_stats()
+        snap = sim.snapshot()
+        sim.close()
+        windows = max(1, stats["windows"])
+        rows[planner] = {
+            "events": fired,
+            "wall_seconds": wall_seconds,
+            "windows": stats["windows"],
+            "eot_jumps": stats["eot_jumps"],
+            "quiescence_jumps": stats["quiescence_jumps"],
+            "pipelined_windows": stats["pipelined_windows"],
+            "cross_shard_messages": stats["cross_shard_messages"],
+            "msgs_per_window": stats["cross_shard_messages"] / windows,
+            "snapshot": snap,
+        }
+    identical = rows["fixed"].pop("snapshot") == rows["demand"].pop("snapshot")
+    return {
+        "sites": n_sites,
+        "duration": duration,
+        "workers": workers,
+        "churn_until": churn_until,
+        "snapshots_identical": identical,
+        "window_reduction": rows["fixed"]["windows"]
+        / max(1, rows["demand"]["windows"]),
+        "fixed": rows["fixed"],
+        "demand": rows["demand"],
+    }
+
+
 # -- pytest entry points -----------------------------------------------------
 
 
@@ -225,14 +283,22 @@ def test_e19_speedup_at_256_sites(benchmark):
 
 if __name__ == "__main__":
     # Standalone mode: regenerate the whole BENCH_parallel_sim.json --
-    # host header, the E16 segment (engine comparison at 64 sites), and
-    # this E19 segment (persistent pool at 256 sites + overhead).
+    # host header, the E16 segment (engine comparison at 64 sites), the
+    # E19 segment (persistent pool + overhead, plus 256- and 1024-site
+    # planner scale points), and the E20 segment (window planning).
+    # ``--sites N`` overrides the throughput site count.
     import json
     import sys
 
     import bench_e16_parallel_speedup as e16
+    import bench_e20_window_planning as e20
 
     smoke = "--smoke" in sys.argv
+    sites_override = (
+        int(sys.argv[sys.argv.index("--sites") + 1])
+        if "--sites" in sys.argv
+        else None
+    )
     e16_stats = e16.run_comparison(
         n_sites=16 if smoke else e16.N_SITES,
         duration=400.0 if smoke else e16.DURATION,
@@ -254,16 +320,31 @@ if __name__ == "__main__":
 
     e19_segment = {
         "throughput": run_throughput_comparison(
-            n_sites=32 if smoke else N_SITES,
+            n_sites=sites_override or (32 if smoke else N_SITES),
             duration=300.0 if smoke else DURATION,
         ),
         "coordination_overhead": run_overhead_comparison(
             n_sites=16 if smoke else OVERHEAD_SITES,
             duration=200.0 if smoke else OVERHEAD_DURATION,
         ),
+        "planner_scale_points": [
+            run_scale_point(n_sites, duration)
+            for n_sites, duration in (
+                ((64, 400.0),) if smoke else ((256, 1200.0), (1024, 600.0))
+            )
+        ],
     }
 
-    results = {"host": host_header(), "e16": e16_segment, "e19": e19_segment}
+    e20_segment = e20.run_comparison(
+        duration=6000.0 if smoke else e20.DURATION
+    )
+
+    results = {
+        "host": host_header(),
+        "e16": e16_segment,
+        "e19": e19_segment,
+        "e20": e20_segment,
+    }
     json.dump(results, sys.stdout, indent=2)
     print()
     ok = (
@@ -271,6 +352,12 @@ if __name__ == "__main__":
         and e19_segment["throughput"]["snapshots_identical"]
         and e19_segment["coordination_overhead"]["snapshots_identical"]
         and e19_segment["coordination_overhead"]["pickled_msgs_drop_at_least_5x"]
+        and all(
+            point["snapshots_identical"]
+            for point in e19_segment["planner_scale_points"]
+        )
+        and e20_segment["snapshots_identical"]
+        and e20_segment["window_reduction"] >= (4.0 if smoke else 5.0)
     )
     if not ok:
         sys.exit(1)

@@ -1,0 +1,201 @@
+"""E20 (extension) -- Demand-driven window planning vs the fixed step.
+
+The PR-6 coordinator planned every safe-time window as ``horizon +
+min_latency``: sound, but blind.  A steady-state workload -- a burst of
+churn followed by a long quiet tail of periodic GC ticks that provably send
+nothing -- pays one coordination round trip per lookahead step forever.
+The demand planner (``SimulationConfig.window_planner="demand"``) lets each
+shard advertise its earliest output time, looks through provably-quiet
+GC-tick chains, and jumps the whole quiet tail in one window.
+
+Measured here, fixed vs demand on the same seed at 4 workers:
+
+1. **Window count** -- the headline.  Window counts are a pure function of
+   the event timeline and the planner (replies are drained in worker order;
+   nothing is wall-clock-raced), so the >= 5x reduction is asserted
+   deterministically and is NOT gated on host core count.
+2. **Byte-identity** -- both planners, and the sequential engine, must
+   produce the identical final snapshot: window boundaries decide how often
+   the coordinator synchronizes, never what executes.
+3. **Wall clock** -- recorded for honesty, never asserted: fewer round
+   trips help even on one core, but by how much is host-dependent.
+"""
+
+import time
+
+from repro import GcConfig, NetworkConfig, Simulation, SimulationConfig
+from repro.harness.report import Table
+from repro.workloads import ChurnConfig, SiteChurn
+
+N_SITES = 16
+WORKERS = 4
+DURATION = 8000.0
+#: Churn stops at this simulated time; the rest of the run is the quiet
+#: tail of GC ticks that the demand planner collapses.
+CHURN_UNTIL = 300.0
+NETWORK = dict(min_latency=8.0, max_latency=24.0, pair_rng_streams=True)
+#: A long full-trace cycle (16 incremental traces per full, full refresh
+#: every 8 fulls) gives the quiet-tick predictor long provably-silent
+#: chains to advertise.
+GC = dict(
+    local_trace_period=150.0,
+    local_trace_period_jitter=30.0,
+    full_trace_every_n=16,
+    full_update_period=8,
+)
+REDUCTION_FLOOR = 5.0
+
+
+def _build(planner, workers, n_sites, seed, churn_until):
+    config = SimulationConfig(
+        seed=seed,
+        network=NetworkConfig(**NETWORK),
+        gc=GcConfig(**GC),
+        parallel_workers=workers,
+        window_planner=planner,
+    )
+    sim = Simulation.create(config)
+    sites = [f"s{i:03d}" for i in range(n_sites)]
+    sim.add_sites(sites, auto_gc=True)
+    churn = SiteChurn(sim, sites, ChurnConfig(mean_interval=7.0))
+    churn.start(until=churn_until)
+    return sim
+
+
+def run_planner(
+    planner,
+    workers=WORKERS,
+    n_sites=N_SITES,
+    duration=DURATION,
+    churn_until=CHURN_UNTIL,
+    seed=7,
+):
+    """One run; returns wall time, coordination counters, and the snapshot."""
+    sim = _build(planner, workers, n_sites, seed, churn_until)
+    started = time.perf_counter()
+    fired = sim.run_until(duration)
+    wall_seconds = time.perf_counter() - started
+    row = {
+        "planner": planner,
+        "workers": workers,
+        "events": fired,
+        "wall_seconds": wall_seconds,
+    }
+    if getattr(sim, "parallel_active", False):
+        stats = sim.coordination_stats()
+        windows = max(1, stats["windows"])
+        row.update(
+            windows=stats["windows"],
+            eot_jumps=stats["eot_jumps"],
+            quiescence_jumps=stats["quiescence_jumps"],
+            pipelined_windows=stats["pipelined_windows"],
+            cross_shard_messages=stats["cross_shard_messages"],
+            msgs_per_window=stats["cross_shard_messages"] / windows,
+        )
+        row["snapshot"] = sim.snapshot()
+        sim.close()
+    else:
+        from repro.analysis.export import graph_snapshot
+
+        row["snapshot"] = graph_snapshot(sim)
+    return row
+
+
+def run_comparison(
+    n_sites=N_SITES,
+    duration=DURATION,
+    workers=WORKERS,
+    churn_until=CHURN_UNTIL,
+):
+    """Fixed vs demand at ``workers``, plus the sequential twin."""
+    fixed = run_planner(
+        "fixed", workers, n_sites, duration, churn_until
+    )
+    demand = run_planner(
+        "demand", workers, n_sites, duration, churn_until
+    )
+    sequential = run_planner(
+        "demand", 1, n_sites, duration, churn_until
+    )
+    snapshots = [row.pop("snapshot") for row in (fixed, demand, sequential)]
+    reduction = fixed["windows"] / max(1, demand["windows"])
+    return {
+        "sites": n_sites,
+        "workers": workers,
+        "duration": duration,
+        "churn_until": churn_until,
+        "snapshots_identical": all(s == snapshots[0] for s in snapshots),
+        "fixed": fixed,
+        "demand": demand,
+        "sequential": sequential,
+        "window_reduction": reduction,
+        "window_reduction_at_least_5x": reduction >= REDUCTION_FLOOR,
+    }
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_e20_window_reduction(benchmark, record_table):
+    """Deterministic >= 5x window reduction; identical snapshots.
+
+    Window counts are host-independent (see module docstring), so unlike
+    the wall-clock speedup benches this assertion is NOT cpu-gated.
+    """
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table = Table(
+        "E20: window planning, fixed vs demand "
+        f"({N_SITES} sites, {WORKERS} workers, {DURATION:.0f} time units)",
+        ["planner", "windows", "eot", "quiesce", "piped", "msgs/win", "wall (s)"],
+    )
+    for key in ("fixed", "demand"):
+        row = results[key]
+        table.add_row(
+            row["planner"],
+            row["windows"],
+            row["eot_jumps"],
+            row["quiescence_jumps"],
+            row["pipelined_windows"],
+            f"{row['msgs_per_window']:.2f}",
+            f"{row['wall_seconds']:.3f}",
+        )
+    record_table("e20_window_planning", table)
+
+    assert results["snapshots_identical"]
+    assert results["fixed"]["events"] == results["demand"]["events"]
+    assert results["demand"]["events"] == results["sequential"]["events"]
+    # Same messages crossed shards; only the number of round trips changed.
+    assert (
+        results["fixed"]["cross_shard_messages"]
+        == results["demand"]["cross_shard_messages"]
+    )
+    assert results["window_reduction_at_least_5x"], results["window_reduction"]
+    # The fixed planner must never jump or pipeline (A/B purity).
+    assert results["fixed"]["eot_jumps"] == 0
+    assert results["fixed"]["quiescence_jumps"] == 0
+    assert results["fixed"]["pipelined_windows"] == 0
+
+
+if __name__ == "__main__":
+    # Standalone mode: emit the comparison as JSON (the combined
+    # BENCH_parallel_sim.json is regenerated by bench_e19_persistent_pool).
+    # ``--smoke`` shortens the tail but keeps the reduction assertion.
+    import json
+    import sys
+
+    try:
+        from .hostinfo import host_header
+    except ImportError:
+        from hostinfo import host_header
+
+    smoke = "--smoke" in sys.argv
+    results = run_comparison(duration=6000.0 if smoke else DURATION)
+    results["host"] = host_header()
+    json.dump(results, sys.stdout, indent=2)
+    print()
+    floor = 4.0 if smoke else REDUCTION_FLOOR
+    if not (
+        results["snapshots_identical"]
+        and results["window_reduction"] >= floor
+    ):
+        sys.exit(1)

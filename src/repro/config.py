@@ -290,6 +290,17 @@ class SimulationConfig:
     gc: GcConfig = field(default_factory=GcConfig)
     parallel_workers: int = 1
     shard_policy: str = "contiguous"
+    # Safe-time window planner for the parallel engine.  "demand" (default):
+    # every window reply advertises the shard's earliest-output-time (its
+    # earliest pending event -- quiet GC-tick chains looked through -- plus
+    # its minimum outbound latency) and the coordinator plans the next bound
+    # as min(advertised EOTs, target), jumping quiet stretches in one window
+    # and pipelining the next dispatch when nothing was routed.  "fixed" is
+    # the legacy planner (bound = horizon + min_latency each round) kept for
+    # A/B benchmarking; both produce byte-identical simulation results --
+    # window partitioning never changes what executes, only how often the
+    # coordinator synchronizes.
+    window_planner: str = "demand"
     # Packed wire format for coordinator<->worker traffic: hot cross-shard
     # payload kinds ship as struct-packed int records batched per (window,
     # destination shard) instead of pickled Message objects
@@ -319,4 +330,9 @@ class SimulationConfig:
             raise ConfigError(
                 "shard_policy must be 'contiguous' or 'round_robin', "
                 f"got {self.shard_policy!r}"
+            )
+        if self.window_planner not in ("demand", "fixed"):
+            raise ConfigError(
+                "window_planner must be 'demand' or 'fixed', "
+                f"got {self.window_planner!r}"
             )

@@ -209,6 +209,44 @@ class LocalCollector:
         """Book-keeping for a tick resolved without any trace."""
         self.metrics.incr("gc.traces_skipped")
 
+    def predict_quiet_ticks(self, variable_outrefs: Iterable[ObjectId] = ()) -> int:
+        """How many upcoming gc ticks provably send nothing, absent new input.
+
+        A side-effect-free twin of :meth:`plan_trace`'s skip test (that
+        method mutates the tick counter, so the parallel engine's
+        earliest-output-time scan cannot simply call it): with every
+        mutation epoch equal to the cached trace's and the variable-root set
+        unchanged, the next ``full_trace_every_n - _ticks_since_full`` ticks
+        resolve as skips.  In delta mode the budget-exhausting *forced full*
+        is looked through as well: with the shipped epoch also current, its
+        recomputation equals the cache and :meth:`_build_delta_updates`
+        ships nothing -- unless that full lands on the periodic
+        full-refresh cadence, which is where the prediction stops.  The
+        count is a conservative lower bound, never exact: any event that
+        perturbs the site before a predicted tick fires makes later ticks
+        louder, and the caller's safety argument must (and does) charge
+        such perturbations to the perturbing event instead.
+        """
+        cache = self._cached
+        if not self.config.incremental_traces or cache is None:
+            return 0
+        if self._current_epochs() != cache.epochs:
+            return 0
+        if frozenset(variable_outrefs) != cache.variable_outrefs:
+            return 0
+        quiet = max(0, self.config.full_trace_every_n - self._ticks_since_full)
+        if self._delta_mode and self._shipped_epoch == self.outrefs.mutation_epoch:
+            # Each silent forced full resets the skip budget: one full tick
+            # plus a fresh run of skips, repeated until a full lands on the
+            # refresh cadence ((_full_traces_run - 1) % period == 0 at
+            # build time, i.e. the k-th future full is loud when
+            # (_full_traces_run + k - 1) % period == 0).
+            fulls = self._full_traces_run
+            while fulls % self.config.full_update_period != 0:
+                quiet += 1 + self.config.full_trace_every_n
+                fulls += 1
+        return quiet
+
     # -- computation ------------------------------------------------------------
 
     def compute(

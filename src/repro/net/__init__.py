@@ -7,7 +7,13 @@ crashed destinations.
 """
 
 from .message import Message, Payload
-from .latency import ConstantLatency, ExponentialLatency, LatencyModel, UniformLatency
+from .latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+    ZonedLatency,
+)
 from .network import Network
 
 __all__ = [
@@ -17,5 +23,6 @@ __all__ = [
     "ConstantLatency",
     "UniformLatency",
     "ExponentialLatency",
+    "ZonedLatency",
     "Network",
 ]

@@ -179,6 +179,31 @@ class Network:
     def shard_sites(self) -> Optional[Set[SiteId]]:
         return None if self._shard_sites is None else set(self._shard_sites)
 
+    def min_cross_latency(self, sites: Set[SiteId]) -> Optional[float]:
+        """Tightest known floor on any delay leaving ``sites``, or ``None``.
+
+        The minimum of :meth:`LatencyModel.min_delay` over every ordered
+        (inside, outside) pair -- the shard-level outbound lookahead of the
+        demand-driven window planner.  Shard-level (not per-site) because a
+        message can hop cheaply *within* the shard before exiting: only the
+        final cross-boundary hop is guaranteed, and that hop costs at least
+        this minimum whatever path preceded it.  ``None`` when the model
+        declines a bound for any pair (callers fall back to
+        ``NetworkConfig.min_latency``) or when no site is outside.
+        """
+        best: Optional[float] = None
+        outside = [dst for dst in self._endpoints if dst not in sites]
+        if not outside:
+            return None
+        for src in sites:
+            for dst in outside:
+                bound = self._latency.min_delay(src, dst)
+                if bound is None:
+                    return None
+                if best is None or bound < best:
+                    best = bound
+        return best
+
     def deliver_remote(self, message: Message) -> None:
         """Deliver a message routed in from another shard.
 

@@ -4,24 +4,59 @@ The sequential :class:`~repro.sim.simulation.Simulation` executes every
 site's events on one scheduler.  This module partitions the sites across N
 worker processes, each running its own :class:`~repro.sim.scheduler.Scheduler`
 over its shard's events, and synchronizes the shards with conservative
-lookahead in the Chandy--Misra--Bryant style:
+lookahead in the Chandy--Misra--Bryant style.  Two window planners exist
+(``SimulationConfig.window_planner``); both produce byte-identical
+simulation results, because window boundaries only decide how often the
+coordinator synchronizes, never what executes:
 
-- The coordinator repeatedly computes a *global safe time*
+- **fixed** (the legacy planner): the coordinator repeatedly computes
   ``safe = min(horizon + lookahead, target)`` where ``horizon`` is the
   minimum over all shards of the earliest unexecuted event (including
   cross-shard messages still being routed) and ``lookahead`` is
   ``NetworkConfig.min_latency``.
-- Every shard then fires all of its events *strictly below* ``safe``
-  (:meth:`Scheduler.run_until_before`) and hands the coordinator any
-  messages addressed outside the shard.
+- **demand** (the default): every window reply advertises the shard's
+  *earliest output time* (EOT) -- the earliest instant at which anything
+  the shard still holds could put a message on another shard's doorstep --
+  and the coordinator plans ``safe = min(advertised EOTs, pending-message
+  cascades, target)``.  A shard's EOT is the minimum over its live events
+  of ``event time + shard lookahead``, where the shard lookahead is the
+  tightest per-pair latency floor over its outbound links
+  (:meth:`Network.min_cross_latency`, falling back to ``min_latency``),
+  and provably-quiet GC-tick chains are looked *through*
+  (:meth:`Site.quiet_gc_ticks`): a tick that will skip -- and, in delta
+  mode, a forced full trace that will recompute the cached result and ship
+  nothing -- contributes its first possibly-sending successor instead of
+  itself.  Quiet stretches thus collapse into one window (a *quiescence
+  jump* goes straight to the target), and when a window was dispatched
+  with no routed input the next window command is issued before all
+  replies are drained (*pipelined dispatch*), overlapping worker compute
+  with coordination.
 
-Safety: an event executed inside a window has timestamp >= ``horizon``, so
-any message it sends arrives at ``>= horizon + min_latency >= safe`` --
-beyond every shard's executed frontier.  No shard can ever receive a message
-in its past, hence no rollback is needed.  Progress: each round either fires
-the horizon event or routes the horizon message, so rounds terminate; this
-requires ``min_latency > 0`` (with zero lookahead no window has positive
-width, and the engine falls back to the sequential path with a warning).
+Every shard fires its events *strictly below* ``safe``
+(:meth:`Scheduler.run_until_before`) and hands the coordinator any messages
+addressed outside the shard.
+
+Safety (fixed): an event executed inside a window has timestamp >=
+``horizon``, so any message it sends arrives at ``>= horizon + min_latency
+>= safe`` -- beyond every shard's executed frontier.  Safety (demand): any
+message produced during the window traces back to some event that was live
+when the EOTs were computed -- directly, through a cascade of derived
+events (each no earlier than its parent), or through a quiet-tick chain
+perturbed by such an event -- and therefore delivers at or after that
+event's EOT term, hence at or after ``safe``.  Pending cross-shard
+messages awaiting routing contribute ``deliver_at + destination-shard
+lookahead`` terms for the cascades their delivery can start.  Pipelined
+dispatch additionally relies on EOT *monotonicity under no input*: a shard
+that received nothing can only get quieter, so the EOT it advertised one
+window ago still lower-bounds everything it will output, which is why the
+pipeline only engages when the previous window routed zero messages.  The
+coordinator asserts the invariant at runtime: every routed message it
+absorbs must deliver at or after the latest dispatched window bound.  No
+shard can ever receive a message in its past, hence no rollback is needed.
+Progress: every EOT term exceeds the horizon by at least the smallest
+shard lookahead, so each round strictly advances; this requires
+``min_latency > 0`` (with zero lookahead no window has positive width, and
+the engine falls back to the sequential path with a warning).
 
 Determinism: per-ordered-pair network RNG streams
 (``NetworkConfig.pair_rng_streams``, forced on by this engine) make every
@@ -68,10 +103,10 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..config import SimulationConfig
 from ..errors import SimulationError
 from ..ids import ObjectId, SiteId
-from ..metrics import MetricsRecorder
+from ..metrics import MetricsRecorder, names as metric_names
 from ..net.latency import LatencyModel
 from ..net.message import Message
-from ..net.wire import WireCodec
+from ..net.wire import WireCodec, pack_reply_meta, unpack_reply_meta
 from ..store.shm import create_arena
 from .simulation import Simulation
 
@@ -197,6 +232,40 @@ class _Stop(Exception):
     """Internal: the worker was asked to shut down."""
 
 
+def _shard_eot(sim: Simulation, lookahead: float) -> float:
+    """Earliest instant this shard could put a message on another shard.
+
+    The minimum over live events of ``adjusted time + lookahead``, where
+    ``lookahead`` is the shard's tightest outbound latency floor.  Sound for
+    everything a window can make the shard do: an executed event sends no
+    earlier than its own timestamp; derived events (retries, trace frames,
+    delivery cascades) never precede the event that scheduled them; and a
+    routed-in message perturbing local state is itself covered by the
+    coordinator's pending-message terms.
+
+    GC-tick events are adjusted forward across their provably-quiet
+    successors (:meth:`Site.quiet_gc_ticks`): ``k`` quiet ticks push the
+    first possibly-sending tick of the chain to at least ``k`` full periods
+    later (jitter only adds).  A local event that would invalidate the
+    prediction executes before the tick it perturbs, so the perturbed tick
+    fires no earlier than that event -- whose own EOT term already bounds
+    the window.
+    """
+    period = sim.config.gc.local_trace_period
+    sites = sim.sites
+    eot = _INF
+    for time, label, site_id in sim.scheduler.live_events():
+        if (
+            site_id is not None
+            and label is not None
+            and label.startswith("gc-tick:")
+        ):
+            time += sites[site_id].quiet_gc_ticks() * period
+        if time + lookahead < eot:
+            eot = time + lookahead
+    return eot
+
+
 def _schedule_incoming(sim: Simulation, incoming: List[RoutedMessage]) -> None:
     """Schedule routed-in messages at their sender-fixed delivery times.
 
@@ -279,6 +348,7 @@ def _worker_main(
     sim: Simulation,
     wire_sites: Optional[List[SiteId]],
     arena,
+    demand_eot: bool,
 ) -> None:
     """Entry point of a forked shard worker.
 
@@ -286,19 +356,29 @@ def _worker_main(
     scheduler to its shard, puts the network into shard mode, re-homes its
     heaps into the shared arena (when one exists), and then obeys
     coordinator commands.  Every reply is a uniform
-    ``("ok", payload, outgoing, next_event_time, events_fired)`` tuple (or
-    ``("error", traceback_text)``), so the coordinator always learns the
-    shard's new frontier and pending cross-shard messages in one exchange.
-    With a wire codec (``wire_sites`` given), ``incoming``/``outgoing`` are
-    packed record blobs instead of pickled RoutedMessage lists.
+    ``("ok", payload, outgoing, meta)`` tuple (or
+    ``("error", traceback_text)``) where ``meta`` packs the shard's new
+    frontier, its earliest output time, and the events fired
+    (:func:`~repro.net.wire.pack_reply_meta`), so the coordinator always
+    learns the shard's state and pending cross-shard messages in one
+    exchange.  With ``demand_eot`` off (the fixed planner) the EOT scan is
+    skipped entirely and the advertised EOT is ``inf`` -- the legacy
+    planner never reads it, and A/B benchmarks stay cost-fair.  With a wire
+    codec (``wire_sites`` given), ``incoming``/``outgoing`` are packed
+    record blobs instead of pickled RoutedMessage lists.
     """
     shard = set(shard_sites)
     channel = _Channel(conn)
     outbox: List[RoutedMessage] = []
     codec = WireCodec(wire_sites) if wire_sites is not None else None
+    lookahead = sim.config.network.min_latency
     try:
         sim.scheduler.retain_sites(shard)
         sim.network.attach_shard(shard, outbox)
+        if demand_eot:
+            bound = sim.network.min_cross_latency(shard)
+            if bound is not None:
+                lookahead = bound
         if arena is not None:
             for site_id in shard:
                 sim.sites[site_id].heap.attach_shared_region(
@@ -317,7 +397,11 @@ def _worker_main(
         del outbox[:]
         return outgoing
 
-    channel.send(("ok", None, packed_outgoing(), sim.scheduler.next_event_time(), 0))
+    def reply_meta(fired: int) -> bytes:
+        eot = _shard_eot(sim, lookahead) if demand_eot else _INF
+        return pack_reply_meta(sim.scheduler.peek_time(), eot, fired)
+
+    channel.send(("ok", None, packed_outgoing(), reply_meta(0)))
     while True:
         try:
             command = channel.recv()
@@ -332,21 +416,15 @@ def _worker_main(
                 )
             payload, fired = _execute(sim, shard, command)
         except _Stop:
-            channel.send(("ok", None, packed_outgoing(), _INF, 0))
+            channel.send(
+                ("ok", None, packed_outgoing(), pack_reply_meta(_INF, _INF, 0))
+            )
             break
         except Exception:
             del outbox[:]
             channel.send(("error", traceback.format_exc()))
             continue
-        channel.send(
-            (
-                "ok",
-                payload,
-                packed_outgoing(),
-                sim.scheduler.next_event_time(),
-                fired,
-            )
-        )
+        channel.send(("ok", payload, packed_outgoing(), reply_meta(fired)))
     if arena is not None:
         for site_id in shard:
             sim.sites[site_id].heap.detach_shared_region()
@@ -362,7 +440,14 @@ def _worker_main(
 class _WorkerHandle:
     """Coordinator-side bookkeeping for one shard worker."""
 
-    __slots__ = ("process", "channel", "shard", "shard_indices", "next_time")
+    __slots__ = (
+        "process",
+        "channel",
+        "shard",
+        "shard_indices",
+        "next_time",
+        "eot",
+    )
 
     def __init__(self, process, channel: _Channel, shard: Set[SiteId]):
         self.process = process
@@ -370,6 +455,8 @@ class _WorkerHandle:
         self.shard = shard
         self.shard_indices: Set[int] = set()
         self.next_time = _INF
+        #: Last advertised earliest-output-time (inf under the fixed planner).
+        self.eot = _INF
 
 
 class ShardWorkerPool:
@@ -392,13 +479,14 @@ class ShardWorkerPool:
         sim: Simulation,
         wire_sites: Optional[List[SiteId]],
         arena,
+        demand_eot: bool = False,
     ) -> None:
         context = multiprocessing.get_context("fork")
         for shard in shards:
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_worker_main,
-                args=(child_conn, list(shard), sim, wire_sites, arena),
+                args=(child_conn, list(shard), sim, wire_sites, arena, demand_eot),
                 daemon=True,
             )
             process.start()
@@ -629,6 +717,14 @@ class ParallelSimulation(Simulation):
         self._planner = (
             SafeTimePlanner(config.network.min_latency) if self._parallel else None
         )
+        self._demand = self._parallel and config.window_planner == "demand"
+        #: Per-worker outbound latency floor (pending-message cascade terms).
+        self._shard_lookahead: List[float] = []
+        #: Packed-wire site index -> worker index (built at fork).
+        self._index_to_worker: List[int] = []
+        #: Latest dispatched window bound; every routed message absorbed from
+        #: a window/align reply must deliver at or after it.
+        self._floor: Optional[float] = None
         self._stats = Counter()
 
     # -- lifecycle ----------------------------------------------------------
@@ -678,15 +774,30 @@ class ParallelSimulation(Simulation):
                 },
                 slot_capacity=self.config.arena_slots_per_site,
             )
-        self._pool.start(shards, self, wire_sites, self._arena)
+        min_latency = self.config.network.min_latency
+        self._shard_lookahead = []
+        for shard in shards:
+            bound = (
+                self.network.min_cross_latency(set(shard))
+                if self._demand
+                else None
+            )
+            self._shard_lookahead.append(
+                min_latency if bound is None else bound
+            )
+        self._pool.start(shards, self, wire_sites, self._arena, self._demand)
         # Flag flips only after every fork: children must see the sequential
         # view of `self` so their internal calls take direct paths.
         self._forked = True
+        if self._codec is not None:
+            self._index_to_worker = [0] * len(self.sites)
         for index, worker in enumerate(self._pool):
             if self._codec is not None:
                 worker.shard_indices = {
                     self._codec.site_index(site_id) for site_id in worker.shard
                 }
+                for shard_index in worker.shard_indices:
+                    self._index_to_worker[shard_index] = index
             self._absorb(worker, self._pool.recv(worker))
             for site_id in worker.shard:
                 self._site_to_worker[site_id] = index
@@ -719,11 +830,24 @@ class ParallelSimulation(Simulation):
 
     # -- coordinator plumbing ------------------------------------------------
 
-    def _absorb(self, worker: _WorkerHandle, reply: tuple):
-        """Fold one worker reply into coordinator state; return its payload."""
+    def _absorb(
+        self,
+        worker: _WorkerHandle,
+        reply: tuple,
+        floor: Optional[float] = None,
+    ):
+        """Fold one worker reply into coordinator state; return its payload.
+
+        ``floor`` (set for window/align replies) is the latest dispatched
+        window bound: the conservative-lookahead safety argument guarantees
+        every routed message delivers at or after it, and the coordinator
+        checks that invariant on every absorbed message rather than trusting
+        the planner.
+        """
         if reply[0] == "error":
             raise SimulationError(f"shard worker failed:\n{reply[1]}")
-        _, payload, outgoing, next_time, fired = reply
+        _, payload, outgoing, meta = reply
+        next_time, eot, fired = unpack_reply_meta(meta)
         if self._codec is not None:
             # A blob of packed records: route by scanning headers only.
             pending_append = self._pending.append
@@ -733,6 +857,12 @@ class ParallelSimulation(Simulation):
             for deliver_at, dst, src, kind, uid, record in self._codec.scan_blob(
                 outgoing
             ):
+                if floor is not None and deliver_at < floor:
+                    raise SimulationError(
+                        "window-safety invariant violated: routed message "
+                        f"delivers at {deliver_at} before the dispatched "
+                        f"window bound {floor}"
+                    )
                 stats["cross_shard_messages"] += 1
                 if kind == 0:
                     stats["payloads_pickled"] += 1
@@ -742,6 +872,14 @@ class ParallelSimulation(Simulation):
         elif outgoing:
             # Legacy wire: the payload cost is what pickling the routed list
             # costs (it crossed the pipe inside the reply tuple just so).
+            if floor is not None:
+                for deliver_at, _message in outgoing:
+                    if deliver_at < floor:
+                        raise SimulationError(
+                            "window-safety invariant violated: routed "
+                            f"message delivers at {deliver_at} before the "
+                            f"dispatched window bound {floor}"
+                        )
             self._stats["payload_bytes"] += len(
                 pickle.dumps(outgoing, protocol=pickle.HIGHEST_PROTOCOL)
             )
@@ -749,6 +887,7 @@ class ParallelSimulation(Simulation):
             self._stats["payloads_pickled"] += len(outgoing)
             self._pending.extend(outgoing)
         worker.next_time = next_time
+        worker.eot = eot
         return payload, fired
 
     def _broadcast(self, command: tuple) -> Tuple[List[Any], int]:
@@ -820,35 +959,141 @@ class ParallelSimulation(Simulation):
             horizon = min(horizon, min(item[0] for item in pending))
         return horizon
 
+    def _pending_lookahead(self, item) -> float:
+        """Outbound latency floor of the shard a pending message delivers to."""
+        if self._codec is not None:
+            worker_index = self._index_to_worker[item[1]]
+        else:
+            worker_index = self._site_to_worker[item[1].dst]
+        return self._shard_lookahead[worker_index]
+
+    def _plan_bound(self, target_excl: float) -> Optional[float]:
+        """Exclusive bound of the next window, or None when the target is hit.
+
+        Fixed planner: ``horizon + min_latency``.  Demand planner: the
+        minimum of every shard's advertised EOT and, for each pending
+        cross-shard message, ``deliver_at + destination-shard lookahead``
+        (the earliest a cascade started by its delivery could leave that
+        shard), clipped to the target.  Jumps past the fixed bound are
+        counted as ``eot_jumps`` (or ``quiescence_jumps`` when the whole
+        remaining span collapses into one window).
+        """
+        horizon = self._effective_horizon()
+        if not self._demand:
+            return self._planner.window(horizon, target_excl)
+        if horizon >= target_excl:
+            return None
+        bound = target_excl
+        for worker in self._pool:
+            if worker.eot < bound:
+                bound = worker.eot
+        for item in self._pending:
+            term = item[0] + self._pending_lookahead(item)
+            if term < bound:
+                bound = term
+        fixed = min(horizon + self._planner.lookahead, target_excl)
+        if bound >= target_excl:
+            bound = target_excl
+            if bound > fixed:
+                self._stats["quiescence_jumps"] += 1
+        elif bound > fixed:
+            self._stats["eot_jumps"] += 1
+        if bound <= horizon:  # lookahead underflowed against a large timestamp
+            bound = min(math.nextafter(horizon, _INF), target_excl)
+        return bound
+
+    def _pipeline_bound(
+        self, target_excl: float, bound: float
+    ) -> Optional[float]:
+        """Bound for a pre-dispatched window, or None when not provably safe.
+
+        Preconditions (checked by the caller): the window being drained was
+        dispatched with zero routed messages and nothing is pending now.
+        Undrained workers' EOTs are then one window stale but still valid --
+        a shard that received no input can only get quieter, so the EOT it
+        advertised before that window lower-bounds everything it outputs
+        during it and after it.  The candidate must clear the in-flight
+        bound by at least one lookahead step: stale EOTs are never ahead of
+        what a full drain would plan, so a narrow pre-dispatch would *add*
+        a window the plain planner would have merged -- pipelining must buy
+        overlap, not cost rounds.
+        """
+        candidate = target_excl
+        for worker in self._pool:
+            if worker.eot < candidate:
+                candidate = worker.eot
+        if candidate <= bound:
+            return None
+        if candidate < target_excl and candidate - bound < self._planner.lookahead:
+            return None
+        return candidate
+
+    def _dispatch_window(self, bound: float) -> Tuple[float, bool]:
+        """Send one window to every worker; True when it routed no messages."""
+        pool = self._pool
+        self._stats["windows"] += 1
+        self._floor = bound
+        before = len(self._pending)
+        for worker in pool:
+            pool.send(worker, ("window", bound, self._take_pending(worker, bound)))
+        return bound, len(self._pending) == before
+
     def _advance(self, target: float) -> int:
-        """Advance every shard to exactly ``target`` via safe-time windows."""
+        """Advance every shard to exactly ``target`` via safe-time windows.
+
+        At most two windows are ever in flight: while draining the replies
+        of a window that was dispatched empty, the demand planner may issue
+        the next window early (``pipelined_windows``) so idle workers start
+        computing before the slowest reply lands.  Replies are always
+        drained in worker order, so window bounds -- and hence all
+        coordination counters -- are deterministic, never wall-clock-raced.
+        """
         target_excl = math.nextafter(target, _INF)
         total_fired = 0
         pool = self._pool
+        workers = pool.workers
+        inflight: List[Tuple[float, bool]] = []
         while True:
-            safe = self._planner.window(self._effective_horizon(), target_excl)
-            if safe is None:
-                break
-            self._stats["windows"] += 1
-            for worker in pool:
-                pool.send(worker, ("window", safe, self._take_pending(worker, safe)))
-            for worker in pool:
-                _, fired = self._absorb(worker, pool.recv(worker))
+            if not inflight:
+                bound = self._plan_bound(target_excl)
+                if bound is None:
+                    break
+                inflight.append(self._dispatch_window(bound))
+            bound, clean = inflight.pop(0)
+            for index, worker in enumerate(workers):
+                _, fired = self._absorb(
+                    worker, pool.recv(worker), floor=self._floor
+                )
                 total_fired += fired
+                if (
+                    self._demand
+                    and clean
+                    and not inflight
+                    and not self._pending
+                    and index + 1 < len(workers)
+                ):
+                    candidate = self._pipeline_bound(target_excl, bound)
+                    if candidate is not None:
+                        inflight.append(self._dispatch_window(candidate))
+                        self._stats["pipelined_windows"] += 1
         # Align: park messages due beyond the target in their receiving
         # shards' queues and move every clock (ours included) to the target.
         self._stats["aligns"] += 1
         for worker in pool:
             pool.send(worker, ("align", target, self._take_pending(worker, _INF)))
         for worker in pool:
-            self._absorb(worker, pool.recv(worker))
+            self._absorb(worker, pool.recv(worker), floor=self._floor)
         self.scheduler.advance_clock(target)
         return total_fired
 
     def coordination_stats(self) -> Dict[str, int]:
         """Counters of coordinator<->worker traffic since the fork.
 
-        ``windows``/``aligns`` count synchronization rounds; ``bytes_sent``/
+        ``windows``/``aligns`` count synchronization rounds, of which
+        ``eot_jumps``/``quiescence_jumps`` beat the fixed-step bound thanks
+        to advertised earliest-output-times and ``pipelined_windows`` were
+        dispatched before the previous window finished draining (all three
+        stay 0 under ``window_planner="fixed"``); ``bytes_sent``/
         ``bytes_recv`` are coordinator-side pipe totals (every pickled byte,
         both wire modes); ``cross_shard_messages`` counts routed messages, of
         which ``payloads_packed`` used the struct wire format and
@@ -862,6 +1107,9 @@ class ParallelSimulation(Simulation):
             "aligns",
             "broadcasts",
             "site_calls",
+            "eot_jumps",
+            "quiescence_jumps",
+            "pipelined_windows",
             "cross_shard_messages",
             "payloads_packed",
             "payloads_pickled",
@@ -872,8 +1120,25 @@ class ParallelSimulation(Simulation):
         stats["bytes_recv"] = self._pool.bytes_recv
         stats["commands_sent"] = self._pool.commands_sent
         stats["packed_wire"] = int(self._codec is not None)
+        stats["demand_planner"] = int(self._demand)
         stats["arena_bytes"] = self._arena.nbytes if self._arena is not None else 0
         return stats
+
+    def coordination_metrics(self) -> MetricsRecorder:
+        """:meth:`coordination_stats` surfaced through the metrics facade.
+
+        Coordination counters are deliberately kept out of the simulation's
+        own :class:`MetricsRecorder` -- a parallel run's merged metrics must
+        stay byte-identical to its sequential twin's, and the twin has no
+        coordinator.  This view republishes them under the canonical
+        ``parallel.*`` names of :mod:`repro.metrics.names` for consumers
+        that speak recorders.
+        """
+        recorder = MetricsRecorder()
+        stats = self.coordination_stats()
+        for key, name in metric_names.PARALLEL_STAT_NAMES.items():
+            recorder.incr(name, stats.get(key, 0))
+        return recorder
 
     # -- time control (Simulation API) ---------------------------------------
 

@@ -219,10 +219,15 @@ class Scheduler:
         self._cancelled_events = 0
         return len(kept)
 
-    def next_event_time(self) -> float:
+    def peek_time(self) -> float:
         """Timestamp of the earliest live event, or +inf when idle.
 
-        Prunes cancelled heads as a side effect, so repeated calls are cheap.
+        O(1) amortized: cancelled carcasses at the head are pruned as a side
+        effect (each is popped at most once across all calls), and the first
+        live head is returned without popping it.  This is the public way to
+        read the queue frontier -- the parallel engine's horizon and
+        earliest-output-time computations build on it instead of touching
+        the heap internals.
         """
         while self._queue:
             head = self._queue[0]
@@ -231,6 +236,22 @@ class Scheduler:
                 continue
             return head.time
         return float("inf")
+
+    def next_event_time(self) -> float:
+        """Alias of :meth:`peek_time` (the historical name)."""
+        return self.peek_time()
+
+    def live_events(self):
+        """Iterate ``(time, label, site)`` of every live event, heap order.
+
+        A read-only scan (no pops, no compaction) for consumers that need
+        more than the frontier -- the shard workers' earliest-output-time
+        scan walks it once per window reply.  Order is the heap's physical
+        order, not firing order; callers reduce (min), they do not replay.
+        """
+        for event in self._queue:
+            if not event.cancelled:
+                yield event.time, event.label, event.site
 
     # -- execution ----------------------------------------------------------
 

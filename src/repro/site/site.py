@@ -468,6 +468,28 @@ class Site:
                         break
         return started
 
+    def quiet_gc_ticks(self) -> int:
+        """Lower bound on upcoming gc ticks that provably send nothing.
+
+        The shard workers' earliest-output-time scan calls this to look
+        *through* quiet tick chains: a tick is quiet only if the planner
+        would skip it (delegated to
+        :meth:`LocalCollector.predict_quiet_ticks`) AND its skip-path side
+        channels are inert -- no desynced peer to repair in
+        ``_flush_desynced_peers`` and no trigger-eligible suspected outref
+        (the back-trace verdict cache is deliberately ignored: consulting it
+        counts metrics, and this prediction must be free of side effects).
+        Zero whenever in doubt; under-prediction costs a window, never
+        correctness.
+        """
+        if self.crashed or self._tracing or self._desynced_peers:
+            return 0
+        if self.config.enable_backtracing:
+            for entry in self.outrefs.suspected_entries():
+                if entry.distance > entry.back_threshold:
+                    return 0
+        return self.collector.predict_quiet_ticks(self._variable_outrefs)
+
     def _trace_outcome(self, trace_id: TraceId, verdict: TraceOutcome) -> None:
         if self.on_trace_outcome is not None:
             self.on_trace_outcome(self.site_id, trace_id, verdict)

@@ -140,3 +140,65 @@ def test_all_payload_classes_have_unique_kinds():
                     )
                 kinds[attr.kind()] = attr
     assert len(kinds) >= 25  # the full protocol surface is registered
+
+
+def test_builtin_models_expose_min_delay_floors():
+    assert ConstantLatency(2.0).min_delay("A", "B") == 2.0
+    assert UniformLatency(1.5, 5.0).min_delay("A", "B") == 1.5
+    assert ExponentialLatency(base=0.5).min_delay("A", "B") == 0.5
+
+
+def test_min_delay_default_is_unknown():
+    from repro.net.latency import LatencyModel
+
+    class Opaque(LatencyModel):
+        def sample(self, rng, src, dst):
+            return 1.0
+
+    assert Opaque().min_delay("A", "B") is None
+
+
+def test_zoned_latency_bands_and_floors():
+    import random
+
+    from repro.net.latency import ZonedLatency
+
+    model = ZonedLatency(
+        {"A": 0, "B": 0, "C": 1}, intra=(1.0, 3.0), cross=(10.0, 30.0)
+    )
+    assert model.min_delay("A", "B") == 1.0
+    assert model.min_delay("B", "C") == 10.0
+    # Unlisted sites get a private zone, so everything they touch is cross.
+    assert model.min_delay("A", "Z") == 10.0
+    rng = random.Random(7)
+    for _ in range(50):
+        assert 1.0 <= model.sample(rng, "A", "B") <= 3.0
+        assert 10.0 <= model.sample(rng, "A", "C") <= 30.0
+
+
+def test_zoned_latency_accepts_zone_callable():
+    from repro.net.latency import ZonedLatency
+
+    model = ZonedLatency(
+        lambda site: 0 if site < "m" else 1,
+        intra=(2.0, 4.0),
+        cross=(8.0, 16.0),
+    )
+    assert model.min_delay("a", "b") == 2.0
+    assert model.min_delay("a", "z") == 8.0
+
+
+@pytest.mark.parametrize(
+    "bands",
+    [
+        dict(intra=(-1.0, 2.0)),
+        dict(intra=(5.0, 2.0)),
+        dict(cross=(-0.5, 1.0)),
+        dict(cross=(9.0, 3.0)),
+    ],
+)
+def test_zoned_latency_validation(bands):
+    from repro.net.latency import ZonedLatency
+
+    with pytest.raises(ConfigError):
+        ZonedLatency({}, **bands)

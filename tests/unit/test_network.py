@@ -164,3 +164,37 @@ def test_uniform_latency_within_bounds():
     model = UniformLatency(2.0, 5.0)
     for _ in range(100):
         assert 2.0 <= model.sample(rng, "A", "B") <= 5.0
+
+
+# -- min_cross_latency (per-shard lookahead floors) --------------------------
+
+
+def test_min_cross_latency_uses_model_floor():
+    _, net, _, _ = make_net(latency=UniformLatency(2.5, 9.0))
+    assert net.min_cross_latency({"A"}) == 2.5
+    assert net.min_cross_latency({"A", "B"}) == 2.5
+
+
+def test_min_cross_latency_heterogeneous_takes_outbound_minimum():
+    from repro.net.latency import ZonedLatency
+
+    # A and B share a zone; C is remote.  A shard containing both zone-0
+    # sites only has expensive outbound links, so its floor is the cross
+    # band; a split shard still has a cheap intra-zone exit.
+    model = ZonedLatency(
+        {"A": 0, "B": 0, "C": 1}, intra=(1.0, 3.0), cross=(10.0, 30.0)
+    )
+    _, net, _, _ = make_net(latency=model)
+    assert net.min_cross_latency({"A", "B"}) == 10.0
+    assert net.min_cross_latency({"A"}) == 1.0
+
+
+def test_min_cross_latency_unknown_model_or_no_outside_is_none():
+    class Opaque(ExponentialLatency):
+        def min_delay(self, src, dst):
+            return None
+
+    _, net, _, _ = make_net(latency=Opaque(base=1.0))
+    assert net.min_cross_latency({"A"}) is None
+    _, net, _, _ = make_net(latency=UniformLatency(2.0, 4.0))
+    assert net.min_cross_latency({"A", "B", "C"}) is None

@@ -183,3 +183,39 @@ def test_round_robin_shards_deal_cyclically():
 def test_more_workers_than_sites_collapses():
     shards = assign_shards(["a", "b"], 8, "contiguous")
     assert shards == [["a"], ["b"]]
+
+
+# -- window planner selection and quiet-tick gates ---------------------------
+
+
+def test_window_planner_config_validation():
+    from repro.config import SimulationConfig
+    from repro.errors import ConfigError
+
+    assert SimulationConfig().window_planner == "demand"
+    assert SimulationConfig(window_planner="fixed").window_planner == "fixed"
+    with pytest.raises(ConfigError):
+        SimulationConfig(window_planner="eager")
+
+
+def test_site_quiet_gc_ticks_follows_collector_prediction():
+    from ..conftest import make_sim
+
+    sim = make_sim(auto_gc=False)
+    site = sim.site("P")
+    assert site.quiet_gc_ticks() == 0  # no cached trace yet
+    site.run_local_trace()
+    assert site.quiet_gc_ticks() > 0
+    site.heap.alloc()  # cache invalidated; the next tick may send
+    assert site.quiet_gc_ticks() == 0
+
+
+def test_crashed_site_advertises_no_quiet_ticks():
+    from ..conftest import make_sim
+
+    sim = make_sim(auto_gc=False)
+    site = sim.site("P")
+    site.run_local_trace()
+    assert site.quiet_gc_ticks() > 0
+    site.crash()
+    assert site.quiet_gc_ticks() == 0

@@ -160,3 +160,36 @@ def test_schedule_at_absolute_time():
     sched.schedule_at(12.0, lambda: times.append(sched.now))
     sched.drain()
     assert times == [12.0]
+
+
+# -- peek_time / live_events (the parallel planner's read surface) -----------
+
+
+def test_peek_time_skips_cancelled_heads():
+    sched = Scheduler()
+    first = sched.schedule(2.0, lambda: None)
+    sched.schedule(5.0, lambda: None)
+    assert sched.peek_time() == 2.0
+    first.cancel()
+    # The cancelled head is popped lazily by the peek itself, so repeated
+    # peeks between events stay O(1).
+    assert sched.peek_time() == 5.0
+    assert sched.queue_length == 1
+
+
+def test_peek_time_idle_is_inf_and_next_event_time_is_alias():
+    sched = Scheduler()
+    assert sched.peek_time() == float("inf")
+    assert sched.next_event_time() == float("inf")
+    sched.schedule(3.0, lambda: None)
+    assert sched.next_event_time() == sched.peek_time() == 3.0
+
+
+def test_live_events_excludes_cancelled_and_carries_label_and_site():
+    sched = Scheduler()
+    sched.schedule(3.0, lambda: None, label="gc-tick:A", site="A")
+    doomed = sched.schedule(1.0, lambda: None, label="deliver:x", site="B")
+    sched.schedule(7.0, lambda: None)
+    doomed.cancel()
+    events = sorted(sched.live_events())
+    assert events == [(3.0, "gc-tick:A", "A"), (7.0, "", None)]
