@@ -50,7 +50,8 @@ OVERHEAD_WORKERS = 4
 
 
 def _build(
-    workers, n_sites, seed=3, packed=True, arena=True, planner=None, churn_until=None
+    workers, n_sites, seed=3, packed=True, arena=True, planner=None,
+    churn_until=None, rings=None
 ):
     config = SimulationConfig(
         seed=seed,
@@ -59,6 +60,7 @@ def _build(
         parallel_workers=workers,
         packed_wire=packed,
         shared_arena=arena,
+        **({} if rings is None else {"direct_rings": rings}),
         **({} if planner is None else {"window_planner": planner}),
     )
     sim = Simulation.create(config)
@@ -133,9 +135,15 @@ def run_throughput_comparison(
 def run_overhead(
     packed, n_sites=OVERHEAD_SITES, duration=OVERHEAD_DURATION, seed=5
 ):
-    """Per-window coordination cost in one wire mode."""
+    """Per-window coordination cost in one wire mode.
+
+    Direct rings are pinned off on both sides: this A/B isolates the packed
+    wire + arena against the pickled-list baseline; the ring data path has
+    its own A/B in bench_e21_direct_rings.
+    """
     sim = _build(
-        OVERHEAD_WORKERS, n_sites, seed=seed, packed=packed, arena=packed
+        OVERHEAD_WORKERS, n_sites, seed=seed, packed=packed, arena=packed,
+        rings=False,
     )
     sim.run_for(duration)
     stats = sim.coordination_stats()
@@ -281,17 +289,85 @@ def test_e19_speedup_at_256_sites(benchmark):
     assert results["speedup_4x"] >= 2.0
 
 
+REGRESSION_TOLERANCE = 0.20
+
+
+def _check_regression(results):
+    """Warn (never fail) when a headline ratio degrades vs the committed
+    BENCH_parallel_sim.json.
+
+    Pure protocol ratios (byte and window-count drops) compare across
+    scales; wall-clock speedups only against a baseline produced at the
+    same scale (``smoke`` flag match), since the ratio depends on how much
+    work each window amortizes.
+    """
+    import json
+    import os
+    import sys
+
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_parallel_sim.json"
+    )
+    try:
+        with open(path) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        print("regression check: no readable BENCH_parallel_sim.json; skipping", file=sys.stderr)
+        return
+    scale_matched = results.get("smoke") == baseline.get("smoke")
+
+    def segment_key(doc, segment, *keys):
+        node = doc.get(segment, {})
+        for key in keys:
+            node = node.get(key, {}) if isinstance(node, dict) else {}
+        return node if isinstance(node, (int, float)) else None
+
+    checks = [
+        (
+            "e19.payload_bytes_per_window_drop",
+            ("e19", "coordination_overhead", "payload_bytes_per_window_drop"),
+            True,
+        ),
+        ("e19.speedup_4x", ("e19", "throughput", "speedup_4x"), scale_matched),
+        ("e20.window_reduction", ("e20", "window_reduction"), scale_matched),
+        ("e21.delta_poll_traffic_drop", ("e21", "delta_poll_traffic_drop"), True),
+        ("e21.pipe_bytes_drop", ("e21", "pipe_bytes_drop"), True),
+        ("e21.speedup_4x", ("e21", "speedup_4x"), scale_matched),
+    ]
+    for label, keys, comparable in checks:
+        if not comparable:
+            print(f"regression check: {label} skipped (scale mismatch vs baseline)", file=sys.stderr)
+            continue
+        base = segment_key(baseline, *keys)
+        cur = segment_key(results, *keys)
+        if not base or not cur:
+            continue
+        if cur < base * (1.0 - REGRESSION_TOLERANCE):
+            print(
+                f"WARNING: {label} regressed >20%: {cur:.3f} "
+                f"vs baseline {base:.3f}"
+            , file=sys.stderr)
+        else:
+            print(
+                f"regression check: {label} ok ({cur:.3f} "
+                f"vs baseline {base:.3f})"
+            , file=sys.stderr)
+
+
 if __name__ == "__main__":
     # Standalone mode: regenerate the whole BENCH_parallel_sim.json --
     # host header, the E16 segment (engine comparison at 64 sites), the
     # E19 segment (persistent pool + overhead, plus 256- and 1024-site
-    # planner scale points), and the E20 segment (window planning).
-    # ``--sites N`` overrides the throughput site count.
+    # planner scale points), the E20 segment (window planning), and the
+    # E21 segment (direct rings + delta exports).  ``--sites N`` overrides
+    # the throughput site count; ``--check-regression`` compares headline
+    # ratios (warn-only) against the committed document.
     import json
     import sys
 
     import bench_e16_parallel_speedup as e16
     import bench_e20_window_planning as e20
+    import bench_e21_direct_rings as e21
 
     smoke = "--smoke" in sys.argv
     sites_override = (
@@ -339,14 +415,22 @@ if __name__ == "__main__":
         duration=6000.0 if smoke else e20.DURATION
     )
 
+    e21_segment = e21.run_comparison(
+        duration=1000.0 if smoke else e21.DURATION
+    )
+
     results = {
         "host": host_header(),
+        "smoke": smoke,
         "e16": e16_segment,
         "e19": e19_segment,
         "e20": e20_segment,
+        "e21": e21_segment,
     }
     json.dump(results, sys.stdout, indent=2)
     print()
+    if "--check-regression" in sys.argv:
+        _check_regression(results)
     ok = (
         e16_segment["snapshots_identical"]
         and e19_segment["throughput"]["snapshots_identical"]
@@ -358,6 +442,10 @@ if __name__ == "__main__":
         )
         and e20_segment["snapshots_identical"]
         and e20_segment["window_reduction"] >= (4.0 if smoke else 5.0)
+        and e21_segment["snapshots_identical"]
+        and e21_segment["pipe_payload_drop_at_least_5x"]
+        and e21_segment["delta_poll_drop_at_least_3x"]
+        and e21_segment["rings_on"]["one_round_trip_per_window"]
     )
     if not ok:
         sys.exit(1)

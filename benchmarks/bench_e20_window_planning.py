@@ -176,10 +176,52 @@ def test_e20_window_reduction(benchmark, record_table):
     assert results["fixed"]["pipelined_windows"] == 0
 
 
+def _check_regression(results):
+    """Warn (never fail) when the window reduction degrades vs the committed
+    E20 segment of BENCH_parallel_sim.json."""
+    import json
+    import os
+    import sys
+
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_parallel_sim.json"
+    )
+    try:
+        with open(path) as fh:
+            baseline = json.load(fh).get("e20", {})
+    except (OSError, ValueError):
+        print("regression check: no readable BENCH_parallel_sim.json; skipping", file=sys.stderr)
+        return
+    if results.get("duration") != baseline.get("duration"):
+        # Window counts scale with the quiet tail's length; a smoke run
+        # against a full-length baseline would warn unconditionally.
+        print(
+            "regression check: window_reduction skipped "
+            "(duration mismatch vs baseline)"
+        , file=sys.stderr)
+        return
+    base = baseline.get("window_reduction")
+    cur = results.get("window_reduction")
+    if not base or not cur:
+        return
+    if cur < base * 0.80:
+        print(
+            f"WARNING: window_reduction regressed >20%: "
+            f"{cur:.3f} vs baseline {base:.3f}"
+        , file=sys.stderr)
+    else:
+        print(
+            f"regression check: window_reduction ok "
+            f"({cur:.3f} vs baseline {base:.3f})"
+        , file=sys.stderr)
+
+
 if __name__ == "__main__":
     # Standalone mode: emit the comparison as JSON (the combined
     # BENCH_parallel_sim.json is regenerated by bench_e19_persistent_pool).
-    # ``--smoke`` shortens the tail but keeps the reduction assertion.
+    # ``--smoke`` shortens the tail but keeps the reduction assertion;
+    # ``--check-regression`` compares (warn-only) against the committed
+    # baseline when the scales match.
     import json
     import sys
 
@@ -190,9 +232,12 @@ if __name__ == "__main__":
 
     smoke = "--smoke" in sys.argv
     results = run_comparison(duration=6000.0 if smoke else DURATION)
+    results["smoke"] = smoke
     results["host"] = host_header()
     json.dump(results, sys.stdout, indent=2)
     print()
+    if "--check-regression" in sys.argv:
+        _check_regression(results)
     floor = 4.0 if smoke else REDUCTION_FLOOR
     if not (
         results["snapshots_identical"]

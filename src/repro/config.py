@@ -318,6 +318,29 @@ class SimulationConfig:
     # (8x headroom, power of two, at least 4096).  Outgrowing the region is
     # safe -- the heap spills back to private buffers with a warning.
     arena_slots_per_site: Optional[int] = None
+    # Direct shard-to-shard data path: cross-shard messages travel as packed
+    # wire records through per-ordered-pair SPSC ring buffers carved out of
+    # the shared arena, so the coordinator's per-window pipe exchange shrinks
+    # to the 24-byte reply trailers plus ring cursors.  ``None`` (default)
+    # follows ``packed_wire`` (rings need the packed record format to write
+    # into shared memory); ``False`` keeps the coordinator-routed path as
+    # the A/B baseline.  Explicitly requesting rings without the packed wire
+    # is a configuration error -- pickled Message objects cannot live in a
+    # byte ring.  A record too large for its ring spills to the legacy pipe
+    # path, so correctness never depends on fitting.
+    direct_rings: Optional[bool] = None
+    # Capacity of each ordered-pair ring in bytes.  W workers allocate W*W
+    # rings, so the shared segment grows by ``workers**2 *
+    # ring_bytes_per_pair``; 64 KiB per pair holds hundreds of packed
+    # records per window on the paper's workloads.
+    ring_bytes_per_pair: int = 65536
+    # Delta-based control plane: ``snapshot()`` ships only site snapshots
+    # whose content digest changed since the last export, and
+    # ``merged_metrics()`` ships only counters whose values moved; the
+    # coordinator caches the merged views and skips the broadcast entirely
+    # when no command has touched worker state since.  False re-ships full
+    # state on every call (the A/B baseline).
+    delta_exports: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int):
@@ -336,3 +359,21 @@ class SimulationConfig:
                 "window_planner must be 'demand' or 'fixed', "
                 f"got {self.window_planner!r}"
             )
+        if self.direct_rings and not self.packed_wire:
+            raise ConfigError(
+                "direct_rings=True requires packed_wire=True: shard-to-shard "
+                "rings carry packed wire records, not pickled messages "
+                "(set direct_rings=False for the legacy pickled baseline)"
+            )
+        if self.ring_bytes_per_pair < 1024:
+            raise ConfigError(
+                "ring_bytes_per_pair must be >= 1024 "
+                f"(got {self.ring_bytes_per_pair})"
+            )
+
+    @property
+    def effective_direct_rings(self) -> bool:
+        """Rings requested (explicitly or by default): on unless disabled."""
+        if self.direct_rings is None:
+            return self.packed_wire
+        return self.direct_rings

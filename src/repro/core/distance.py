@@ -155,6 +155,20 @@ def trace_clean_phase_flat(
     return result
 
 
+#: Shape gate for the vector kernel.  Level-synchronous BFS pays a fixed
+#: numpy cost per *level*, so a deep narrow graph (a chain: one object per
+#: level) is its worst case -- thousands of tiny array operations doing the
+#: work a scalar DFS finishes in one pass.  When the average frontier width
+#: over the first ``_NARROW_PROBE_LEVELS`` levels stays below
+#: ``_NARROW_MIN_WIDTH``, the kernel abandons the sweep (restoring the mark
+#: bitmap), reruns the trace on the flat scalar kernel, and skips numpy for
+#: the next ``_NARROW_BACKOFF_TRACES`` traces on that heap before probing
+#: again -- so a heap that later widens gets the vector path back.
+_NARROW_PROBE_LEVELS = 64
+_NARROW_MIN_WIDTH = 8
+_NARROW_BACKOFF_TRACES = 128
+
+
 def trace_clean_phase_vector(
     heap: Heap,
     roots: Iterable[Tuple[ObjectId, int]],
@@ -173,14 +187,21 @@ def trace_clean_phase_vector(
     ``np.minimum.at``) matches, and the counters are order-independent
     (scanned = number marked, edges = summed degree of marked objects).
 
-    Falls back to the flat kernel when numpy is unavailable.  The mark
-    bitmap is borrowed from the heap as a writable uint8 view and restored
-    to all-zero before returning; no view outlives the call (the heap's
-    buffers must stay resizable).
+    Falls back to the flat kernel when numpy is unavailable, and bails out
+    to it mid-sweep when the graph turns out to be deep and narrow (see
+    ``_NARROW_PROBE_LEVELS``); either way the caller sees the identical
+    result.  The mark bitmap is borrowed from the heap as a writable uint8
+    view and restored to all-zero before returning; no view outlives the
+    call (the heap's buffers must stay resizable).
     """
+    backoff = heap.vector_kernel_backoff
+    if backoff > 0:
+        heap.vector_kernel_backoff = backoff - 1
+        return trace_clean_phase_flat(heap, roots, variable_outrefs)
     csr = heap.csr_graph() if np is not None else None
     if csr is None:
         return trace_clean_phase_flat(heap, roots, variable_outrefs)
+    root_list = list(roots)
 
     result = CleanPhaseResult()
     distances = result.outref_distances
@@ -199,7 +220,7 @@ def trace_clean_phase_vector(
 
     by_distance: Dict[int, List[int]] = {}
     site_id = heap.site_id
-    for root, root_distance in roots:
+    for root, root_distance in root_list:
         if root.site != site_id:
             continue
         ridx = idx_map.get(root)
@@ -209,6 +230,8 @@ def trace_clean_phase_vector(
     no_hit = np.iinfo(np.int64).max
     remote_min = np.full(len(r_oids), no_hit, dtype=np.int64)
     marked_chunks: List["np.ndarray"] = []
+    levels = 0
+    marked_total = 0
     for root_distance in sorted(by_distance):
         seeds = np.array(by_distance[root_distance], dtype=np.int64)
         seeds = seeds[(alive[seeds] != 0) & (mark[seeds] == 0)]
@@ -219,6 +242,18 @@ def trace_clean_phase_vector(
         while frontier.size:
             mark[frontier] = 1
             level_chunks.append(frontier)
+            levels += 1
+            marked_total += int(frontier.size)
+            if (
+                levels >= _NARROW_PROBE_LEVELS
+                and marked_total < levels * _NARROW_MIN_WIDTH
+            ):
+                for chunk in marked_chunks:
+                    mark[chunk] = 0
+                for chunk in level_chunks:
+                    mark[chunk] = 0
+                heap.vector_kernel_backoff = _NARROW_BACKOFF_TRACES
+                return trace_clean_phase_flat(heap, root_list, variable_outrefs)
             starts = indptr[frontier]
             counts = indptr[frontier + 1] - starts
             total = int(counts.sum())

@@ -285,7 +285,9 @@ class LocalCollector:
                 suspected_targets.append(entry.target)
         # Kernel ladder: all three produce identical results (the twin tests
         # assert byte-equality); pick the cheapest that applies.  The vector
-        # kernel's fixed numpy costs only amortise past a minimum heap size.
+        # kernel's fixed numpy costs only amortise past a minimum heap size
+        # AND a minimum frontier width -- it self-demotes to the flat kernel
+        # on deep narrow graphs (see the shape gate in repro.core.distance).
         if not self.config.flat_kernel:
             kernel = trace_clean_phase
         elif (

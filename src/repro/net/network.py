@@ -80,6 +80,12 @@ class Network:
         # with the latency draw and FIFO clamp already applied sender-side.
         self._shard_sites: Optional[Set[SiteId]] = None
         self._shard_outbox: Optional[List[Tuple[float, Message]]] = None
+        # Direct data path (parallel engine, direct_rings): a callback that
+        # tries to put a cross-shard message straight into the destination
+        # shard's SPSC ring.  True means the message travelled shard-to-
+        # shard; False falls through to the coordinator-routed outbox (ring
+        # full, oversized record).
+        self._ring_writer: Optional[Callable[[float, Message], bool]] = None
 
     # -- topology -----------------------------------------------------------
 
@@ -154,17 +160,22 @@ class Network:
     # -- sharding (parallel engine support) ---------------------------------
 
     def attach_shard(
-        self, sites: Set[SiteId], outbox: List[Tuple[float, Message]]
+        self,
+        sites: Set[SiteId],
+        outbox: List[Tuple[float, Message]],
+        ring_writer: Optional[Callable[[float, Message], bool]] = None,
     ) -> None:
         """Enter shard mode: this network instance serves only ``sites``.
 
         Called inside a forked worker process.  Sends whose destination is
         outside the shard are fully prepared sender-side (metrics, loss,
-        latency draw, FIFO clamp) and then parked in ``outbox`` for the
-        coordinator to route, instead of being scheduled on the local
-        scheduler.  Requires per-pair RNG streams, otherwise latency draws
-        would depend on the global send interleaving the shards no longer
-        share.  (Fault plans are fine: their randomness is always per-pair.)
+        latency draw, FIFO clamp) and then handed to ``ring_writer`` (the
+        direct shard-to-shard path; it may decline) or parked in ``outbox``
+        for the coordinator to route, instead of being scheduled on the
+        local scheduler.  Requires per-pair RNG streams, otherwise latency
+        draws would depend on the global send interleaving the shards no
+        longer share.  (Fault plans are fine: their randomness is always
+        per-pair.)
         """
         if self._pair_streams is None:
             raise UnknownSiteError(
@@ -174,6 +185,7 @@ class Network:
             raise UnknownSiteError("shard mode does not support partitions")
         self._shard_sites = set(sites)
         self._shard_outbox = outbox
+        self._ring_writer = ring_writer
 
     @property
     def shard_sites(self) -> Optional[Set[SiteId]]:
@@ -288,8 +300,15 @@ class Network:
 
     def _dispatch(self, message: Message, deliver_at: float) -> None:
         if self._shard_sites is not None and message.dst not in self._shard_sites:
-            # Cross-shard: hand to the coordinator with the delivery time
-            # already fixed; the receiving shard schedules it unchanged.
+            # Cross-shard: delivery time is already fixed sender-side.  Try
+            # the direct ring to the destination shard first; a declined
+            # write (ring full, oversized record) spills to the coordinator-
+            # routed outbox, so the two paths are interchangeable per
+            # message.
+            if self._ring_writer is not None and self._ring_writer(
+                deliver_at, message
+            ):
+                return
             self._shard_outbox.append((deliver_at, message))
             return
         self._in_flight[message.uid] = message

@@ -87,6 +87,33 @@ The data plane, in the spirit of the paper's small-messages discipline:
   each worker re-homes its heaps' flat-mirror bitmaps (and CSR scratch)
   into its regions, and the coordinator reads per-site resident counts
   straight from the region headers instead of broadcasting.
+- **Direct rings** (``config.direct_rings``): cross-shard messages travel
+  as packed records through per-ordered-pair SPSC ring buffers in the
+  shared arena instead of hopping twice through coordinator pipes.  Ring
+  ``(i, j)`` is written only by worker ``i`` and read only by worker
+  ``j``; every cursor (write position, certified read limit, confirmed
+  consumption) rides the existing command/reply exchange, so no shared
+  position is ever read while being written and overflow behaviour is
+  deterministic (a record that does not fit spills to the legacy pipe
+  path).  The per-window pipe exchange thus shrinks to the 24-byte reply
+  trailer plus a few cursor ints each way, and the old dispatch -> drain ->
+  route -> absorb sequence fuses into one round trip per window: workers
+  pull their inbound rings themselves at window start (up to the
+  coordinator-certified limits), *stash* records that are not yet due, and
+  inject due ones in the same ``(deliver_at, source site, sender
+  sequence)`` order the coordinator would have used -- so byte-identity
+  with the sequential engine holds ring or no ring, and the window-floor
+  invariant is asserted at drain time exactly as ``_absorb`` asserts it on
+  the pipe path.  A shard's stashed records fold into its advertised
+  frontier and earliest-output-time, so the window planner sees them just
+  like coordinator-pending messages.
+- **Delta control plane** (``config.delta_exports``): ``snapshot()`` ships
+  only site snapshots whose content digest changed since the last export,
+  ``merged_metrics()`` only counters whose values moved, and both merged
+  views are cached coordinator-side and invalidated by a monotonically
+  increasing state version (bumped by every command that can touch worker
+  state) -- a steady-state poll loop costs one broadcast, not one per
+  call.
 """
 
 from __future__ import annotations
@@ -106,8 +133,15 @@ from ..ids import ObjectId, SiteId
 from ..metrics import MetricsRecorder, names as metric_names
 from ..net.latency import LatencyModel
 from ..net.message import Message
-from ..net.wire import WireCodec, pack_reply_meta, unpack_reply_meta
-from ..store.shm import create_arena
+from ..net.wire import (
+    REPLY_META_BYTES,
+    WireCodec,
+    pack_reply_meta,
+    pack_ring_meta,
+    unpack_reply_meta,
+    unpack_ring_meta,
+)
+from ..store.shm import RING_FRAME_BYTES, create_arena
 from .simulation import Simulation
 
 _INF = float("inf")
@@ -232,6 +266,218 @@ class _Stop(Exception):
     """Internal: the worker was asked to shut down."""
 
 
+class _RingWriter:
+    """Worker-side producer over its row of outbound rings (direct_rings).
+
+    Cross-shard sends are buffered per destination during command execution
+    and copied into the rings only when the reply is built
+    (:meth:`take_meta`), so a command that fails mid-way discards its ring
+    writes exactly as it discards its pipe outbox, and a reply's ring
+    advertisements always describe fully written records.  The fit check
+    against the coordinator-certified consumption cursor happens at buffer
+    time: a record that would not fit (ring full, oversized) is declined
+    immediately and spills to the pipe outbox, deterministically.
+    """
+
+    __slots__ = (
+        "_codec",
+        "_index_to_worker",
+        "_rings",
+        "_write_pos",
+        "_tentative",
+        "_consumed",
+        "_buffered",
+        "_batch_min",
+    )
+
+    def __init__(self, arena, codec: WireCodec, my_index: int,
+                 index_to_worker: Sequence[int]):
+        workers = arena.ring_workers
+        self._codec = codec
+        self._index_to_worker = index_to_worker
+        self._rings = [arena.ring(my_index, dst) for dst in range(workers)]
+        #: Committed (advertised) absolute write position per destination.
+        self._write_pos = [0] * workers
+        #: Committed position plus everything buffered but not yet copied in.
+        self._tentative = [0] * workers
+        #: Latest coordinator-certified consumption cursor per destination.
+        self._consumed = [0] * workers
+        self._buffered: List[List[bytes]] = [[] for _ in range(workers)]
+        self._batch_min = [_INF] * workers
+
+    def write(self, deliver_at: float, message: Message) -> bool:
+        """Try to route one cross-shard message; False means spill to pipe."""
+        codec = self._codec
+        dst = self._index_to_worker[codec.site_index(message.dst)]
+        record = codec.pack_record(deliver_at, message)
+        ring = self._rings[dst]
+        needed = RING_FRAME_BYTES + len(record)
+        if needed > ring.capacity - (self._tentative[dst] - self._consumed[dst]):
+            return False
+        self._buffered[dst].append(record)
+        self._tentative[dst] += needed
+        if deliver_at < self._batch_min[dst]:
+            self._batch_min[dst] = deliver_at
+        return True
+
+    def update_consumed(self, consumed: Sequence[int]) -> None:
+        """Adopt the coordinator-certified consumption cursors (monotonic)."""
+        own = self._consumed
+        for dst, pos in enumerate(consumed):
+            if pos > own[dst]:
+                own[dst] = pos
+
+    def discard(self) -> None:
+        """Drop buffered records (the failed-command path, like the outbox)."""
+        for dst, pending in enumerate(self._buffered):
+            if pending:
+                del pending[:]
+                self._tentative[dst] = self._write_pos[dst]
+                self._batch_min[dst] = _INF
+
+    def take_meta(self) -> bytes:
+        """Flush buffered records into the rings; return the advertisement.
+
+        Every entry names the destination worker, the record count, the new
+        absolute write position, and the batch's earliest ``deliver_at`` (the
+        coordinator folds it into its horizon until the batch is absorbed by
+        the destination shard).  Empty when nothing was sent: the reply then
+        stays exactly trailer-sized.
+        """
+        entries = []
+        for dst, pending in enumerate(self._buffered):
+            if not pending:
+                continue
+            ring = self._rings[dst]
+            pos = self._write_pos[dst]
+            consumed = self._consumed[dst]
+            for record in pending:
+                pos = ring.try_write(record, pos, consumed)
+                if pos is None:  # pragma: no cover - fit was pre-checked
+                    raise SimulationError(
+                        "ring write certified to fit did not fit"
+                    )
+            count = len(pending)
+            del pending[:]
+            self._write_pos[dst] = pos
+            entries.append((dst, count, pos, self._batch_min[dst]))
+            self._batch_min[dst] = _INF
+        return pack_ring_meta(entries)
+
+
+class _RingReader:
+    """Worker-side consumer over its column of inbound rings, plus the stash.
+
+    The coordinator certifies read limits in each window/align command; the
+    reader drains every newly certified byte range, asserts the window-floor
+    invariant per record (exactly as the coordinator's ``_absorb`` does on
+    the pipe path), and *stashes* records until they fall due.  Due
+    extraction sorts by ``(deliver_at, source site index, sender sequence)``
+    -- the codec's site-index order equals lexicographic SiteId order, so
+    this reproduces the coordinator's deterministic injection order whether
+    a record travelled the ring or spilled to the pipe.
+    """
+
+    __slots__ = ("_codec", "_rings", "_read_pos", "_stash")
+
+    def __init__(self, arena, codec: WireCodec, my_index: int):
+        workers = arena.ring_workers
+        self._codec = codec
+        self._rings = [arena.ring(src, my_index) for src in range(workers)]
+        self._read_pos = [0] * workers
+        #: (deliver_at, src index, uid, record bytes), unordered until due.
+        self._stash: List[Tuple[float, int, int, bytes]] = []
+
+    def drain(self, limits) -> None:
+        """Read every inbound ring up to its newly certified limit."""
+        if limits is None:
+            return
+        scan = self._codec.scan_record
+        stash_append = self._stash.append
+        for src, entry in enumerate(limits):
+            if entry is None:
+                continue
+            limit, check_floor = entry
+            records = self._rings[src].read(self._read_pos[src], limit)
+            self._read_pos[src] = limit
+            for record in records:
+                deliver_at, _dst, src_site, _kind, uid = scan(record)
+                if deliver_at < check_floor:
+                    raise SimulationError(
+                        "window-safety invariant violated: ring record "
+                        f"delivers at {deliver_at} before its window floor "
+                        f"{check_floor}"
+                    )
+                stash_append((deliver_at, src_site, uid, record))
+
+    def stash_blob(self, blob) -> None:
+        """Stash pipe-spilled records; they sort together with ring ones.
+
+        No floor check here: spilled records already passed the
+        coordinator's ``_absorb`` assertion before being routed back out.
+        """
+        stash_append = self._stash.append
+        for deliver_at, _dst, src_site, _kind, uid, record in (
+            self._codec.scan_blob(blob)
+        ):
+            stash_append((deliver_at, src_site, uid, bytes(record)))
+
+    def stash_min(self) -> float:
+        """Earliest stashed delivery (inf when empty) -- folded into the
+        reply's frontier and EOT so the planner sees stashed work."""
+        return min((entry[0] for entry in self._stash), default=_INF)
+
+    def take_due(self, bound: float) -> List[RoutedMessage]:
+        """Extract, order, and decode every stashed record due before ``bound``."""
+        if not self._stash:
+            return []
+        due: List[Tuple[float, int, int, bytes]] = []
+        rest: List[Tuple[float, int, int, bytes]] = []
+        for entry in self._stash:
+            (due if entry[0] < bound else rest).append(entry)
+        self._stash = rest
+        due.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        unpack = self._codec.unpack_record
+        return [unpack(entry[3]) for entry in due]
+
+
+class _DeltaExporter:
+    """Worker-side state for the delta control plane (``delta_exports``).
+
+    Snapshots ship per site only when the content digest moved since the
+    last export (:func:`~repro.analysis.export.site_snapshot_delta`);
+    metrics ship only counters whose values changed since the last export,
+    starting from the fork baseline the coordinator already holds.
+    """
+
+    __slots__ = ("_digests", "_exported")
+
+    def __init__(self, sim: Simulation):
+        self._digests: Dict[SiteId, bytes] = {}
+        self._exported: Dict[str, int] = dict(sim.metrics._counters)
+
+    def snapshot(self, sim: Simulation, shard: Set[SiteId]) -> Dict[SiteId, Any]:
+        from ..analysis.export import site_snapshot_delta
+
+        payload: Dict[SiteId, Any] = {}
+        for site_id in shard:
+            digest, snap = site_snapshot_delta(
+                sim.sites[site_id], self._digests.get(site_id)
+            )
+            self._digests[site_id] = digest
+            payload[site_id] = snap
+        return payload
+
+    def metrics(self, sim: Simulation) -> Dict[str, int]:
+        exported = self._exported
+        delta: Dict[str, int] = {}
+        for name, value in sim.metrics._counters.items():
+            if value != exported.get(name, 0):
+                delta[name] = value
+                exported[name] = value
+        return delta
+
+
 def _shard_eot(sim: Simulation, lookahead: float) -> float:
     """Earliest instant this shard could put a message on another shard.
 
@@ -284,7 +530,12 @@ def _schedule_incoming(sim: Simulation, incoming: List[RoutedMessage]) -> None:
         )
 
 
-def _execute(sim: Simulation, shard: Set[SiteId], command: tuple):
+def _execute(
+    sim: Simulation,
+    shard: Set[SiteId],
+    command: tuple,
+    exporter: Optional[_DeltaExporter] = None,
+):
     """Run one coordinator command; return (payload, events_fired)."""
     op = command[0]
     if op == "window":
@@ -321,12 +572,16 @@ def _execute(sim: Simulation, shard: Set[SiteId], command: tuple):
             sim.sites[site_id].stop_auto_gc()
         return None, 0
     if op == "snapshot":
+        if exporter is not None:
+            return exporter.snapshot(sim, shard), 0
         from ..analysis.export import site_snapshot
 
         return {
             site_id: site_snapshot(sim.sites[site_id]) for site_id in shard
         }, 0
     if op == "metrics":
+        if exporter is not None:
+            return exporter.metrics(sim), 0
         return dict(sim.metrics._counters), 0
     if op == "outcomes":
         return list(sim._trace_outcomes), 0
@@ -349,6 +604,9 @@ def _worker_main(
     wire_sites: Optional[List[SiteId]],
     arena,
     demand_eot: bool,
+    worker_index: int = 0,
+    ring_plan: Optional[List[int]] = None,
+    delta_exports: bool = False,
 ) -> None:
     """Entry point of a forked shard worker.
 
@@ -366,20 +624,36 @@ def _worker_main(
     planner never reads it, and A/B benchmarks stay cost-fair.  With a wire
     codec (``wire_sites`` given), ``incoming``/``outgoing`` are packed
     record blobs instead of pickled RoutedMessage lists.
+
+    ``ring_plan`` (the packed-wire site index -> worker index table, set
+    only when direct rings are active) switches the data path: cross-shard
+    sends go straight into the destination shard's SPSC ring, window/align
+    commands become ``(op, time, spill_blob, limits, consumed)`` 5-tuples,
+    and the reply meta grows a ring-advertisement section.  The frontier
+    and EOT in the trailer then fold in the stash of drained-but-not-due
+    records, so the coordinator's planner accounts for work that never
+    crossed its pipes.
     """
     shard = set(shard_sites)
     channel = _Channel(conn)
     outbox: List[RoutedMessage] = []
     codec = WireCodec(wire_sites) if wire_sites is not None else None
     lookahead = sim.config.network.min_latency
+    ring_writer: Optional[_RingWriter] = None
+    ring_reader: Optional[_RingReader] = None
     try:
         sim.scheduler.retain_sites(shard)
-        sim.network.attach_shard(shard, outbox)
+        if ring_plan is not None and codec is not None and arena is not None:
+            ring_writer = _RingWriter(arena, codec, worker_index, ring_plan)
+            ring_reader = _RingReader(arena, codec, worker_index)
+            sim.network.attach_shard(shard, outbox, ring_writer.write)
+        else:
+            sim.network.attach_shard(shard, outbox)
         if demand_eot:
             bound = sim.network.min_cross_latency(shard)
             if bound is not None:
                 lookahead = bound
-        if arena is not None:
+        if arena is not None and arena.has_site_regions:
             for site_id in shard:
                 sim.sites[site_id].heap.attach_shared_region(
                     arena.region(site_id)
@@ -388,6 +662,7 @@ def _worker_main(
         channel.send(("error", traceback.format_exc()))
         channel.close()
         return
+    exporter = _DeltaExporter(sim) if delta_exports else None
 
     def packed_outgoing():
         if codec is None:
@@ -398,8 +673,18 @@ def _worker_main(
         return outgoing
 
     def reply_meta(fired: int) -> bytes:
+        next_time = sim.scheduler.peek_time()
         eot = _shard_eot(sim, lookahead) if demand_eot else _INF
-        return pack_reply_meta(sim.scheduler.peek_time(), eot, fired)
+        if ring_reader is not None:
+            stash_min = ring_reader.stash_min()
+            if stash_min < next_time:
+                next_time = stash_min
+            if demand_eot and stash_min + lookahead < eot:
+                eot = stash_min + lookahead
+        meta = pack_reply_meta(next_time, eot, fired)
+        if ring_writer is not None:
+            meta += ring_writer.take_meta()
+        return meta
 
     channel.send(("ok", None, packed_outgoing(), reply_meta(0)))
     while True:
@@ -408,13 +693,23 @@ def _worker_main(
         except EOFError:
             break
         try:
-            if codec is not None and command[0] in ("window", "align"):
+            if ring_reader is not None and command[0] in ("window", "align"):
+                op, time_arg, blob, limits, consumed = command
+                ring_writer.update_consumed(consumed)
+                ring_reader.drain(limits)
+                ring_reader.stash_blob(blob)
+                command = (
+                    op,
+                    time_arg,
+                    ring_reader.take_due(time_arg if op == "window" else _INF),
+                )
+            elif codec is not None and command[0] in ("window", "align"):
                 command = (
                     command[0],
                     command[1],
                     codec.unpack_blob(command[2]),
                 )
-            payload, fired = _execute(sim, shard, command)
+            payload, fired = _execute(sim, shard, command, exporter)
         except _Stop:
             channel.send(
                 ("ok", None, packed_outgoing(), pack_reply_meta(_INF, _INF, 0))
@@ -422,12 +717,15 @@ def _worker_main(
             break
         except Exception:
             del outbox[:]
+            if ring_writer is not None:
+                ring_writer.discard()
             channel.send(("error", traceback.format_exc()))
             continue
         channel.send(("ok", payload, packed_outgoing(), reply_meta(fired)))
     if arena is not None:
-        for site_id in shard:
-            sim.sites[site_id].heap.detach_shared_region()
+        if arena.has_site_regions:
+            for site_id in shard:
+                sim.sites[site_id].heap.detach_shared_region()
         arena.detach()
     channel.close()
 
@@ -445,18 +743,27 @@ class _WorkerHandle:
         "channel",
         "shard",
         "shard_indices",
+        "index",
         "next_time",
         "eot",
+        "limits_inflight",
     )
 
-    def __init__(self, process, channel: _Channel, shard: Set[SiteId]):
+    def __init__(
+        self, process, channel: _Channel, shard: Set[SiteId], index: int = 0
+    ):
         self.process = process
         self.channel = channel
         self.shard = shard
         self.shard_indices: Set[int] = set()
+        self.index = index
         self.next_time = _INF
         #: Last advertised earliest-output-time (inf under the fixed planner).
         self.eot = _INF
+        #: FIFO of ring-limit tuples sent with window/align commands whose
+        #: replies have not been absorbed yet (at most two, pipelining).  A
+        #: reply to such a command confirms its limits as consumed.
+        self.limits_inflight: List[Optional[tuple]] = []
 
 
 class ShardWorkerPool:
@@ -480,19 +787,31 @@ class ShardWorkerPool:
         wire_sites: Optional[List[SiteId]],
         arena,
         demand_eot: bool = False,
+        ring_plan: Optional[List[int]] = None,
+        delta_exports: bool = False,
     ) -> None:
         context = multiprocessing.get_context("fork")
-        for shard in shards:
+        for index, shard in enumerate(shards):
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_worker_main,
-                args=(child_conn, list(shard), sim, wire_sites, arena, demand_eot),
+                args=(
+                    child_conn,
+                    list(shard),
+                    sim,
+                    wire_sites,
+                    arena,
+                    demand_eot,
+                    index,
+                    ring_plan,
+                    delta_exports,
+                ),
                 daemon=True,
             )
             process.start()
             child_conn.close()
             self.workers.append(
-                _WorkerHandle(process, _Channel(parent_conn), set(shard))
+                _WorkerHandle(process, _Channel(parent_conn), set(shard), index)
             )
 
     def __len__(self) -> int:
@@ -726,6 +1045,33 @@ class ParallelSimulation(Simulation):
         #: a window/align reply must deliver at or after it.
         self._floor: Optional[float] = None
         self._stats = Counter()
+        # -- direct-ring data path (all empty/False until the fork decides) --
+        self._rings_active = False
+        #: src worker x dst worker matrices of absolute ring cursors: what
+        #: each producer has advertised written, what each consumer has been
+        #: told it may read, and what each consumer has confirmed reading.
+        self._ring_write_pos: List[List[int]] = []
+        self._ring_limit_sent: List[List[int]] = []
+        self._ring_confirmed: List[List[int]] = []
+        #: Advertised-but-unabsorbed ring batches:
+        #: (min_deliver, end_pos, count, src worker, dst worker, floor).
+        #: Each contributes to the horizon until the destination shard
+        #: confirms having drained past ``end_pos``; ``floor`` is the window
+        #: bound in force when the batch was advertised (-inf for batches
+        #: born outside a window reply), re-asserted at drain time.
+        self._ring_pending: List[Tuple[float, int, int, int, int, float]] = []
+        # -- delta control plane --------------------------------------------
+        self._delta_exports = config.delta_exports
+        #: Monotonic version of worker-visible state; bumped by every command
+        #: that can touch it.  The cached merged snapshot/metrics are valid
+        #: exactly while their recorded version equals it.
+        self._state_version = 0
+        self._snapshot_version = -1
+        self._snapshot_cache: Dict[SiteId, Any] = {}
+        self._metrics_version = -1
+        self._metrics_cache: Counter = Counter()
+        #: Per-worker latest known counter values (delta merge base).
+        self._worker_counters: List[Dict[str, int]] = []
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -764,16 +1110,47 @@ class ParallelSimulation(Simulation):
         wire_sites = sorted(self.sites) if self.config.packed_wire else None
         if wire_sites is not None:
             self._codec = WireCodec(wire_sites)
-        if self.config.shared_arena:
+        want_rings = (
+            self._codec is not None and self.config.effective_direct_rings
+        )
+        if self.config.shared_arena or want_rings:
             # Created before the fork so every worker inherits the mapping;
-            # a post-fork segment would be private to its creator.
+            # a post-fork segment would be private to its creator.  With
+            # shared_arena off but rings on, the arena is rings-only (no
+            # site regions).
             self._arena = create_arena(
-                {
-                    site_id: site.heap.mirror_slots
-                    for site_id, site in self.sites.items()
-                },
+                (
+                    {
+                        site_id: site.heap.mirror_slots
+                        for site_id, site in self.sites.items()
+                    }
+                    if self.config.shared_arena
+                    else {}
+                ),
                 slot_capacity=self.config.arena_slots_per_site,
+                ring_workers=len(shards) if want_rings else 0,
+                ring_bytes=(
+                    self.config.ring_bytes_per_pair if want_rings else 0
+                ),
             )
+        # Rings are best-effort like the arena itself: no shared memory on
+        # this platform means the coordinator-routed path carries on.
+        self._rings_active = (
+            want_rings
+            and self._arena is not None
+            and self._arena.ring_workers == len(shards)
+        )
+        if self._rings_active:
+            worker_count = len(shards)
+            self._ring_write_pos = [
+                [0] * worker_count for _ in range(worker_count)
+            ]
+            self._ring_limit_sent = [
+                [0] * worker_count for _ in range(worker_count)
+            ]
+            self._ring_confirmed = [
+                [0] * worker_count for _ in range(worker_count)
+            ]
         min_latency = self.config.network.min_latency
         self._shard_lookahead = []
         for shard in shards:
@@ -785,19 +1162,33 @@ class ParallelSimulation(Simulation):
             self._shard_lookahead.append(
                 min_latency if bound is None else bound
             )
-        self._pool.start(shards, self, wire_sites, self._arena, self._demand)
+        if self._codec is not None:
+            # Built before the fork: ring-mode workers route sends through
+            # this table themselves.
+            self._index_to_worker = [0] * len(self.sites)
+            for index, shard in enumerate(shards):
+                for site_id in shard:
+                    self._index_to_worker[self._codec.site_index(site_id)] = (
+                        index
+                    )
+        self._pool.start(
+            shards,
+            self,
+            wire_sites,
+            self._arena,
+            self._demand,
+            ring_plan=self._index_to_worker if self._rings_active else None,
+            delta_exports=self._delta_exports,
+        )
         # Flag flips only after every fork: children must see the sequential
         # view of `self` so their internal calls take direct paths.
         self._forked = True
-        if self._codec is not None:
-            self._index_to_worker = [0] * len(self.sites)
+        self._worker_counters = [dict(self._fork_counters) for _ in shards]
         for index, worker in enumerate(self._pool):
             if self._codec is not None:
                 worker.shard_indices = {
                     self._codec.site_index(site_id) for site_id in worker.shard
                 }
-                for shard_index in worker.shard_indices:
-                    self._index_to_worker[shard_index] = index
             self._absorb(worker, self._pool.recv(worker))
             for site_id in worker.shard:
                 self._site_to_worker[site_id] = index
@@ -835,6 +1226,7 @@ class ParallelSimulation(Simulation):
         worker: _WorkerHandle,
         reply: tuple,
         floor: Optional[float] = None,
+        ring_reply: bool = False,
     ):
         """Fold one worker reply into coordinator state; return its payload.
 
@@ -843,11 +1235,53 @@ class ParallelSimulation(Simulation):
         every routed message delivers at or after it, and the coordinator
         checks that invariant on every absorbed message rather than trusting
         the planner.
+
+        ``ring_reply`` marks the reply as answering a window/align command
+        that carried ring read limits: absorbing it first *confirms* those
+        limits (the shard has drained past them -- its producers may reuse
+        the space, and the batches stop contributing to the horizon), then
+        parses any ring-advertisement section after the 24-byte trailer into
+        new :attr:`_ring_pending` entries.
         """
         if reply[0] == "error":
             raise SimulationError(f"shard worker failed:\n{reply[1]}")
         _, payload, outgoing, meta = reply
         next_time, eot, fired = unpack_reply_meta(meta)
+        if self._rings_active:
+            if ring_reply and worker.limits_inflight:
+                limits = worker.limits_inflight.pop(0)
+                if limits is not None:
+                    dst_w = worker.index
+                    confirmed = self._ring_confirmed
+                    for src_w, entry in enumerate(limits):
+                        if entry is not None and entry[0] > confirmed[src_w][dst_w]:
+                            confirmed[src_w][dst_w] = entry[0]
+                    if self._ring_pending:
+                        self._ring_pending = [
+                            batch
+                            for batch in self._ring_pending
+                            if not (
+                                batch[4] == dst_w
+                                and limits[batch[3]] is not None
+                                and batch[1] <= limits[batch[3]][0]
+                            )
+                        ]
+            if len(meta) > REPLY_META_BYTES:
+                src_w = worker.index
+                batch_floor = floor if floor is not None else -_INF
+                write_pos_row = self._ring_write_pos[src_w]
+                stats = self._stats
+                for dst_w, count, write_pos, min_deliver in unpack_ring_meta(
+                    meta[REPLY_META_BYTES:]
+                ):
+                    stats["ring_bytes"] += write_pos - write_pos_row[dst_w]
+                    stats["ring_messages"] += count
+                    stats["cross_shard_messages"] += count
+                    write_pos_row[dst_w] = write_pos
+                    self._ring_pending.append(
+                        (min_deliver, write_pos, count, src_w, dst_w,
+                         batch_floor)
+                    )
         if self._codec is not None:
             # A blob of packed records: route by scanning headers only.
             pending_append = self._pending.append
@@ -868,6 +1302,10 @@ class ParallelSimulation(Simulation):
                     stats["payloads_pickled"] += 1
                 else:
                     stats["payloads_packed"] += 1
+                if self._rings_active:
+                    # With rings on, every pipe-routed record is one that
+                    # declined its ring (full, or oversized for it).
+                    stats["ring_spills"] += 1
                 pending_append((deliver_at, dst, src, uid, record))
         elif outgoing:
             # Legacy wire: the payload cost is what pickling the routed list
@@ -910,6 +1348,7 @@ class ParallelSimulation(Simulation):
         if self._closed:
             raise SimulationError("parallel simulation has been closed")
         self._stats["site_calls"] += 1
+        self._state_version += 1
         pool = self._pool
         worker = pool.workers[self._site_to_worker[site_id]]
         pool.send(worker, ("site_call", site_id, method, args, kwargs))
@@ -949,6 +1388,45 @@ class ParallelSimulation(Simulation):
         due.sort(key=lambda item: (item[0], item[1].src, item[1].uid))
         return due
 
+    def _ring_limits_for(self, dst_w: int) -> Optional[tuple]:
+        """Newly certifiable read limits for worker ``dst_w``, or None.
+
+        One slot per source worker: ``(limit, check_floor)`` when that ring
+        has bytes beyond the last certified limit, else None.  The check
+        floor is the weakest (minimum) floor over the pending batches the
+        new range covers -- each record must deliver at or after it, which
+        the worker re-asserts at drain time.  Certifying advances
+        ``_ring_limit_sent`` immediately; the batches retire only when the
+        worker's reply confirms the drain.
+        """
+        limit_sent = self._ring_limit_sent
+        write_pos = self._ring_write_pos
+        limits: List[Optional[Tuple[int, float]]] = []
+        any_new = False
+        for src_w in range(len(limit_sent)):
+            new_limit = write_pos[src_w][dst_w]
+            old_limit = limit_sent[src_w][dst_w]
+            if new_limit <= old_limit:
+                limits.append(None)
+                continue
+            check_floor = _INF
+            for batch in self._ring_pending:
+                if (
+                    batch[3] == src_w
+                    and batch[4] == dst_w
+                    and batch[1] > old_limit
+                    and batch[5] < check_floor
+                ):
+                    check_floor = batch[5]
+            limits.append((new_limit, check_floor))
+            limit_sent[src_w][dst_w] = new_limit
+            any_new = True
+        return tuple(limits) if any_new else None
+
+    def _ring_consumed_for(self, src_w: int) -> tuple:
+        """Confirmed consumption cursors for producer ``src_w``'s rings."""
+        return tuple(self._ring_confirmed[src_w])
+
     def _effective_horizon(self) -> float:
         horizon = self._planner.horizon(
             worker.next_time for worker in self._pool
@@ -957,6 +1435,13 @@ class ParallelSimulation(Simulation):
         if pending:
             # First element is deliver_at in both wire modes.
             horizon = min(horizon, min(item[0] for item in pending))
+        if self._ring_pending:
+            # Advertised ring batches the destination shard has not
+            # confirmed draining yet; their earliest delivery caps the
+            # horizon exactly like coordinator-held pending messages.
+            horizon = min(
+                horizon, min(batch[0] for batch in self._ring_pending)
+            )
         return horizon
 
     def _pending_lookahead(self, item) -> float:
@@ -989,6 +1474,13 @@ class ParallelSimulation(Simulation):
                 bound = worker.eot
         for item in self._pending:
             term = item[0] + self._pending_lookahead(item)
+            if term < bound:
+                bound = term
+        for batch in self._ring_pending:
+            # Same cascade argument as coordinator-held pending messages:
+            # the earliest a cascade started by this batch's delivery could
+            # leave the destination shard.
+            term = batch[0] + self._shard_lookahead[batch[4]]
             if term < bound:
                 bound = term
         fixed = min(horizon + self._planner.lookahead, target_excl)
@@ -1029,14 +1521,44 @@ class ParallelSimulation(Simulation):
         return candidate
 
     def _dispatch_window(self, bound: float) -> Tuple[float, bool]:
-        """Send one window to every worker; True when it routed no messages."""
+        """Send one window to every worker; True when it routed no messages.
+
+        Ring mode fuses the whole dispatch -> drain -> route -> absorb
+        sequence into this one send: the command certifies the worker's
+        inbound ring limits (the worker pulls the records itself), carries
+        the confirmed consumption cursors for its outbound rings, and ships
+        any pipe-spilled records undue-filtered -- the worker's stash holds
+        them until due.  "Routed no messages" then also requires that no
+        new ring bytes were certified, which is what the pipelined-dispatch
+        safety argument needs.
+        """
         pool = self._pool
         self._stats["windows"] += 1
         self._floor = bound
         before = len(self._pending)
+        if not self._rings_active:
+            for worker in pool:
+                pool.send(
+                    worker, ("window", bound, self._take_pending(worker, bound))
+                )
+            return bound, len(self._pending) == before
+        certified = False
         for worker in pool:
-            pool.send(worker, ("window", bound, self._take_pending(worker, bound)))
-        return bound, len(self._pending) == before
+            limits = self._ring_limits_for(worker.index)
+            worker.limits_inflight.append(limits)
+            if limits is not None:
+                certified = True
+            pool.send(
+                worker,
+                (
+                    "window",
+                    bound,
+                    self._take_pending(worker, _INF),
+                    limits,
+                    self._ring_consumed_for(worker.index),
+                ),
+            )
+        return bound, not certified and len(self._pending) == before
 
     def _advance(self, target: float) -> int:
         """Advance every shard to exactly ``target`` via safe-time windows.
@@ -1052,6 +1574,7 @@ class ParallelSimulation(Simulation):
         total_fired = 0
         pool = self._pool
         workers = pool.workers
+        self._state_version += 1
         inflight: List[Tuple[float, bool]] = []
         while True:
             if not inflight:
@@ -1062,7 +1585,8 @@ class ParallelSimulation(Simulation):
             bound, clean = inflight.pop(0)
             for index, worker in enumerate(workers):
                 _, fired = self._absorb(
-                    worker, pool.recv(worker), floor=self._floor
+                    worker, pool.recv(worker), floor=self._floor,
+                    ring_reply=True,
                 )
                 total_fired += fired
                 if (
@@ -1070,6 +1594,7 @@ class ParallelSimulation(Simulation):
                     and clean
                     and not inflight
                     and not self._pending
+                    and not self._ring_pending
                     and index + 1 < len(workers)
                 ):
                     candidate = self._pipeline_bound(target_excl, bound)
@@ -1080,9 +1605,27 @@ class ParallelSimulation(Simulation):
         # shards' queues and move every clock (ours included) to the target.
         self._stats["aligns"] += 1
         for worker in pool:
-            pool.send(worker, ("align", target, self._take_pending(worker, _INF)))
+            if self._rings_active:
+                limits = self._ring_limits_for(worker.index)
+                worker.limits_inflight.append(limits)
+                pool.send(
+                    worker,
+                    (
+                        "align",
+                        target,
+                        self._take_pending(worker, _INF),
+                        limits,
+                        self._ring_consumed_for(worker.index),
+                    ),
+                )
+            else:
+                pool.send(
+                    worker, ("align", target, self._take_pending(worker, _INF))
+                )
         for worker in pool:
-            self._absorb(worker, pool.recv(worker), floor=self._floor)
+            self._absorb(
+                worker, pool.recv(worker), floor=self._floor, ring_reply=True
+            )
         self.scheduler.advance_clock(target)
         return total_fired
 
@@ -1100,6 +1643,15 @@ class ParallelSimulation(Simulation):
         ``payloads_pickled`` fell back to (or ran as, in legacy mode)
         per-message pickling.  ``arena_bytes`` is the shared segment size (0
         without one).
+
+        With direct rings active, ``cross_shard_messages`` splits into
+        ``ring_messages`` (travelled shard-to-shard through shared memory;
+        ``ring_bytes`` counts their framed bytes, which never cross a pipe)
+        and ``ring_spills`` (declined the ring -- full, or oversized -- and
+        took the legacy pipe path; the packed/pickled split describes only
+        those).  ``payload_bytes`` therefore covers pipe-routed payloads
+        alone, which is exactly what shrinks to trailer-plus-cursor size
+        per window.
         """
         stats = dict(self._stats)
         for key in (
@@ -1114,6 +1666,9 @@ class ParallelSimulation(Simulation):
             "payloads_packed",
             "payloads_pickled",
             "payload_bytes",
+            "ring_messages",
+            "ring_bytes",
+            "ring_spills",
         ):
             stats.setdefault(key, 0)
         stats["bytes_sent"] = self._pool.bytes_sent
@@ -1121,6 +1676,8 @@ class ParallelSimulation(Simulation):
         stats["commands_sent"] = self._pool.commands_sent
         stats["packed_wire"] = int(self._codec is not None)
         stats["demand_planner"] = int(self._demand)
+        stats["direct_rings"] = int(self._rings_active)
+        stats["delta_exports"] = int(self._delta_exports)
         stats["arena_bytes"] = self._arena.nbytes if self._arena is not None else 0
         return stats
 
@@ -1180,6 +1737,7 @@ class ParallelSimulation(Simulation):
     def quiesce_auto_gc(self) -> None:
         if not self._forked:
             return super().quiesce_auto_gc()
+        self._state_version += 1
         self._broadcast(("quiesce",))
 
     def run_gc_round(self, settle_time: float = 50.0) -> None:
@@ -1221,6 +1779,7 @@ class ParallelSimulation(Simulation):
             super().site(site_id).crash()
             return
         self._crashed_sites.add(site_id)
+        self._state_version += 1
         self._broadcast(("crash", site_id))
 
     def recover_site(self, site_id: SiteId) -> None:
@@ -1230,23 +1789,48 @@ class ParallelSimulation(Simulation):
             super().site(site_id).recover()
             return
         self._crashed_sites.discard(site_id)
+        self._state_version += 1
         self._broadcast(("recover", site_id))
 
     # -- merged state --------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """Merged heap/ioref snapshot, same shape as ``analysis.export.snapshot``."""
+        """Merged heap/ioref snapshot, same shape as ``analysis.export.snapshot``.
+
+        With ``config.delta_exports`` (the default) the broadcast happens at
+        most once per state version: workers ship only sites whose content
+        digest moved since the last export (``None`` for unchanged ones),
+        the coordinator patches its cached copy, and a repeat call with no
+        intervening state change skips the broadcast entirely.  Treat the
+        result as read-only -- cached site entries are shared between calls.
+        """
         if not self._forked:
             from ..analysis.export import graph_snapshot
 
             return graph_snapshot(self)
-        payloads, _ = self._broadcast(("snapshot",))
-        merged: Dict[str, Any] = {}
-        for shard_snapshot in payloads:
-            merged.update(shard_snapshot)
+        if not self._delta_exports:
+            payloads, _ = self._broadcast(("snapshot",))
+            merged: Dict[str, Any] = {}
+            for shard_snapshot in payloads:
+                merged.update(shard_snapshot)
+            return {
+                "time": self.now,
+                "sites": {
+                    site_id: merged[site_id] for site_id in sorted(merged)
+                },
+            }
+        if self._snapshot_version != self._state_version:
+            payloads, _ = self._broadcast(("snapshot",))
+            cache = self._snapshot_cache
+            for shard_snapshot in payloads:
+                for site_id, snap in shard_snapshot.items():
+                    if snap is not None:
+                        cache[site_id] = snap
+            self._snapshot_version = self._state_version
+        cache = self._snapshot_cache
         return {
             "time": self.now,
-            "sites": {site_id: merged[site_id] for site_id in sorted(merged)},
+            "sites": {site_id: cache[site_id] for site_id in sorted(cache)},
         }
 
     def merged_metrics(self) -> MetricsRecorder:
@@ -1254,18 +1838,39 @@ class ParallelSimulation(Simulation):
 
         Every worker inherited the pre-fork counters at fork time, so the
         merge adds only each worker's post-fork deltas to the baseline once.
-        Observations (value series) are not merged across processes.
+        Observations (value series) are not merged across processes.  With
+        ``config.delta_exports`` the broadcast happens at most once per
+        state version and ships only counters whose values moved; the
+        coordinator keeps each worker's last known values and re-merges
+        from those.
         """
         if not self._forked:
             return self.metrics
-        payloads, _ = self._broadcast(("metrics",))
-        merged = Counter(self._fork_counters)
-        for worker_counters in payloads:
-            for name, value in worker_counters.items():
-                merged[name] += value - self._fork_counters.get(name, 0)
+        if not self._delta_exports:
+            payloads, _ = self._broadcast(("metrics",))
+            merged = Counter(self._fork_counters)
+            for worker_counters in payloads:
+                for name, value in worker_counters.items():
+                    merged[name] += value - self._fork_counters.get(name, 0)
+            recorder = MetricsRecorder()
+            recorder._counters.update(
+                {name: value for name, value in merged.items() if value}
+            )
+            return recorder
+        if self._metrics_version != self._state_version:
+            payloads, _ = self._broadcast(("metrics",))
+            for known, delta in zip(self._worker_counters, payloads):
+                known.update(delta)
+            merged = Counter(self._fork_counters)
+            fork_value = self._fork_counters.get
+            for known in self._worker_counters:
+                for name, value in known.items():
+                    merged[name] += value - fork_value(name, 0)
+            self._metrics_cache = merged
+            self._metrics_version = self._state_version
         recorder = MetricsRecorder()
         recorder._counters.update(
-            {name: value for name, value in merged.items() if value}
+            {name: value for name, value in self._metrics_cache.items() if value}
         )
         return recorder
 

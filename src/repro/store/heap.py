@@ -93,6 +93,11 @@ class Heap:
         self._graph_epoch = 0
         self._csr: Optional[FlatCsr] = None
         self._csr_epoch = -1
+        # Set by the vector clean-phase kernel when this heap's graph turned
+        # out too deep-and-narrow for level-synchronous BFS: counts down the
+        # traces to route straight to the flat scalar kernel before probing
+        # the vector path again (see repro.core.distance).
+        self.vector_kernel_backoff = 0
 
     # -- mutation epoch ---------------------------------------------------------
     #

@@ -257,8 +257,12 @@ def test_coordination_stats_count_packed_traffic():
     assert stats["packed_wire"] == 1
     assert stats["windows"] > 0
     assert stats["bytes_sent"] > 0 and stats["bytes_recv"] > 0
+    # Every routed message is accounted exactly once: through the rings or
+    # (spills and ring-off runs) through the pipe packers.
     assert stats["cross_shard_messages"] == (
-        stats["payloads_packed"] + stats["payloads_pickled"]
+        stats["ring_messages"]
+        + stats["payloads_packed"]
+        + stats["payloads_pickled"]
     )
     # Every hot-path payload kind in this workload has a packed encoding.
     assert stats["payloads_pickled"] == 0

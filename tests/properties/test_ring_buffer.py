@@ -1,0 +1,119 @@
+"""Properties of the position-free SPSC byte ring (:class:`SpscRing`).
+
+The ring holds no cursors: the writer owns its write position, the reader
+is told which ranges are certified, and the free-space check uses whatever
+consumption point the coordinator has confirmed.  That makes the class a
+pure function of its call sequence, so it is property-testable over a plain
+``bytearray`` -- no shared memory, no processes:
+
+- every accepted write round-trips byte-exact through ``read``, in order,
+  across arbitrary wraparound;
+- a write is accepted iff it fits the free space implied by the confirmed
+  consumption point, and never partially;
+- a certified range that does not hold well-formed frames (truncated
+  length prefix, oversized declared length) raises -- with
+  coordinator-certified cursors that can only mean corruption.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.store.shm import RING_FRAME_BYTES, SpscRing
+
+RECORDS = st.lists(st.binary(min_size=0, max_size=40), min_size=1, max_size=60)
+
+
+@settings(max_examples=120, deadline=None)
+@given(records=RECORDS, capacity=st.integers(min_value=16, max_value=128),
+       batch=st.integers(min_value=1, max_value=7))
+def test_accepted_writes_round_trip_in_order_across_wraparound(
+    records, capacity, batch
+):
+    """Write/consume in batches so positions lap the buffer many times; every
+    accepted record comes back byte-exact, in write order."""
+    ring = SpscRing(bytearray(capacity))
+    write_pos = 0
+    consumed = 0
+    pending_since = 0
+    for index, record in enumerate(records):
+        new_pos = ring.try_write(record, write_pos, consumed)
+        fits = RING_FRAME_BYTES + len(record) <= ring.free_space(
+            write_pos, consumed
+        )
+        assert (new_pos is not None) == fits
+        if new_pos is None:
+            # Drain everything certified so far, then the write must succeed
+            # unless the record alone exceeds the whole ring.
+            got = ring.read(consumed, write_pos)
+            assert got == records[pending_since:index][: len(got)]
+            consumed = write_pos
+            pending_since = index
+            new_pos = ring.try_write(record, write_pos, consumed)
+            if RING_FRAME_BYTES + len(record) > capacity:
+                assert new_pos is None
+                pending_since = index + 1
+                continue
+        write_pos = new_pos
+        if (index + 1) % batch == 0:
+            got = ring.read(consumed, write_pos)
+            assert got == records[pending_since : index + 1]
+            consumed = write_pos
+            pending_since = index + 1
+    assert ring.read(consumed, write_pos) == records[pending_since:]
+
+
+@settings(max_examples=80, deadline=None)
+@given(capacity=st.integers(min_value=16, max_value=96),
+       record=st.binary(min_size=1, max_size=24))
+def test_full_ring_declines_then_accepts_after_consume(capacity, record):
+    """Writes are declined exactly when the ring is full, accepted again the
+    moment the coordinator certifies consumption -- never overwritten."""
+    ring = SpscRing(bytearray(capacity))
+    framed = RING_FRAME_BYTES + len(record)
+    write_pos = 0
+    accepted = 0
+    while True:
+        new_pos = ring.try_write(record, write_pos, 0)
+        if new_pos is None:
+            break
+        write_pos = new_pos
+        accepted += 1
+    assert accepted == capacity // framed
+    # Still declined with nothing consumed; accepted after one record frees.
+    assert ring.try_write(record, write_pos, 0) is None
+    after = ring.try_write(record, write_pos, framed)
+    assert after == write_pos + framed
+    # The first record was already consumed, the rest plus the new one are
+    # intact -- the overflow decline never clobbered certified bytes.
+    assert ring.read(framed, after) == [record] * accepted
+
+
+@settings(max_examples=80, deadline=None)
+@given(capacity=st.integers(min_value=16, max_value=96),
+       trailing=st.integers(min_value=1, max_value=RING_FRAME_BYTES - 1))
+def test_truncated_length_prefix_is_rejected(capacity, trailing):
+    """A certified limit that cuts a length prefix short is corruption."""
+    ring = SpscRing(bytearray(capacity))
+    with pytest.raises(SimulationError, match="torn ring frame"):
+        ring.read(0, trailing)
+
+
+@settings(max_examples=80, deadline=None)
+@given(capacity=st.integers(min_value=16, max_value=96),
+       declared=st.integers(min_value=1, max_value=2**31))
+def test_oversized_declared_length_is_rejected(capacity, declared):
+    """A frame whose declared size runs past the certified limit (or could
+    never fit the ring at all) is corruption, not a retry condition."""
+    ring = SpscRing(bytearray(capacity))
+    prefix = struct.pack("<I", declared)
+    ring.buf[: len(prefix)] = prefix
+    with pytest.raises(SimulationError, match="torn ring frame"):
+        ring.read(0, RING_FRAME_BYTES)
+
+
+def test_capacity_too_small_to_frame_anything_is_rejected():
+    with pytest.raises(SimulationError, match="cannot frame"):
+        SpscRing(bytearray(RING_FRAME_BYTES))

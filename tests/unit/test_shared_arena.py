@@ -263,3 +263,76 @@ def test_vector_kernel_without_numpy_falls_back(monkeypatch):
     monkeypatch.setattr(distance_mod, "np", None)
     result = trace_clean_phase_vector(heap, [(root.oid, 0)])
     assert result.objects_scanned == 2
+
+
+@pytest.mark.skipif(np is None, reason="numpy unavailable")
+def test_vector_kernel_bails_out_on_deep_narrow_graphs():
+    from repro.core.distance import _NARROW_PROBE_LEVELS
+
+    heap = Heap("P")
+    chain = [heap.alloc() for _ in range(_NARROW_PROBE_LEVELS * 4)]
+    for holder, target in zip(chain, chain[1:]):
+        holder.add_ref(target.oid)
+    chain[-1].add_ref(ObjectId("Q", 0))
+    roots = [(chain[0].oid, 0)]
+    expected = _as_tuple(trace_clean_phase_flat(heap, roots))
+
+    # A width-1 chain triggers the narrow-frontier bailout: identical
+    # result (marks restored, outref distance intact), plus a backoff so
+    # the next traces skip numpy entirely.
+    got = _as_tuple(trace_clean_phase_vector(heap, roots))
+    assert got == expected
+    assert heap.vector_kernel_backoff > 0
+
+    remaining = heap.vector_kernel_backoff
+    again = _as_tuple(trace_clean_phase_vector(heap, roots))
+    assert again == expected
+    assert heap.vector_kernel_backoff == remaining - 1
+
+
+# -- ring area ----------------------------------------------------------------
+
+
+def test_ring_area_carves_distinct_pair_slices():
+    arena = _arena(slot_capacity=8, ring_workers=2, ring_bytes=2048)
+    try:
+        assert arena.ring_workers == 2 and arena.ring_bytes == 2048
+        assert arena.has_site_regions
+        # Each ordered pair gets its own slice; a write to (0, 1) is
+        # invisible to (1, 0) and never corrupts the site regions.
+        forward, backward = arena.ring(0, 1), arena.ring(1, 0)
+        pos = forward.try_write(b"hello", 0, 0)
+        assert pos is not None
+        assert forward.read(0, pos) == [b"hello"]
+        assert backward.read(0, 0) == []
+        assert arena.total_alive() == 0
+        with pytest.raises(Exception, match="no ring"):
+            arena.ring(0, 2)
+    finally:
+        arena.close()
+
+
+def test_rings_only_arena_has_no_site_regions():
+    # shared_arena=False + direct_rings=True builds an arena with an empty
+    # site table: ring slices exist, but there are no published counts and
+    # total_alive must say so rather than report 0.
+    arena = SharedArena([], ring_workers=2, ring_bytes=1024)
+    try:
+        assert not arena.has_site_regions
+        assert arena.total_alive() is None
+        assert arena.alive_counts() is None
+        ring = arena.ring(1, 0)
+        pos = ring.try_write(b"x" * 64, 0, 0)
+        assert ring.read(0, pos) == [b"x" * 64]
+    finally:
+        arena.close()
+
+
+def test_ring_area_absent_without_ring_bytes():
+    arena = _arena(slot_capacity=8, ring_workers=4, ring_bytes=0)
+    try:
+        assert arena.ring_workers == 0
+        with pytest.raises(Exception, match="no ring"):
+            arena.ring(0, 0)
+    finally:
+        arena.close()
