@@ -1,0 +1,127 @@
+"""E22 -- Rival first-class backends: back tracing vs termination detection.
+
+The two per-site backends behind the ``Collector`` boundary, head-to-head
+on the E6 locality workload (a two-site garbage cycle inside an 8-site
+system with live bystander structure): message count, message units, sites
+involved, rounds to collection, and wall clock, healthy and with a crashed
+bystander.
+
+Expected shape: both backends share the locality property -- only the
+cycle's sites appear in their protocol traffic, and a bystander crash stops
+neither -- but they price a verdict differently.  One back trace spends
+2E + (N-1) constant-size messages; one trial spends a mark wave, a rescue
+wave, and per-phase credit acks, so more messages per round and target
+lists instead of constant-size payloads.  The pinned numbers live in
+``BENCH_collector_rivals.json``; the differential matrix (``python -m
+repro diff``, EXPERIMENTS.md E22) guards the agreement side.
+"""
+
+import time
+
+import pytest
+
+from repro.harness.comparison import CYCLE_SITES, run_with_collector
+from repro.harness.report import Table
+
+RIVALS = ("backtrace", "termination")
+
+
+def run_rival(name, crash_bystander=False):
+    started = time.perf_counter()
+    stats = run_with_collector(name, crash_bystander=crash_bystander)
+    stats["wall_seconds"] = time.perf_counter() - started
+    return stats
+
+
+def run_comparison():
+    return {
+        name: {
+            "healthy": run_rival(name),
+            "crashed": run_rival(name, crash_bystander=True),
+        }
+        for name in RIVALS
+    }
+
+
+@pytest.mark.parametrize("name", RIVALS)
+def test_rival_collects_cycle(benchmark, name):
+    stats = benchmark.pedantic(run_rival, args=(name,), rounds=1, iterations=1)
+    assert stats["collected"], f"{name} failed to collect the cycle"
+
+
+def test_e22_rivals_table(benchmark, record_table):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    table = Table(
+        "E22: rival backends on the E6 workload (2-site cycle, 8 sites)",
+        [
+            "backend",
+            "rounds",
+            "protocol msgs",
+            "msg units",
+            "sites involved",
+            "collected",
+            "collected w/ crash",
+        ],
+    )
+    for name in RIVALS:
+        healthy = results[name]["healthy"]
+        crashed = results[name]["crashed"]
+        table.add_row(
+            name,
+            healthy["rounds"] if healthy["rounds"] is not None else "-",
+            healthy["messages"],
+            healthy["units"],
+            len(healthy["involved"]),
+            "yes" if healthy["collected"] else "no",
+            "yes" if crashed["collected"] else "NO",
+        )
+    record_table("e22_rivals", table)
+
+    for name in RIVALS:
+        healthy = results[name]["healthy"]
+        crashed = results[name]["crashed"]
+        # Both backends collect, with or without the crashed bystander, and
+        # both have the locality property: protocol traffic only ever
+        # touches the cycle's own sites.
+        assert healthy["collected"] and crashed["collected"], name
+        assert set(healthy["involved"]) == set(CYCLE_SITES), name
+
+    bt = results["backtrace"]["healthy"]
+    tm = results["termination"]["healthy"]
+    # The paper's 2E + (N-1) constant-size messages (E=2, N=2 here).
+    assert bt["messages"] == 5 and bt["units"] == bt["messages"]
+    # A trial is chattier: mark + rescue waves plus per-phase credit acks.
+    assert tm["messages"] > bt["messages"]
+    # Mark/rescue fan-out carries target lists, so units can exceed the
+    # message count but must stay far from migration's object-sized cost.
+    assert tm["units"] >= tm["messages"]
+    assert tm["units"] <= 4 * tm["messages"]
+
+
+if __name__ == "__main__":
+    # Standalone mode: emit the comparison as JSON so the repo can pin the
+    # headline numbers (see BENCH_collector_rivals.json).
+    import json
+    import sys
+
+    try:
+        from .hostinfo import host_header
+    except ImportError:
+        from hostinfo import host_header
+
+    stats = run_comparison()
+    results = {"host": host_header()}
+    for name in RIVALS:
+        results[name] = stats[name]
+    bt = stats["backtrace"]["healthy"]
+    tm = stats["termination"]["healthy"]
+    results["message_ratio_termination_over_backtrace"] = (
+        tm["messages"] / bt["messages"]
+    )
+    results["unit_ratio_termination_over_backtrace"] = tm["units"] / bt["units"]
+    results["locality_holds_for_both"] = all(
+        set(stats[name]["healthy"]["involved"]) == set(CYCLE_SITES)
+        for name in RIVALS
+    )
+    json.dump(results, sys.stdout, indent=2)
+    print()

@@ -11,7 +11,7 @@ run would abort.
 Run:  python examples/concurrent_mutator.py
 """
 
-from repro import GcConfig, Simulation, SimulationConfig
+from repro.api import GcConfig, Simulation, SimulationConfig
 from repro.analysis import Oracle
 from repro.mutator import RandomWorkload, WorkloadConfig
 from repro.workloads import build_random_clustered_graph, build_ring_cycle
@@ -28,7 +28,7 @@ def main() -> None:
         local_trace_duration=5.0,       # non-atomic traces (section 6.2)
         backtrace_timeout=200.0,
     )
-    sim = Simulation(SimulationConfig(seed=1, gc=gc))
+    sim = Simulation.create(SimulationConfig(seed=1, gc=gc))
     sim.add_sites(SITES, auto_gc=True)
     graph = build_random_clustered_graph(sim, SITES, objects_per_site=25, seed=1)
     rings = [build_ring_cycle(sim, SITES[k:] + SITES[:k]) for k in range(3)]

@@ -16,7 +16,7 @@ would freeze collection everywhere (see benchmarks/bench_e6_*).
 Run:  python examples/fault_tolerant_stores.py
 """
 
-from repro import GcConfig, Simulation, SimulationConfig
+from repro.api import GcConfig, Simulation, SimulationConfig
 from repro.analysis import Oracle
 from repro.workloads import build_ring_cycle
 
@@ -30,7 +30,7 @@ def cycle_status(sim, workload) -> str:
 
 def main() -> None:
     gc = GcConfig(backtrace_timeout=30.0)
-    sim = Simulation(SimulationConfig(seed=11, gc=gc))
+    sim = Simulation.create(SimulationConfig(seed=11, gc=gc))
     sim.add_sites(SITES, auto_gc=False)
 
     cycle_ab = build_ring_cycle(sim, ["a", "b"])

@@ -19,7 +19,7 @@ The printed series is the accumulated storage loss over time.
 Run:  python examples/hypertext_web.py
 """
 
-from repro import GcConfig, Simulation, SimulationConfig
+from repro.api import GcConfig, Simulation, SimulationConfig
 from repro.analysis import Oracle
 from repro.workloads import build_hypertext_web
 
@@ -28,7 +28,7 @@ SITES = ["lib0", "lib1", "lib2", "lib3"]
 
 def build(enable_backtracing: bool):
     gc = GcConfig(enable_backtracing=enable_backtracing)
-    sim = Simulation(SimulationConfig(seed=7, gc=gc))
+    sim = Simulation.create(SimulationConfig(seed=7, gc=gc))
     sim.add_sites(SITES, auto_gc=False)
     web = build_hypertext_web(
         sim,

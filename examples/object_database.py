@@ -15,7 +15,7 @@ and order partitions.
 Run:  python examples/object_database.py
 """
 
-from repro import Simulation, SimulationConfig
+from repro.api import Simulation, SimulationConfig
 from repro.analysis import Oracle, TraceLog
 from repro.workloads import build_object_database
 
@@ -23,7 +23,7 @@ SITES = ["customers", "orders", "products"]
 
 
 def main() -> None:
-    sim = Simulation(SimulationConfig(seed=3))
+    sim = Simulation.create(SimulationConfig(seed=3))
     sim.add_sites(SITES, auto_gc=False)
     log = TraceLog(sim)
     db = build_object_database(

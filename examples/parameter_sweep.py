@@ -16,7 +16,7 @@ Results also land in ``sweep_results.csv`` for external analysis.
 Run:  python examples/parameter_sweep.py
 """
 
-from repro import GcConfig, Simulation, SimulationConfig
+from repro.api import GcConfig, Simulation, SimulationConfig
 from repro.analysis import Oracle
 from repro.harness.experiment import ExperimentRunner
 from repro.workloads import build_ring_cycle
@@ -29,7 +29,7 @@ def measure(parameters, seed):
         suspicion_threshold=parameters["T"],
         assumed_cycle_length=parameters["L"],
     )
-    sim = Simulation(SimulationConfig(seed=seed, gc=gc))
+    sim = Simulation.create(SimulationConfig(seed=seed, gc=gc))
     sites = [f"s{i}" for i in range(N_SITES)]
     sim.add_sites(sites, auto_gc=False)
     workload = build_ring_cycle(sim, sites)

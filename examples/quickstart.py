@@ -10,13 +10,13 @@ traces delete it -- involving only the two sites that contain it.
 Run:  python examples/quickstart.py
 """
 
-from repro import GcConfig, Simulation, SimulationConfig
+from repro.api import GcConfig, Simulation, SimulationConfig
 from repro.analysis import Oracle
 from repro.workloads import GraphBuilder
 
 
 def main() -> None:
-    sim = Simulation(SimulationConfig(seed=42, gc=GcConfig()))
+    sim = Simulation.create(SimulationConfig(seed=42, gc=GcConfig()))
     sim.add_sites(["P", "Q"], auto_gc=False)
 
     build = GraphBuilder(sim)

@@ -8,29 +8,51 @@ garbage and the back-tracing protocol that confirms and collects it -- with
 the locality property the paper is about (collecting a cycle involves only
 the sites containing it).
 
-Quickstart::
+Quickstart (the stable facade lives in :mod:`repro.api` and is re-exported
+here)::
 
-    from repro import Simulation, SimulationConfig
+    from repro.api import Simulation, SimulationConfig
     from repro.workloads import build_ring_cycle
     from repro.analysis import Oracle
 
-    sim = Simulation(SimulationConfig(seed=1))
+    sim = Simulation.create(SimulationConfig(seed=1))
     sim.add_sites(["P", "Q"], auto_gc=False)
     workload = build_ring_cycle(sim, ["P", "Q"])
     workload.make_garbage(sim)         # cut the root edge: cycle is garbage
     for _ in range(20):
         sim.run_gc_round()             # local traces + back tracing
     assert not Oracle(sim).garbage_set()
+
+Set ``GcConfig(collector="termination")`` to run the same experiment under
+the rival termination-detection backend; ``python -m repro diff`` cross-runs
+both and oracle-checks that they reclaim identical garbage.
 """
 
-from .config import GcConfig, NetworkConfig, SimulationConfig
-from .errors import ReproError
-from .ids import FrameId, ObjectId, SiteId, TraceId
-from .sim.simulation import Simulation
-from .sim.parallel import ParallelSimulation
-from .net.faults import FaultPlan, LinkFault, PartitionWindow, SiteCrash
-from .site.site import Site
-from .core.backtrace.messages import TraceOutcome
+from .api import (
+    Collector,
+    CollectorSpec,
+    ConfigError,
+    FaultPlan,
+    FrameId,
+    GcConfig,
+    LinkFault,
+    NetworkConfig,
+    ObjectId,
+    ParallelSimulation,
+    PartitionWindow,
+    ReproError,
+    Simulation,
+    SimulationConfig,
+    SimulationError,
+    Site,
+    SiteCrash,
+    SiteId,
+    TraceId,
+    TraceOutcome,
+    available_collectors,
+    register_collector,
+    resolve_collector,
+)
 
 __version__ = "1.0.0"
 
@@ -39,6 +61,8 @@ __all__ = [
     "NetworkConfig",
     "SimulationConfig",
     "ReproError",
+    "ConfigError",
+    "SimulationError",
     "ObjectId",
     "SiteId",
     "TraceId",
@@ -51,5 +75,10 @@ __all__ = [
     "ParallelSimulation",
     "Site",
     "TraceOutcome",
+    "Collector",
+    "CollectorSpec",
+    "available_collectors",
+    "register_collector",
+    "resolve_collector",
     "__version__",
 ]

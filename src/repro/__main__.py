@@ -5,11 +5,14 @@ Commands:
 - ``demo``       -- the quickstart: watch a two-site cycle get collected.
 - ``figures``    -- rebuild the paper's figure scenarios and print what
                     happens on each (F1, F2, F3, F5 stories).
-- ``compare``    -- the seven-collector comparison table (benchmark E6).
+- ``compare``    -- the collector comparison table (benchmark E6).
 - ``stress``     -- a randomized full-concurrency run with live safety
                     auditing (like benchmark E7).
 - ``scale``      -- a many-site churn run on the sharded parallel engine
                     (``--workers N`` picks the worker-process count).
+- ``diff``       -- differential testing: run the back tracer and the
+                    termination backend over identical seeded workloads and
+                    oracle-check they reclaim the same garbage (E22).
 
 Every command accepts ``--seed`` for deterministic replay and ``--profile``
 to run under cProfile and print the top-20 cumulative hotspots on exit.
@@ -20,7 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import GcConfig, Simulation, SimulationConfig
+from .api import GcConfig, Simulation, SimulationConfig
 from .analysis import Oracle
 from .harness.profiling import profiled
 from .harness.report import Table
@@ -28,7 +31,7 @@ from .workloads import GraphBuilder
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    sim = Simulation(SimulationConfig(seed=args.seed))
+    sim = Simulation.create(SimulationConfig(seed=args.seed))
     sim.add_sites(["P", "Q"], auto_gc=False)
     builder = GraphBuilder(sim)
     root = builder.obj("P", root=True)
@@ -124,7 +127,7 @@ def cmd_stress(args: argparse.Namespace) -> int:
         backtrace_timeout=200.0,
     )
     sites = [f"s{i}" for i in range(args.sites)]
-    sim = Simulation(SimulationConfig(seed=args.seed, gc=gc))
+    sim = Simulation.create(SimulationConfig(seed=args.seed, gc=gc))
     sim.add_sites(sites, auto_gc=True)
     graph = build_random_clustered_graph(sim, sites, objects_per_site=25, seed=args.seed)
     rings = [build_ring_cycle(sim, sites[k:] + sites[:k]) for k in range(3)]
@@ -235,6 +238,48 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    from .harness.differential import WORKLOADS, run_differential_matrix
+
+    if args.smoke:
+        seeds = [args.seed, args.seed + 1]
+        workloads = ("rings", "hypertext")
+    else:
+        seeds = [args.seed + offset for offset in range(args.seeds)]
+        workloads = WORKLOADS
+    results = run_differential_matrix(seeds, workloads)
+    table = Table(
+        "Differential matrix: backtrace vs termination, oracle-audited",
+        ["seed", "workload", "garbage", "bt rounds", "term rounds", "gap", "agree"],
+    )
+    failures = 0
+    for result in results:
+        failures += 0 if result.agreed else 1
+        bt = result.runs.get("backtrace")
+        tm = result.runs.get("termination")
+        gap = result.latency_gap
+        table.add_row(
+            result.seed,
+            result.workload,
+            result.expected_garbage,
+            (bt.rounds_to_clear if bt and bt.rounds_to_clear else "-"),
+            (tm.rounds_to_clear if tm and tm.rounds_to_clear else "-"),
+            f"{gap:+.2f}" if gap is not None else "-",
+            "yes" if result.agreed else "NO",
+        )
+    table.print()
+    for result in results:
+        run_violations = [
+            violation
+            for run in result.runs.values()
+            for violation in run.violations
+        ]
+        for violation in result.violations + run_violations:
+            print(f"  [{result.seed}/{result.workload}] {violation}")
+    print(f"{len(results) - failures}/{len(results)} cells agreed")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -271,6 +316,16 @@ def main(argv=None) -> int:
     chaos.add_argument(
         "--seeds", type=int, default=8, help="number of seeds (full matrix)"
     )
+    diff = sub.add_parser(
+        "diff",
+        help="differential test: backtrace vs termination backend (E22)",
+    )
+    diff.add_argument(
+        "--smoke", action="store_true", help="small fast matrix (CI)"
+    )
+    diff.add_argument(
+        "--seeds", type=int, default=8, help="number of seeds (full matrix)"
+    )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -280,6 +335,7 @@ def main(argv=None) -> int:
         "stress": cmd_stress,
         "scale": cmd_scale,
         "chaos": cmd_chaos,
+        "diff": cmd_diff,
     }
     with profiled(enabled=args.profile):
         return handlers[args.command](args)

@@ -35,9 +35,11 @@ from typing import Dict, List, Set, Tuple
 
 from ..core.backinfo import TraceEnvironment, compute_outsets_bottom_up
 from ..core.distance import trace_clean_phase
+from ..core.collector import CollectorSpec, NullCollector, register_collector
 from ..ids import ObjectId, SiteId
 from ..net.message import Message, Payload
 from ..sim.simulation import Simulation
+from .registry import DeprecatedDirectInit
 
 
 @dataclass(frozen=True)
@@ -71,10 +73,13 @@ class FlagCommand(Payload):
         return max(1, len(self.targets))
 
 
-class CentralServiceCollector:
+class CentralServiceCollector(DeprecatedDirectInit):
     """A logically central detector fed by per-site reachability summaries."""
 
+    registry_name = "baseline.central"
+
     def __init__(self, sim: Simulation, service: SiteId):
+        self._warn_if_direct()
         self.sim = sim
         self.service = service
         self._generation = 0
@@ -230,3 +235,14 @@ class CentralServiceCollector:
             entry.garbage = True
             self.inrefs_flagged += 1
             self.sim.metrics.incr("baseline.central.inrefs_flagged")
+
+
+def _driver(sim: Simulation) -> CentralServiceCollector:
+    return CentralServiceCollector._create(sim, sorted(sim.sites)[0])
+
+
+register_collector(
+    CollectorSpec(
+        name="baseline.central", site_factory=NullCollector, driver_factory=_driver
+    )
+)

@@ -24,9 +24,11 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Set, Tuple
 
+from ..core.collector import CollectorSpec, NullCollector, register_collector
 from ..ids import ObjectId, SiteId
 from ..net.message import Message, Payload
 from ..sim.simulation import Simulation
+from .registry import DeprecatedDirectInit
 from .termination import CreditPool, split_credit
 
 
@@ -54,10 +56,13 @@ class SweepCommand(Payload):
     generation: int
 
 
-class GlobalTraceCollector:
+class GlobalTraceCollector(DeprecatedDirectInit):
     """Coordinator-driven global mark-sweep attached to a simulation."""
 
+    registry_name = "baseline.global"
+
     def __init__(self, sim: Simulation, coordinator: SiteId):
+        self._warn_if_direct()
         self.sim = sim
         self.coordinator = coordinator
         self.generation = 0
@@ -174,3 +179,14 @@ class GlobalTraceCollector:
             site.inrefs.remove(oid)
             # Outrefs held by swept objects are trimmed by the next local
             # trace via the normal update path.
+
+
+def _driver(sim: Simulation) -> GlobalTraceCollector:
+    return GlobalTraceCollector._create(sim, sorted(sim.sites)[0])
+
+
+register_collector(
+    CollectorSpec(
+        name="baseline.global", site_factory=NullCollector, driver_factory=_driver
+    )
+)

@@ -27,9 +27,11 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..core.collector import CollectorSpec, NullCollector, register_collector
 from ..ids import ObjectId, SiteId
 from ..net.message import Message, Payload
 from ..sim.simulation import Simulation
+from .registry import DeprecatedDirectInit
 from .termination import CreditPool, split_credit
 
 
@@ -73,10 +75,13 @@ class GroupSweep(Payload):
     group_id: int
 
 
-class GroupTraceCollector:
+class GroupTraceCollector(DeprecatedDirectInit):
     """Suspect-seeded group formation and intra-group mark-sweep."""
 
+    registry_name = "baseline.group"
+
     def __init__(self, sim: Simulation, suspicion_threshold: Optional[int] = None):
+        self._warn_if_direct()
         self.sim = sim
         gc = sim.config.gc
         self.suspicion_threshold = (
@@ -322,3 +327,14 @@ class _GroupState:
             self.marks = {}
         if self.seeds_by_site is None:
             self.seeds_by_site = {}
+
+
+def _driver(sim: Simulation) -> GroupTraceCollector:
+    return GroupTraceCollector._create(sim)
+
+
+register_collector(
+    CollectorSpec(
+        name="baseline.group", site_factory=NullCollector, driver_factory=_driver
+    )
+)

@@ -34,9 +34,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..core.collector import CollectorSpec, NullCollector, register_collector
 from ..ids import ObjectId, SiteId
 from ..net.message import Message, Payload
 from ..sim.simulation import Simulation
+from .registry import DeprecatedDirectInit
 
 
 @dataclass(frozen=True)
@@ -63,10 +65,13 @@ class ThresholdAnnounce(Payload):
     threshold: float
 
 
-class HughesCollector:
+class HughesCollector(DeprecatedDirectInit):
     """Timestamp propagation + centrally computed global threshold."""
 
+    registry_name = "baseline.hughes"
+
     def __init__(self, sim: Simulation, coordinator: SiteId):
+        self._warn_if_direct()
         self.sim = sim
         self.coordinator = coordinator
         self.inref_stamps: Dict[SiteId, Dict[ObjectId, float]] = {
@@ -205,3 +210,14 @@ class HughesCollector:
             self.sim.run_for(settle_time)
         self.compute_threshold()
         self.sim.settle(settle_time)
+
+
+def _driver(sim: Simulation) -> HughesCollector:
+    return HughesCollector._create(sim, sorted(sim.sites)[0])
+
+
+register_collector(
+    CollectorSpec(
+        name="baseline.hughes", site_factory=NullCollector, driver_factory=_driver
+    )
+)

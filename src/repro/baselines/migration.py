@@ -25,9 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..core.collector import CollectorSpec, NullCollector, register_collector
 from ..ids import ObjectId, SiteId
 from ..net.message import Message, Payload
 from ..sim.simulation import Simulation
+from .registry import DeprecatedDirectInit
 
 
 @dataclass(frozen=True)
@@ -56,10 +58,13 @@ class PatchRefs(Payload):
     new_id: ObjectId
 
 
-class MigrationCollector:
+class MigrationCollector(DeprecatedDirectInit):
     """Distance-triggered migration of suspected objects."""
 
+    registry_name = "baseline.migration"
+
     def __init__(self, sim: Simulation, migration_threshold: Optional[int] = None):
+        self._warn_if_direct()
         self.sim = sim
         gc = sim.config.gc
         self.migration_threshold = (
@@ -190,3 +195,14 @@ def _migration_insert(ref: ObjectId, holder: SiteId):
     from ..gc.insert import InsertRequest
 
     return InsertRequest(target=ref, pin_holder=None)
+
+
+def _driver(sim: Simulation) -> MigrationCollector:
+    return MigrationCollector._create(sim)
+
+
+register_collector(
+    CollectorSpec(
+        name="baseline.migration", site_factory=NullCollector, driver_factory=_driver
+    )
+)

@@ -1,0 +1,55 @@
+"""Registration glue for the sim-driven baseline collectors.
+
+The six baseline schemes predate the :class:`~repro.core.collector.Collector`
+strategy boundary: each is a *driver* object constructed against a running
+simulation (it registers its handlers on the sites itself) plus an explicit
+``run_round``/``start_round``.  Rather than force-fit them into the per-site
+strategy protocol, the registry models them as driver-style backends: their
+:class:`~repro.core.collector.CollectorSpec` pairs a
+:class:`~repro.core.collector.NullCollector` site strategy (plain local
+tracing -- exactly what these schemes assume underneath) with a
+``driver_factory`` reached through :attr:`Simulation.collector_driver`.
+
+Direct construction (``GlobalTraceCollector(sim, ...)``) still works but
+warns: the supported spelling is ``GcConfig.collector = "baseline.global"``
+plus ``sim.collector_driver``, which keeps collector selection in config
+where the comparison harness, the CLI, and the differential oracle can see
+it.  The shim follows the ``ParallelSimulation._create`` precedent from the
+engine-selection redesign.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+class DeprecatedDirectInit:
+    """Mixin: warn when a baseline driver is constructed directly.
+
+    Subclasses set ``registry_name`` and call :meth:`_warn_if_direct` first
+    thing in ``__init__``; the registry's ``driver_factory`` constructs
+    through :meth:`_create`, which suppresses the warning.
+    """
+
+    #: > 0 while the registry's driver_factory is constructing us.
+    _factory_depth = 0
+    registry_name: str = ""
+
+    @classmethod
+    def _create(cls, *args, **kwargs):
+        cls._factory_depth += 1
+        try:
+            return cls(*args, **kwargs)
+        finally:
+            cls._factory_depth -= 1
+
+    def _warn_if_direct(self) -> None:
+        cls = type(self)
+        if cls._factory_depth == 0:
+            warnings.warn(
+                f"constructing {cls.__name__} directly is deprecated; set "
+                f"GcConfig.collector = {cls.registry_name!r} and use "
+                "Simulation.collector_driver",
+                DeprecationWarning,
+                stacklevel=3,
+            )

@@ -39,9 +39,11 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..core.collector import CollectorSpec, NullCollector, register_collector
 from ..ids import ObjectId, SiteId
 from ..net.message import Message, Payload
 from ..sim.simulation import Simulation
+from .registry import DeprecatedDirectInit
 from .termination import FULL_CREDIT, CreditPool, split_credit
 
 
@@ -100,10 +102,13 @@ class _TrialState:
     green: Dict[SiteId, Set[ObjectId]] = field(default_factory=dict)
 
 
-class TrialDeletionCollector:
+class TrialDeletionCollector(DeprecatedDirectInit):
     """Distributed trial deletion seeded by the distance heuristic."""
 
+    registry_name = "baseline.trial"
+
     def __init__(self, sim: Simulation, suspicion_threshold: Optional[int] = None):
+        self._warn_if_direct()
         self.sim = sim
         gc = sim.config.gc
         self.suspicion_threshold = (
@@ -354,3 +359,14 @@ class TrialDeletionCollector:
         for oid in deleted:
             site.inrefs.remove(oid)
         self.sim.metrics.incr("baseline.trial.objects_swept", len(deleted))
+
+
+def _driver(sim: Simulation) -> TrialDeletionCollector:
+    return TrialDeletionCollector._create(sim)
+
+
+register_collector(
+    CollectorSpec(
+        name="baseline.trial", site_factory=NullCollector, driver_factory=_driver
+    )
+)

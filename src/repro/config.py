@@ -73,6 +73,15 @@ class GcConfig:
       Production configurations leave both True.
     """
 
+    # Distributed cycle-collection backend, by registry name
+    # (:mod:`repro.core.collector`).  "backtrace" is the paper's back tracer;
+    # "termination" the decentralized trial-deletion-with-termination-
+    # detection rival used for differential testing; "null" plain local
+    # tracing; "baseline.*" the sim-driven baseline schemes.  Validated
+    # against the registry when the simulation (or site) is constructed --
+    # the registry accepts runtime registrations, so the config layer only
+    # checks the type here.
+    collector: str = "backtrace"
     suspicion_threshold: int = 4
     assumed_cycle_length: int = 8
     back_threshold_increment: int = 4
@@ -190,8 +199,21 @@ class GcConfig:
     # 8x the base).  Any grounded verdict resets the backoff.
     backtrace_retry_backoff: Optional[float] = None
     backtrace_retry_backoff_cap: Optional[float] = None
+    # Termination backend (GcConfig.collector == "termination"): a trial
+    # whose credit has not fully returned after this long is presumed stuck
+    # on a lost message, crash, or partition and is aborted (safe -- an
+    # aborted trial collects nothing; a later trial retries).  None
+    # inherits ``backtrace_timeout`` so fault-plan sweeps tune one knob.
+    termination_trial_timeout: Optional[float] = None
+    # Re-initiation back-off after a trial finds its suspect live (or
+    # aborts): without it the still-suspected inref would re-trigger an
+    # identical trial every gc tick.  Doubles per consecutive live/aborted
+    # result, capped at 8x.  None inherits ``effective_retry_backoff``.
+    termination_retry_backoff: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if not isinstance(self.collector, str) or not self.collector:
+            raise ConfigError("collector must be a non-empty backend name")
         if self.suspicion_threshold < 1:
             raise ConfigError("suspicion_threshold must be >= 1")
         if self.assumed_cycle_length < 1:
@@ -248,6 +270,16 @@ class GcConfig:
             raise ConfigError(
                 "backtrace_retry_backoff_cap must be >= backtrace_retry_backoff"
             )
+        if (
+            self.termination_trial_timeout is not None
+            and self.termination_trial_timeout <= 0
+        ):
+            raise ConfigError("termination_trial_timeout must be > 0")
+        if (
+            self.termination_retry_backoff is not None
+            and self.termination_retry_backoff <= 0
+        ):
+            raise ConfigError("termination_retry_backoff must be > 0")
 
     @property
     def initial_back_threshold(self) -> int:
@@ -266,6 +298,20 @@ class GcConfig:
         if self.backtrace_retry_backoff_cap is not None:
             return self.backtrace_retry_backoff_cap
         return 8.0 * self.effective_retry_backoff
+
+    @property
+    def effective_trial_timeout(self) -> float:
+        """Credit-recovery deadline for one termination-backend trial."""
+        if self.termination_trial_timeout is not None:
+            return self.termination_trial_timeout
+        return self.backtrace_timeout
+
+    @property
+    def effective_trial_backoff(self) -> float:
+        """Base re-initiation back-off after a live or aborted trial."""
+        if self.termination_retry_backoff is not None:
+            return self.termination_retry_backoff
+        return self.effective_retry_backoff
 
 
 @dataclass(frozen=True)

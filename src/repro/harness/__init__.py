@@ -10,6 +10,11 @@ from .scenarios import (
 from .report import Table
 from .profiling import profiled
 from .chaos import ChaosResult, run_chaos_case, run_chaos_matrix, standard_plans
+from .differential import (
+    DifferentialResult,
+    run_differential_case,
+    run_differential_matrix,
+)
 
 __all__ = [
     "profiled",
@@ -17,6 +22,9 @@ __all__ = [
     "run_chaos_case",
     "run_chaos_matrix",
     "standard_plans",
+    "DifferentialResult",
+    "run_differential_case",
+    "run_differential_matrix",
     "FigureScenario",
     "build_figure1",
     "build_figure2",

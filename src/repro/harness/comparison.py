@@ -1,11 +1,17 @@
 """The collector-comparison driver behind benchmark E6 and the shootout
 example.
 
-One scenario, five collectors: a two-site garbage cycle (on s0, s1) inside an
+One scenario, many collectors: a two-site garbage cycle (on s0, s1) inside an
 8-site system whose remaining sites hold live inter-site structure.  Each
 collector runs on an identical fresh simulation; per run we report rounds to
 collection, protocol message count, the set of sites its protocol involved,
 and whether collection still succeeds with a crashed bystander site.
+
+Collectors are selected through ``GcConfig.collector`` and the registry
+(:mod:`repro.core.collector`): per-site backends (backtrace, termination)
+just run GC rounds, driver-style baselines are reached through
+``sim.collector_driver``.  The short E6 row names below predate the registry
+names and are kept for table/benchmark stability.
 """
 
 from __future__ import annotations
@@ -13,14 +19,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..analysis.oracle import Oracle
-from ..baselines import (
-    CentralServiceCollector,
-    GlobalTraceCollector,
-    GroupTraceCollector,
-    HughesCollector,
-    MigrationCollector,
-    TrialDeletionCollector,
-)
 from ..config import GcConfig, SimulationConfig
 from ..sim.simulation import Simulation
 from ..workloads.generators import build_ring_cycle
@@ -31,6 +29,14 @@ CYCLE_SITES = ["s0", "s1"]
 
 PROTOCOL_KINDS: Dict[str, List[str]] = {
     "backtrace": ["BackCall", "BackReply", "BackOutcome"],
+    "termination": [
+        "TrialMark",
+        "TrialRescueStart",
+        "TrialRescue",
+        "TrialAck",
+        "TrialCollect",
+        "TrialAbort",
+    ],
     "global": ["StartGlobalMark", "MarkBatch", "MarkAck", "SweepCommand"],
     "hughes": ["StampUpdate", "GcTimeRequest", "GcTimeReply", "ThresholdAnnounce"],
     "migration": ["MigrateObject", "PatchRefs"],
@@ -46,12 +52,24 @@ PROTOCOL_KINDS: Dict[str, List[str]] = {
     "trial": ["RedBatch", "GreenBatch", "PhaseAck", "StartGreen", "CollectCommand"],
 }
 
+#: E6 row name -> GcConfig.collector registry name.
+COLLECTOR_NAMES: Dict[str, str] = {
+    "backtrace": "backtrace",
+    "termination": "termination",
+    "global": "baseline.global",
+    "hughes": "baseline.hughes",
+    "migration": "baseline.migration",
+    "group": "baseline.group",
+    "central": "baseline.central",
+    "trial": "baseline.trial",
+}
 
-def build_scenario(seed: int = 7, enable_backtracing: bool = True):
+
+def build_scenario(seed: int = 7, enable_backtracing: bool = True, collector: str = "backtrace"):
     """The shared workload: cycle on s0/s1, live chain over the rest."""
     sites = [f"s{i}" for i in range(N_SITES)]
-    gc = GcConfig(enable_backtracing=enable_backtracing)
-    sim = Simulation(SimulationConfig(seed=seed, gc=gc))
+    gc = GcConfig(enable_backtracing=enable_backtracing, collector=collector)
+    sim = Simulation.create(SimulationConfig(seed=seed, gc=gc))
     sim.add_sites(sites, auto_gc=False)
     workload = build_ring_cycle(sim, CYCLE_SITES)
     # Realistic object sizes: control messages stay unit-sized, but a
@@ -92,7 +110,13 @@ def protocol_stats(sim: Simulation, name: str, before):
 
 def run_with_collector(name: str, crash_bystander: bool = False) -> Dict:
     """Run one collector on a fresh scenario; return its comparison row."""
-    sim, workload = build_scenario(enable_backtracing=(name == "backtrace"))
+    registry_name = COLLECTOR_NAMES.get(name)
+    if registry_name is None:
+        raise ValueError(f"unknown collector {name!r}")
+    per_site = name in ("backtrace", "termination")
+    sim, workload = build_scenario(
+        enable_backtracing=per_site, collector=registry_name
+    )
     oracle = Oracle(sim)
     before = sim.metrics.snapshot()
     if crash_bystander:
@@ -102,7 +126,7 @@ def run_with_collector(name: str, crash_bystander: bool = False) -> Dict:
         return {oid for oid in oracle.garbage_set() if oid.site != "s7"}
 
     rounds: Optional[int] = None
-    if name == "backtrace":
+    if per_site:
         for r in range(1, 61):
             sim.run_gc_round()
             oracle.check_safety()
@@ -110,7 +134,7 @@ def run_with_collector(name: str, crash_bystander: bool = False) -> Dict:
                 rounds = r
                 break
     elif name == "global":
-        collector = GlobalTraceCollector(sim, coordinator="s0")
+        collector = sim.collector_driver
         for r in range(1, 13):
             collector.start_round()
             sim.run_for(3000.0)
@@ -120,7 +144,7 @@ def run_with_collector(name: str, crash_bystander: bool = False) -> Dict:
                 rounds = r
                 break
     elif name == "hughes":
-        collector = HughesCollector(sim, coordinator="s0")
+        collector = sim.collector_driver
         for r in range(1, 13):
             collector.run_round()
             oracle.check_safety()
@@ -128,25 +152,15 @@ def run_with_collector(name: str, crash_bystander: bool = False) -> Dict:
                 rounds = r
                 break
     elif name == "migration":
-        collector = MigrationCollector(sim)
+        collector = sim.collector_driver
         for r in range(1, 41):
             collector.run_round()
             oracle.check_safety()
             if not garbage_left():
                 rounds = r
                 break
-    elif name == "group":
-        collector = GroupTraceCollector(sim)
-        for r in range(1, 41):
-            collector.run_round()
-            sim.run_for(3000.0)
-            sim.settle()
-            oracle.check_safety()
-            if not garbage_left():
-                rounds = r
-                break
-    elif name == "central":
-        collector = CentralServiceCollector(sim, service="s0")
+    else:  # group / central / trial: round + message drain
+        collector = sim.collector_driver
         for r in range(1, 41):
             collector.run_round()
             sim.run_for(3000.0)
@@ -155,18 +169,6 @@ def run_with_collector(name: str, crash_bystander: bool = False) -> Dict:
             if not garbage_left():
                 rounds = r
                 break
-    elif name == "trial":
-        collector = TrialDeletionCollector(sim)
-        for r in range(1, 41):
-            collector.run_round()
-            sim.run_for(3000.0)
-            sim.settle()
-            oracle.check_safety()
-            if not garbage_left():
-                rounds = r
-                break
-    else:
-        raise ValueError(f"unknown collector {name!r}")
 
     messages, units, involved = protocol_stats(sim, name, before)
     return {

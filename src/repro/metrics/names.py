@@ -109,6 +109,18 @@ BACKTRACE_STALE_REPLIES = "backtrace.stale_replies"
 BACKTRACE_RETRY_SUPPRESSED = "backtrace.retry_suppressed"
 BACKTRACE_RETRIES_BACKED_OFF = "backtrace.retries_backed_off"
 
+# -- termination-detection collector ----------------------------------------
+
+TERMINATION_TRIALS_STARTED = "termination.trials_started"
+TERMINATION_TRIALS_GARBAGE = "termination.trials_garbage"
+TERMINATION_TRIALS_LIVE = "termination.trials_live"
+TERMINATION_TRIALS_ABORTED = "termination.trials_aborted"
+TERMINATION_TRIALS_TIMEOUT = "termination.trials_timeout"
+#: TrialCollect verdicts refused because the member went dirty after acking.
+TERMINATION_COLLECTS_SUPPRESSED = "termination.collects_suppressed"
+#: Member objects flagged garbage by accepted TrialCollect verdicts.
+TERMINATION_INREFS_FLAGGED = "termination.inrefs_flagged"
+
 # -- parallel coordination ---------------------------------------------------
 #
 # Counters of the parallel engine's coordinator<->worker protocol.  They are

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import pickle
 import struct
+from fractions import Fraction
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
@@ -48,6 +49,14 @@ from ..core.backtrace.messages import (
     BackReply,
     BackReplyBatch,
     TraceOutcome,
+)
+from ..core.termination import (
+    TrialAbort,
+    TrialAck,
+    TrialCollect,
+    TrialMark,
+    TrialRescue,
+    TrialRescueStart,
 )
 from ..gc.insert import InsertDone, InsertRequest, UnpinRequest
 from ..gc.update import (
@@ -88,6 +97,9 @@ _NO_SITE = 0xFFFF
 
 _VERDICTS = (TraceOutcome.LIVE, TraceOutcome.GARBAGE)
 _VERDICT_CODE = {verdict: code for code, verdict in enumerate(_VERDICTS)}
+
+_TRIAL_PHASES = ("mark", "rescue")
+_TRIAL_PHASE_CODE = {phase: code for code, phase in enumerate(_TRIAL_PHASES)}
 
 #: Compact range guards.  A value outside these bounds demotes the whole
 #: record to the pickled fallback -- correctness never depends on fitting.
@@ -194,6 +206,12 @@ class WireCodec:
             UnpinRequest: (12, self._pack_unpin),
             MutatorHop: (13, self._pack_hop),
             RemoteCopy: (14, self._pack_copy),
+            TrialMark: (15, self._pack_trial_mark),
+            TrialRescueStart: (16, self._pack_trial_rescue_start),
+            TrialRescue: (17, self._pack_trial_rescue),
+            TrialAck: (18, self._pack_trial_ack),
+            TrialCollect: (19, self._pack_trial_collect),
+            TrialAbort: (20, self._pack_trial_abort),
         }
         self._unpackers = {
             1: self._unpack_update,
@@ -210,6 +228,12 @@ class WireCodec:
             12: self._unpack_unpin,
             13: self._unpack_hop,
             14: self._unpack_copy,
+            15: self._unpack_trial_mark,
+            16: self._unpack_trial_rescue_start,
+            17: self._unpack_trial_rescue,
+            18: self._unpack_trial_ack,
+            19: self._unpack_trial_collect,
+            20: self._unpack_trial_abort,
         }
 
     @property
@@ -402,6 +426,74 @@ class WireCodec:
         else:
             out.append(b"\x01")
             out.append(_F64.pack(value))
+
+    # -- termination-trial packers -------------------------------------------
+    #
+    # Credit shares are exact Fractions; their numerator/denominator pack as
+    # i64 pairs.  A long-running trial over many fan-out splits can overflow
+    # that (credit denominators multiply), in which case struct.error demotes
+    # the record to the pickled fallback -- exactness is never at risk.
+
+    def _trial_head(self, out: List[bytes], trial: Tuple[SiteId, int]) -> None:
+        out.append(struct.pack("<Hq", self._site(trial[0]), trial[1]))
+
+    def _credit(self, out: List[bytes], credit: Fraction) -> None:
+        out.append(
+            struct.pack("<qq", credit.numerator, credit.denominator)
+        )
+
+    def _site_list(self, out: List[bytes], sites: Sequence[SiteId]) -> None:
+        if len(sites) > 0xFFFF:
+            raise _Unpackable("site list too long")
+        out.append(_U16.pack(len(sites)))
+        if sites:
+            out.append(
+                struct.pack(
+                    f"<{len(sites)}H", *(self._site(s) for s in sites)
+                )
+            )
+
+    def _pack_trial_mark(self, out: List[bytes], mark: TrialMark) -> None:
+        self._trial_head(out, mark.trial)
+        self._oid_list(out, mark.targets)
+        self._credit(out, mark.credit)
+        out.append(_I64.pack(mark.seq))
+
+    def _pack_trial_rescue_start(
+        self, out: List[bytes], start: TrialRescueStart
+    ) -> None:
+        self._trial_head(out, start.trial)
+        self._site_list(out, start.member_sites)
+        self._credit(out, start.credit)
+        out.append(_I64.pack(start.seq))
+
+    def _pack_trial_rescue(self, out: List[bytes], rescue: TrialRescue) -> None:
+        self._trial_head(out, rescue.trial)
+        self._oid_list(out, rescue.targets)
+        self._site_list(out, rescue.member_sites)
+        self._credit(out, rescue.credit)
+        out.append(_I64.pack(rescue.seq))
+
+    def _pack_trial_ack(self, out: List[bytes], ack: TrialAck) -> None:
+        phase = _TRIAL_PHASE_CODE.get(ack.phase)
+        if phase is None:
+            raise _Unpackable(f"unknown trial phase {ack.phase!r}")
+        self._trial_head(out, ack.trial)
+        out.append(
+            struct.pack(
+                "<BBB", phase, 1 if ack.joined else 0, 1 if ack.dirty else 0
+            )
+        )
+        self._credit(out, ack.credit)
+        out.append(_I64.pack(ack.seq))
+
+    def _pack_trial_collect(self, out: List[bytes], collect: TrialCollect) -> None:
+        self._trial_head(out, collect.trial)
+        out.append(_I64.pack(collect.seq))
+
+    def _pack_trial_abort(self, out: List[bytes], abort: TrialAbort) -> None:
+        self._trial_head(out, abort.trial)
+        out.append(_I64.pack(abort.seq))
 
     # -- payload unpackers ---------------------------------------------------
     #
@@ -619,6 +711,90 @@ class WireCodec:
             ),
             off + 30,
         )
+
+    def _read_trial(self, buf, off: int) -> Tuple[Tuple[SiteId, int], int]:
+        site, serial = struct.unpack_from("<Hq", buf, off)
+        return (self._sites[site], serial), off + 10
+
+    def _read_credit(self, buf, off: int) -> Tuple[Fraction, int]:
+        numerator, denominator = struct.unpack_from("<qq", buf, off)
+        return Fraction(numerator, denominator), off + 16
+
+    def _read_site_list(self, buf, off: int) -> Tuple[Tuple[SiteId, ...], int]:
+        (count,) = _U16.unpack_from(buf, off)
+        off += 2
+        if not count:
+            return (), off
+        indices = struct.unpack_from(f"<{count}H", buf, off)
+        table = self._sites
+        return tuple(table[i] for i in indices), off + 2 * count
+
+    def _unpack_trial_mark(self, buf, off: int):
+        trial, off = self._read_trial(buf, off)
+        targets, off = self._read_oid_list(buf, off)
+        credit, off = self._read_credit(buf, off)
+        (seq,) = _I64.unpack_from(buf, off)
+        return (
+            TrialMark(trial=trial, targets=targets, credit=credit, seq=seq),
+            off + 8,
+        )
+
+    def _unpack_trial_rescue_start(self, buf, off: int):
+        trial, off = self._read_trial(buf, off)
+        member_sites, off = self._read_site_list(buf, off)
+        credit, off = self._read_credit(buf, off)
+        (seq,) = _I64.unpack_from(buf, off)
+        return (
+            TrialRescueStart(
+                trial=trial, member_sites=member_sites, credit=credit, seq=seq
+            ),
+            off + 8,
+        )
+
+    def _unpack_trial_rescue(self, buf, off: int):
+        trial, off = self._read_trial(buf, off)
+        targets, off = self._read_oid_list(buf, off)
+        member_sites, off = self._read_site_list(buf, off)
+        credit, off = self._read_credit(buf, off)
+        (seq,) = _I64.unpack_from(buf, off)
+        return (
+            TrialRescue(
+                trial=trial,
+                targets=targets,
+                member_sites=member_sites,
+                credit=credit,
+                seq=seq,
+            ),
+            off + 8,
+        )
+
+    def _unpack_trial_ack(self, buf, off: int):
+        trial, off = self._read_trial(buf, off)
+        phase, joined, dirty = struct.unpack_from("<BBB", buf, off)
+        off += 3
+        credit, off = self._read_credit(buf, off)
+        (seq,) = _I64.unpack_from(buf, off)
+        return (
+            TrialAck(
+                trial=trial,
+                phase=_TRIAL_PHASES[phase],
+                credit=credit,
+                joined=bool(joined),
+                dirty=bool(dirty),
+                seq=seq,
+            ),
+            off + 8,
+        )
+
+    def _unpack_trial_collect(self, buf, off: int):
+        trial, off = self._read_trial(buf, off)
+        (seq,) = _I64.unpack_from(buf, off)
+        return TrialCollect(trial=trial, seq=seq), off + 8
+
+    def _unpack_trial_abort(self, buf, off: int):
+        trial, off = self._read_trial(buf, off)
+        (seq,) = _I64.unpack_from(buf, off)
+        return TrialAbort(trial=trial, seq=seq), off + 8
 
     # -- records and blobs ---------------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..config import SimulationConfig
+from ..core.collector import CollectorSpec, resolve_collector
 from ..errors import SimulationError
 from ..ids import ObjectId, SiteId, TraceId
 from ..metrics import MetricsRecorder
@@ -48,6 +49,12 @@ class Simulation:
         self.sites: Dict[SiteId, Site] = {}
         self._mutator_hop_handlers: Dict[str, Callable[[ObjectId], None]] = {}
         self._trace_outcomes: List[tuple] = []
+        # The cycle-collection backend, resolved once (unknown names fail
+        # here, before any site exists) and injected into every add_site.
+        self._collector_spec: CollectorSpec = resolve_collector(
+            self.config.gc.collector
+        )
+        self._collector_driver: Optional[object] = None
 
     @classmethod
     def create(
@@ -91,6 +98,7 @@ class Simulation:
             auto_gc=auto_gc,
             on_mutator_hop=self._dispatch_mutator_hop,
             on_trace_outcome=self._record_trace_outcome,
+            collector_factory=self._collector_spec.site_factory,
         )
         self.sites[site_id] = site
         self.network.register(site_id, site.receive)
@@ -98,6 +106,27 @@ class Simulation:
 
     def add_sites(self, site_ids, auto_gc: bool = True) -> List[Site]:
         return [self.add_site(site_id, auto_gc=auto_gc) for site_id in site_ids]
+
+    @property
+    def collector_driver(self):
+        """The sim-level round driver of a driver-style backend, built lazily.
+
+        The six ``baseline.*`` backends follow a coordinator model: handlers
+        registered against the running simulation plus an explicit
+        ``run_round``.  Selecting one via ``GcConfig.collector`` makes this
+        property the supported way to reach that driver (it needs the sites,
+        so it cannot exist before :meth:`add_site` calls).  Raises for
+        backends that are purely per-site (backtrace, termination, null).
+        """
+        if self._collector_driver is None:
+            factory = self._collector_spec.driver_factory
+            if factory is None:
+                raise SimulationError(
+                    f"collector {self._collector_spec.name!r} has no "
+                    "sim-level driver (it runs per-site)"
+                )
+            self._collector_driver = factory(self)
+        return self._collector_driver
 
     def site(self, site_id: SiteId) -> Site:
         try:

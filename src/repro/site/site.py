@@ -1,13 +1,15 @@
 """One site of the distributed object store.
 
 A :class:`Site` wires together a heap, the inref/outref tables, the local
-collector, the back-trace engine, the transfer barrier, and the message
-handlers for every protocol in the system.  It also owns the site-local
-policies the paper describes:
+collector, the distributed cycle-collection strategy
+(:class:`repro.core.collector.Collector` -- the back tracer by default),
+the transfer barrier, and the message handlers for every protocol in the
+system.  It also owns the site-local policies the paper describes:
 
 - periodic local traces with jitter (section 4.7 relies on the resulting
   timing spread to make concurrent back traces on one cycle unlikely);
-- the back-trace trigger check after each local trace (section 4.3);
+- the suspicion-trigger check after each local trace (section 4.3),
+  delegated to the cycle-collector strategy;
 - the insert barrier on every outgoing reference transfer (section 6.1.2);
 - deferral of mutator heap writes while a non-atomic local trace is
   in progress (section 6.2) -- incoming *messages* are still handled
@@ -22,7 +24,6 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..config import GcConfig
 from ..errors import GcInvariantError
-from ..core.backtrace.engine import BackTraceEngine
 from ..core.backtrace.messages import (
     BackCall,
     BackCallBatch,
@@ -32,6 +33,7 @@ from ..core.backtrace.messages import (
     TraceOutcome,
 )
 from ..core.barriers import TransferBarrier
+from ..core.collector import Collector, resolve_collector
 from ..gc.insert import InsertDone, InsertRequest, UnpinRequest
 from ..gc.inrefs import InrefTable
 from ..gc.localtrace import LocalCollector, LocalTraceResult
@@ -78,6 +80,7 @@ class Site:
         auto_gc: bool = True,
         on_mutator_hop: Optional[HopCallback] = None,
         on_trace_outcome: Optional[OutcomeCallback] = None,
+        collector_factory: Optional[Callable[["Site"], Collector]] = None,
     ):
         self.site_id = site_id
         self.scheduler = scheduler
@@ -110,21 +113,17 @@ class Site:
         self.collector = LocalCollector(
             self.heap, self.inrefs, self.outrefs, config, metrics=self.metrics
         )
-        self.engine = BackTraceEngine(
-            site_id,
-            self.inrefs,
-            self.outrefs,
-            config,
-            scheduler,
-            send=self.send,
-            metrics=self.metrics,
-            on_outcome=self._trace_outcome,
-            on_outcome_applied=self._trace_outcome_applied,
-        )
+        # The distributed cycle-collection strategy.  The factory is injected
+        # by Simulation.add_site (resolved once per simulation from
+        # GcConfig.collector); a bare Site falls back to resolving the
+        # registry itself so direct construction keeps working.
+        if collector_factory is None:
+            collector_factory = resolve_collector(config.collector).site_factory
+        self.cycle_collector: Collector = collector_factory(self)
         self.barrier = TransferBarrier(
             self.inrefs,
             self.outrefs,
-            engine=self.engine,
+            engine=getattr(self.cycle_collector, "engine", None),
             metrics=self.metrics,
             enabled=config.enable_transfer_barrier,
         )
@@ -206,14 +205,16 @@ class Site:
             InsertRequest: self._on_insert_request,
             InsertDone: self._on_insert_done,
             UnpinRequest: self._on_unpin,
-            BackCall: self._on_back_call,
-            BackCallBatch: self._on_back_call_batch,
-            BackReply: self._on_back_reply,
-            BackReplyBatch: self._on_back_reply_batch,
-            BackOutcome: self._on_back_outcome,
             MutatorHop: self._on_mutator_hop,
             RemoteCopy: self._on_remote_copy,
         }
+        self._handlers.update(self.cycle_collector.handlers())
+        # Payloads needing seq stamping/dedup: the base mutation protocol
+        # plus whatever the cycle collector declares (e.g. credit-carrying
+        # termination messages, whose redelivery is not idempotent).
+        self._sequenced = _SEQUENCED_MUTATIONS + tuple(
+            self.cycle_collector.sequenced_payload_types()
+        )
         if auto_gc:
             self.schedule_next_trace()
 
@@ -222,7 +223,7 @@ class Site:
     def send(self, dst: SiteId, payload: Payload) -> None:
         if self.crashed:
             return
-        if isinstance(payload, _SEQUENCED_MUTATIONS) and payload.seq < 0:
+        if isinstance(payload, self._sequenced) and payload.seq < 0:
             seq = self._mutation_seq.get(dst, 0) + 1
             self._mutation_seq[dst] = seq
             payload = replace(payload, seq=seq)
@@ -246,7 +247,7 @@ class Site:
                 self.receive(Message(src=message.src, dst=message.dst, payload=payload))
             return
         payload = message.payload
-        if isinstance(payload, _SEQUENCED_MUTATIONS) and payload.seq > 0:
+        if isinstance(payload, self._sequenced) and payload.seq > 0:
             window = self._mutation_dedup.setdefault(message.src, DedupWindow())
             if window.seen(payload.seq):
                 self.metrics.incr(names.dup_suppressed(message.kind))
@@ -260,6 +261,23 @@ class Site:
         """Extension point used by the baseline collectors."""
         self._handlers[payload_type] = handler
 
+    @property
+    def engine(self):
+        """The back-trace engine, when the active backend has one.
+
+        Kept as a compatibility accessor for the large body of tests,
+        examples, and the trace-log recorder that predate the strategy
+        boundary.  Raises :class:`AttributeError` under backends without an
+        engine so ``hasattr`` probes keep working.
+        """
+        engine = getattr(self.cycle_collector, "engine", None)
+        if engine is None:
+            raise AttributeError(
+                f"site {self.site_id}: collector "
+                f"{self.cycle_collector.name!r} has no back-trace engine"
+            )
+        return engine
+
     # -- crash / recovery ------------------------------------------------------------
 
     def crash(self) -> None:
@@ -270,6 +288,7 @@ class Site:
     def recover(self) -> None:
         self.crashed = False
         self.network.recover(self.site_id)
+        self.cycle_collector.on_recover()
         self.schedule_next_trace()
 
     # -- local tracing ------------------------------------------------------------------
@@ -447,26 +466,18 @@ class Site:
     def is_tracing(self) -> bool:
         return self._tracing
 
-    # -- back-trace triggering (section 4.3) -----------------------------------------------
+    # -- suspicion triggering (section 4.3) -----------------------------------------------
 
     def check_backtrace_triggers(self) -> List[ObjectId]:
-        """Start a back trace from each suspected outref past its threshold."""
-        started: List[ObjectId] = []
-        if not self.config.enable_backtracing:
-            return started
-        # suspected_entries() is already deterministically ordered by target.
-        for entry in self.outrefs.suspected_entries():
-            if entry.distance > entry.back_threshold:
-                # A still-valid cached Live verdict answers the trigger
-                # without consuming this check's trace budget: re-tracing
-                # could only re-derive the cached verdict.
-                if self.engine.cached_live(entry.target):
-                    continue
-                if self.engine.start_trace(entry.target) is not None:
-                    started.append(entry.target)
-                    if len(started) >= self.config.max_traces_per_trigger_check:
-                        break
-        return started
+        """Run the cycle collector's suspicion-trigger scan.
+
+        For the default back tracer this starts a back trace from each
+        suspected outref past its threshold; other backends start their own
+        collection activity.  The historical name is kept -- this is the
+        section 4.3 trigger placement, called after every local trace or
+        skipped tick.
+        """
+        return self.cycle_collector.check_triggers()
 
     def quiet_gc_ticks(self) -> int:
         """Lower bound on upcoming gc ticks that provably send nothing.
@@ -476,18 +487,14 @@ class Site:
         would skip it (delegated to
         :meth:`LocalCollector.predict_quiet_ticks`) AND its skip-path side
         channels are inert -- no desynced peer to repair in
-        ``_flush_desynced_peers`` and no trigger-eligible suspected outref
-        (the back-trace verdict cache is deliberately ignored: consulting it
-        counts metrics, and this prediction must be free of side effects).
-        Zero whenever in doubt; under-prediction costs a window, never
-        correctness.
+        ``_flush_desynced_peers`` and no trigger-eligible suspect (the
+        cycle collector's side-effect-free prediction).  Zero whenever in
+        doubt; under-prediction costs a window, never correctness.
         """
         if self.crashed or self._tracing or self._desynced_peers:
             return 0
-        if self.config.enable_backtracing:
-            for entry in self.outrefs.suspected_entries():
-                if entry.distance > entry.back_threshold:
-                    return 0
+        if not self.cycle_collector.predict_quiet():
+            return 0
         return self.collector.predict_quiet_ticks(self._variable_outrefs)
 
     def _trace_outcome(self, trace_id: TraceId, verdict: TraceOutcome) -> None:
@@ -604,6 +611,7 @@ class Site:
             self.heap.pin_variable(ref)
             # Conservatively treat handing out our own object as a transfer
             # touching its inref (it will gain a holder shortly).
+            self.cycle_collector.on_reference_arrival(ref)
             self.barrier.on_reference_arrival(ref)
         else:
             entry = self.outrefs.get(ref)
@@ -736,6 +744,7 @@ class Site:
         # The new holder is the sender of the insert (section 2): record it
         # with the conservative new-source distance of 1, then apply the
         # transfer barrier to the inref (section 6.1.2 case 4).
+        self.cycle_collector.on_reference_arrival(payload.target)
         self.inrefs.ensure(payload.target, source=message.src, distance=1)
         self.barrier.on_reference_arrival(payload.target)
         if payload.release_owner_custody:
@@ -765,24 +774,10 @@ class Site:
         if entry is not None and entry.pin_count > 0:
             entry.unpin()
 
-    def _on_back_call(self, message: Message) -> None:
-        self.engine.handle_back_call(message.src, message.payload)
-
-    def _on_back_call_batch(self, message: Message) -> None:
-        self.engine.handle_back_call_batch(message.src, message.payload)
-
-    def _on_back_reply(self, message: Message) -> None:
-        self.engine.handle_back_reply(message.src, message.payload)
-
-    def _on_back_reply_batch(self, message: Message) -> None:
-        self.engine.handle_back_reply_batch(message.src, message.payload)
-
-    def _on_back_outcome(self, message: Message) -> None:
-        self.engine.handle_back_outcome(message.src, message.payload)
-
     def _on_mutator_hop(self, message: Message) -> None:
         payload: MutatorHop = message.payload
         # Transfer barrier fires before the mutator proceeds (section 6.1.1).
+        self.cycle_collector.on_reference_arrival(payload.target)
         self.barrier.on_reference_arrival(payload.target)
         if self.on_mutator_hop is not None:
             self.on_mutator_hop(payload.mutator, payload.target)
@@ -792,6 +787,7 @@ class Site:
         ref = payload.ref
         if ref.site == self.site_id:
             # Case 1: we own the object -- the transfer barrier applies.
+            self.cycle_collector.on_reference_arrival(ref)
             self.barrier.on_reference_arrival(ref)
             # The sender held (an outref for) the reference, so it is already
             # in our source list unless it owned a transient copy; make sure.
@@ -803,6 +799,7 @@ class Site:
             if entry is not None:
                 # Cases 2 and 3: clean a suspected outref; nothing otherwise.
                 if not entry.is_clean:
+                    self.cycle_collector.on_outref_cleaned(ref)
                     self.barrier.clean_outref(ref)
                 self._maybe_unpin_sender(payload)
             else:
@@ -833,3 +830,9 @@ class Site:
             "allocated": self.heap.objects_allocated,
             "collected": self.heap.objects_collected,
         }
+
+    def collector_stats(self) -> Dict[str, object]:
+        """The cycle-collection backend's name and counters."""
+        stats: Dict[str, object] = {"collector": self.cycle_collector.name}
+        stats.update(self.cycle_collector.stats())
+        return stats

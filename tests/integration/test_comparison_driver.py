@@ -41,8 +41,9 @@ def test_protocol_kinds_cover_all_payloads():
     import repro.baselines.migration as migration
     import repro.baselines.trialdeletion as trial
     import repro.core.backtrace.messages as bt
+    import repro.core.termination as term
 
-    modules = [central, glob, group, hughes, migration, trial, bt]
+    modules = [central, glob, group, hughes, migration, trial, bt, term]
     known = set()
     for module in modules:
         for name in dir(module):

@@ -1,0 +1,75 @@
+"""Differential harness: backtrace vs termination must agree, oracle-audited.
+
+The acceptance bar of the second-backend work: across the full seed x
+workload matrix both collectors reclaim **exactly** the oracle's garbage
+set -- same objects, nothing live, nothing left behind -- differing only in
+the round they reclaim it.  These tests run the same matrix the CI smoke
+step samples (``python -m repro diff``), in full.
+"""
+
+import pytest
+
+from repro.harness.differential import (
+    BACKENDS,
+    DEFAULT_SEEDS,
+    WORKLOADS,
+    run_differential_case,
+    run_differential_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_differential_matrix()
+
+
+def test_matrix_shape(matrix):
+    assert len(matrix) == len(DEFAULT_SEEDS) * len(WORKLOADS)
+    assert len(DEFAULT_SEEDS) >= 8 and len(WORKLOADS) == 3
+
+
+def test_every_cell_agrees(matrix):
+    failures = [
+        (
+            result.seed,
+            result.workload,
+            result.violations
+            + [v for run in result.runs.values() for v in run.violations],
+        )
+        for result in matrix
+        if not result.agreed
+    ]
+    assert not failures, failures
+
+
+def test_matrix_exercises_real_garbage(matrix):
+    # Agreement on empty cells is vacuous; the matrix must contain real
+    # collection work in every workload flavour.
+    for workload in WORKLOADS:
+        cells = [r for r in matrix if r.workload == workload]
+        assert any(r.expected_garbage > 0 for r in cells), workload
+    assert sum(1 for r in matrix if r.expected_garbage > 0) >= len(matrix) // 2
+
+
+def test_nonempty_cells_fully_reclaim_and_report_latency(matrix):
+    for result in matrix:
+        if not result.expected_garbage:
+            continue
+        for name in BACKENDS:
+            run = result.runs[name]
+            assert run.rounds_to_clear is not None, (result.seed, result.workload)
+            assert len(run.reclaimed) == result.expected_garbage
+            assert run.residual_garbage == 0
+            assert set(run.reclaim_round) == run.reclaimed
+        assert result.latency_gap is not None
+
+
+def test_reclaim_sets_match_across_backends(matrix):
+    for result in matrix:
+        bt, tm = (result.runs[name] for name in BACKENDS)
+        assert bt.reclaimed == tm.reclaimed, (result.seed, result.workload)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError, match="unknown workload"):
+        run_differential_case(0, "nonsense")

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from fractions import Fraction
+
 from repro.core.backtrace.messages import (
     BackCall,
     BackCallBatch,
@@ -22,6 +24,14 @@ from repro.core.backtrace.messages import (
     BackReply,
     BackReplyBatch,
     TraceOutcome,
+)
+from repro.core.termination import (
+    TrialAbort,
+    TrialAck,
+    TrialCollect,
+    TrialMark,
+    TrialRescue,
+    TrialRescueStart,
 )
 from repro.errors import SimulationError
 from repro.gc.insert import InsertDone, InsertRequest, UnpinRequest
@@ -54,6 +64,15 @@ opt_sites = st.none() | sites
 opt_times = st.none() | st.floats(
     min_value=0.0, max_value=1e12, allow_nan=False
 )
+
+trial_keys = st.tuples(sites, serials)
+#: Credits the compact `<qq` encoding must carry exactly (i64 num/den).
+credits = st.builds(
+    Fraction,
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=2**31),
+)
+site_tuples = st.lists(sites, max_size=6).map(tuple)
 
 back_calls = st.builds(
     BackCall, trace_id=trace_ids, target=oids, reply_to=frame_ids, seq=seqs
@@ -119,6 +138,35 @@ payloads = st.one_of(
         pin_holder=opt_sites,
         seq=seqs,
     ),
+    st.builds(
+        TrialMark, trial=trial_keys, targets=oid_tuples, credit=credits, seq=seqs
+    ),
+    st.builds(
+        TrialRescueStart,
+        trial=trial_keys,
+        member_sites=site_tuples,
+        credit=credits,
+        seq=seqs,
+    ),
+    st.builds(
+        TrialRescue,
+        trial=trial_keys,
+        targets=oid_tuples,
+        member_sites=site_tuples,
+        credit=credits,
+        seq=seqs,
+    ),
+    st.builds(
+        TrialAck,
+        trial=trial_keys,
+        phase=st.sampled_from(["mark", "rescue"]),
+        credit=credits,
+        joined=st.booleans(),
+        dirty=st.booleans(),
+        seq=seqs,
+    ),
+    st.builds(TrialCollect, trial=trial_keys, seq=seqs),
+    st.builds(TrialAbort, trial=trial_keys, seq=seqs),
 )
 
 routed = st.tuples(
@@ -214,6 +262,35 @@ def test_out_of_range_distance_demotes_to_pickled_fallback():
         distances=((ObjectId("w01", 4), 2**40),), removals=(), seq=1
     )
     batch = [(1.0, Message(src="w00", dst="w01", payload=payload, uid=1))]
+    blob = codec.pack_routed(batch)
+    [(_, _, _, kind, _, _)] = list(codec.scan_blob(blob))
+    assert kind == 0
+    assert codec.unpack_blob(blob) == batch
+
+
+def test_oversized_credit_demotes_to_pickled_fallback():
+    # Repeated splits can push a credit's denominator past i64; the compact
+    # `<qq` encoding must refuse it and the record still round-trip.
+    codec = WireCodec(SITES)
+    payload = TrialMark(
+        trial=("w01", 7),
+        targets=(ObjectId("w02", 3),),
+        credit=Fraction(1, 2**80),
+        seq=4,
+    )
+    batch = [(2.0, Message(src="w01", dst="w02", payload=payload, uid=11))]
+    blob = codec.pack_routed(batch)
+    [(_, _, _, kind, _, _)] = list(codec.scan_blob(blob))
+    assert kind == 0
+    assert codec.unpack_blob(blob) == batch
+
+
+def test_unknown_trial_phase_demotes_to_pickled_fallback():
+    codec = WireCodec(SITES)
+    payload = TrialAck(
+        trial=("w00", 1), phase="weird", credit=Fraction(1, 2), seq=1
+    )
+    batch = [(2.0, Message(src="w03", dst="w00", payload=payload, uid=12))]
     blob = codec.pack_routed(batch)
     [(_, _, _, kind, _, _)] = list(codec.scan_blob(blob))
     assert kind == 0
