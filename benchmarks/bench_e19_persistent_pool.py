@@ -21,8 +21,9 @@ header + the regenerated E16 segment + this E19 segment):
 
 ``--smoke`` shrinks every segment for CI; ``--sites N`` overrides the
 throughput site count.  The regenerated document also carries fixed-vs-
-demand window-planner scale points (256 and 1024 sites) and the E20
-window-planning segment.
+demand window-planner scale points (256 and 1024 sites), the E20
+window-planning segment, the E21 direct-ring segment, and the E23
+per-event hot-path segment.
 """
 
 import os
@@ -333,6 +334,11 @@ def _check_regression(results):
         ("e21.delta_poll_traffic_drop", ("e21", "delta_poll_traffic_drop"), True),
         ("e21.pipe_bytes_drop", ("e21", "pipe_bytes_drop"), True),
         ("e21.speedup_4x", ("e21", "speedup_4x"), scale_matched),
+        (
+            "e23.ping_storm_speedup",
+            ("e23", "ping_storm", "events_per_sec_speedup"),
+            scale_matched,
+        ),
     ]
     for label, keys, comparable in checks:
         if not comparable:
@@ -358,8 +364,9 @@ if __name__ == "__main__":
     # Standalone mode: regenerate the whole BENCH_parallel_sim.json --
     # host header, the E16 segment (engine comparison at 64 sites), the
     # E19 segment (persistent pool + overhead, plus 256- and 1024-site
-    # planner scale points), the E20 segment (window planning), and the
-    # E21 segment (direct rings + delta exports).  ``--sites N`` overrides
+    # planner scale points), the E20 segment (window planning), the E21
+    # segment (direct rings + delta exports), and the E23 segment (per-event
+    # hot path vs the frozen legacy engine).  ``--sites N`` overrides
     # the throughput site count; ``--check-regression`` compares headline
     # ratios (warn-only) against the committed document.
     import json
@@ -368,6 +375,7 @@ if __name__ == "__main__":
     import bench_e16_parallel_speedup as e16
     import bench_e20_window_planning as e20
     import bench_e21_direct_rings as e21
+    import bench_e23_hot_path as e23
 
     smoke = "--smoke" in sys.argv
     sites_override = (
@@ -419,6 +427,8 @@ if __name__ == "__main__":
         duration=1000.0 if smoke else e21.DURATION
     )
 
+    e23_segment = e23.run_segment(smoke=smoke)
+
     results = {
         "host": host_header(),
         "smoke": smoke,
@@ -426,6 +436,7 @@ if __name__ == "__main__":
         "e19": e19_segment,
         "e20": e20_segment,
         "e21": e21_segment,
+        "e23": e23_segment,
     }
     json.dump(results, sys.stdout, indent=2)
     print()
@@ -446,6 +457,7 @@ if __name__ == "__main__":
         and e21_segment["pipe_payload_drop_at_least_5x"]
         and e21_segment["delta_poll_drop_at_least_3x"]
         and e21_segment["rings_on"]["one_round_trip_per_window"]
+        and e23.segment_ok(e23_segment)
     )
     if not ok:
         sys.exit(1)

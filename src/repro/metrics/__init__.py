@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, Union
 
 from . import names
-from .counters import MetricsRecorder, Snapshot
+from .counters import CounterCell, MetricsRecorder, Snapshot
 
 
 def counter_diff(
@@ -57,6 +57,7 @@ def graph_diff(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
 
 
 __all__ = [
+    "CounterCell",
     "MetricsRecorder",
     "Snapshot",
     "names",

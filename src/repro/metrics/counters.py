@@ -8,6 +8,17 @@ benchmarks can quote the incremental win as a single number.
 Observations are named value series (``backinfo.outsets_distinct``) with
 summary statistics.  A :class:`Snapshot` freezes the current state so a
 benchmark can diff before/after an operation of interest.
+
+Hot paths do not call :meth:`MetricsRecorder.incr` with a freshly built
+f-string per event; they hold an interned :class:`CounterCell` from
+:meth:`MetricsRecorder.cell` instead.  A cell is a pre-resolved (store,
+name) pair -- ``cell.add(n)`` is one dict update with a cached string hash,
+with the name construction paid once at interning time.  Cells write into
+the *same* counter store that ``incr``/``count``/``snapshot`` use, so the
+two APIs are freely mixable per name: creating a cell never creates a
+counter entry (only ``add`` does, exactly as only ``incr`` did), and
+snapshots remain name- and insertion-order-identical whichever API wrote a
+given counter.
 """
 
 from __future__ import annotations
@@ -15,6 +26,33 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping
+
+
+class CounterCell:
+    """An interned handle on one named counter: ``add`` without lookups.
+
+    Bound to the recorder's live counter mapping, so reads through
+    ``count``/``snapshot``/``_counters`` always see cell writes (and vice
+    versa -- ``incr`` on the same name hits the same slot).
+    """
+
+    __slots__ = ("_counts", "name")
+
+    def __init__(self, counts: Counter, name: str):
+        self._counts = counts
+        self.name = name
+
+    def add(self, amount: int = 1) -> None:
+        counts = self._counts
+        name = self.name
+        counts[name] = counts.get(name, 0) + amount
+
+    @property
+    def value(self) -> int:
+        return self._counts.get(self.name, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterCell({self.name!r}={self.value})"
 
 
 @dataclass(frozen=True)
@@ -42,11 +80,30 @@ class MetricsRecorder:
 
     _counters: Counter = field(default_factory=Counter)
     _observations: Dict[str, List[float]] = field(default_factory=dict)
+    _cells: Dict[str, CounterCell] = field(default_factory=dict)
 
     # -- counters ---------------------------------------------------------
 
     def incr(self, name: str, amount: int = 1) -> None:
-        self._counters[name] += amount
+        # get/setitem instead of ``+=``: Counter's Python-level __missing__
+        # never runs, so first and subsequent increments cost the same two
+        # C dict operations (and match CounterCell.add exactly).
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def cell(self, name: str) -> CounterCell:
+        """The interned :class:`CounterCell` for ``name`` (created lazily).
+
+        Repeated calls return the identical object, so hot paths resolve a
+        name once and keep the handle.  Creating a cell does not create a
+        counter entry; only :meth:`CounterCell.add` (like :meth:`incr`)
+        does.
+        """
+        cell = self._cells.get(name)
+        if cell is None:
+            cell = CounterCell(self._counters, name)
+            self._cells[name] = cell
+        return cell
 
     def count(self, name: str) -> int:
         return self._counters.get(name, 0)
@@ -65,9 +122,11 @@ class MetricsRecorder:
 
     def record_message(self, kind: str, units: int = 1) -> None:
         """Count one sent message of the given payload kind."""
-        self._counters[f"messages.{kind}"] += 1
-        self._counters["messages.total"] += 1
-        self._counters["messages.units"] += units
+        counters = self._counters
+        name = f"messages.{kind}"
+        counters[name] = counters.get(name, 0) + 1
+        counters["messages.total"] = counters.get("messages.total", 0) + 1
+        counters["messages.units"] = counters.get("messages.units", 0) + units
 
     def message_count(self, kind: str) -> int:
         return self._counters.get(f"messages.{kind}", 0)

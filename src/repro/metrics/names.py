@@ -13,6 +13,8 @@ helper functions.  Import from :mod:`repro.metrics`::
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 # -- message accounting (Network) -----------------------------------------
 
 MSG_TOTAL = "messages.total"
@@ -31,16 +33,19 @@ MSG_DROPPED_FAULT = "messages.dropped.fault"
 MSG_DUPLICATED = "messages.duplicated"
 
 
+@lru_cache(maxsize=None)
 def msg_sent(kind: str) -> str:
     """Original sends of one payload kind (written by record_message)."""
     return f"messages.{kind}"
 
 
+@lru_cache(maxsize=None)
 def msg_delivered_kind(kind: str) -> str:
     """Original deliveries of one payload kind."""
     return f"messages.delivered.{kind}"
 
 
+@lru_cache(maxsize=None)
 def msg_dropped_kind(kind: str) -> str:
     """Original drops of one payload kind (any reason).
 
@@ -50,24 +55,29 @@ def msg_dropped_kind(kind: str) -> str:
     return f"messages.dropped.{kind}"
 
 
+@lru_cache(maxsize=None)
 def msg_dropped_reason(reason: str) -> str:
     """Original drops for one reason: crash, partition, loss, fault."""
     return f"messages.dropped.{reason}"
 
 
+@lru_cache(maxsize=None)
 def msg_duplicated(kind: str) -> str:
     """Duplicate copies injected by a fault plan, per kind."""
     return f"messages.duplicated.{kind}"
 
 
+@lru_cache(maxsize=None)
 def msg_dup_delivered(kind: str) -> str:
     return f"messages.dup_delivered.{kind}"
 
 
+@lru_cache(maxsize=None)
 def msg_dup_dropped(kind: str) -> str:
     return f"messages.dup_dropped.{kind}"
 
 
+@lru_cache(maxsize=None)
 def dup_suppressed(kind: str) -> str:
     """Receiver-side duplicate deliveries suppressed, per payload kind."""
     return f"protocol.dup_suppressed.{kind}"

@@ -142,6 +142,13 @@ class SendFate:
     duplicate_lags: Tuple[float, ...] = ()
 
 
+#: Shared immutable fates for the two overwhelmingly common outcomes, so the
+#: per-send hot path allocates nothing when a message sails through clean or
+#: is dropped outright.
+CLEAN_FATE = SendFate()
+DROP_FATE = SendFate(drop=True)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A declarative, deterministic schedule of network faults.
@@ -255,19 +262,46 @@ class FaultPlan:
 
     # -- send-time consultation --------------------------------------------
 
+    def rules_for(self, src: SiteId, dst: SiteId) -> Tuple[LinkFault, ...]:
+        """The link rules that can ever apply to the ordered pair, in rule
+        order.
+
+        Time windows are *not* evaluated here -- only the src/dst match,
+        which is constant for the pair's lifetime -- so the result can be
+        cached on a per-link struct and handed back to :meth:`roll` as its
+        ``rules`` argument.  Because rules that never match a pair draw no
+        randomness in :meth:`roll`, prefiltering preserves the per-pair draw
+        sequence exactly.
+        """
+        return tuple(
+            rule
+            for rule in self.links
+            if (rule.src is None or rule.src == src)
+            and (rule.dst is None or rule.dst == dst)
+        )
+
     def roll(
-        self, now: float, src: SiteId, dst: SiteId, rng: random.Random
+        self,
+        now: float,
+        src: SiteId,
+        dst: SiteId,
+        rng: random.Random,
+        rules: Optional[Tuple[LinkFault, ...]] = None,
     ) -> SendFate:
         """Decide the fate of one send.  Draws are ordered rule-by-rule so
         the sequence depends only on the plan and the sender's send order
-        (the shard-safety requirement)."""
+        (the shard-safety requirement).
+
+        ``rules`` may carry a :meth:`rules_for` prefilter of ``self.links``
+        for the pair; the outcome and draw order are identical either way.
+        """
         extra_delay = 0.0
         duplicate_lags: List[float] = []
-        for rule in self.links:
+        for rule in (self.links if rules is None else rules):
             if not rule.matches(now, src, dst):
                 continue
             if rule.loss > 0.0 and rng.random() < rule.loss:
-                return SendFate(drop=True)
+                return DROP_FATE
             if rule.reorder_probability > 0.0 and rng.random() < rule.reorder_probability:
                 extra_delay += rng.uniform(0.0, rule.reorder_delay)
             if (
@@ -277,6 +311,8 @@ class FaultPlan:
                 for _ in range(rule.duplicate_copies):
                     lag = rng.uniform(0.0, rule.duplicate_lag) if rule.duplicate_lag else 0.0
                     duplicate_lags.append(lag)
+        if extra_delay == 0.0 and not duplicate_lags:
+            return CLEAN_FATE
         return SendFate(extra_delay=extra_delay, duplicate_lags=tuple(duplicate_lags))
 
     # -- driver-side schedules ---------------------------------------------

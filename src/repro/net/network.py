@@ -17,6 +17,21 @@ counted under ``messages.{Kind}``; it then either delivers exactly once
 is in flight.  Fault-plan duplicate copies are accounted separately
 (``messages.duplicated.{Kind}`` injected = ``messages.dup_delivered.{Kind}``
 + ``messages.dup_dropped.{Kind}``).
+
+Hot path: the per-send lookup chain (endpoint dict, crash set, partition
+map, per-pair RNG memo, FIFO floor dict, f-string counter names) is
+collapsed into one :class:`_Link` struct per ordered pair, built on first
+use and cached in ``_links``.  A link caches everything about the pair that
+only changes at topology events -- the destination's deliver function, the
+pair's latency and fault RNG streams, the prefiltered fault rules, the
+cached crash/partition verdict, the FIFO floor, and per-payload-kind
+interned :class:`~repro.metrics.counters.CounterCell` handles -- so a clean
+send costs one dict hit plus cell adds.  Every mutation that could change
+any of that (``register``, ``crash``, ``recover``, ``partition``,
+``heal_partition``, ``attach_shard``) drops the whole cache; links rebuild
+lazily with rule-for-rule identical behaviour.  RNG streams survive
+invalidation in the ``_pair_streams`` / ``_fault_streams`` memos, so a
+rebuilt link resumes the pair's draw sequence exactly where it left off.
 """
 
 from __future__ import annotations
@@ -35,6 +50,93 @@ from .latency import LatencyModel, UniformLatency
 from .message import Message, Payload
 
 DeliverFn = Callable[[Message], None]
+
+
+class _KindCells:
+    """Interned counter cells for one (payload kind, ordered pair).
+
+    Resolved once per (link, kind); the per-send accounting then runs
+    entirely on cached cells.  The ``add`` call order in :meth:`Network.send`
+    reproduces the historical ``incr`` order exactly, so counter insertion
+    order (and hence snapshots) stays byte-identical.
+    """
+
+    __slots__ = (
+        "sent",
+        "units",
+        "involve_src",
+        "involve_dst",
+        "delivered",
+        "dropped",
+        "duplicated",
+        "dup_delivered",
+        "dup_dropped",
+        "deliver_label",
+    )
+
+    def __init__(self, metrics: MetricsRecorder, kind: str, src: SiteId, dst: SiteId):
+        cell = metrics.cell
+        self.sent = cell(names.msg_sent(kind))
+        self.units = cell(f"units.{kind}")
+        self.involve_src = cell(f"involve.{kind}.{src}")
+        self.involve_dst = cell(f"involve.{kind}.{dst}")
+        self.delivered = cell(names.msg_delivered_kind(kind))
+        self.dropped = cell(names.msg_dropped_kind(kind))
+        self.duplicated = cell(names.msg_duplicated(kind))
+        self.dup_delivered = cell(names.msg_dup_delivered(kind))
+        self.dup_dropped = cell(names.msg_dup_dropped(kind))
+        self.deliver_label = "deliver:" + kind
+
+
+class _Link:
+    """Cached per-ordered-pair state: everything a send needs in one struct.
+
+    Valid only until the next topology mutation; ``Network._invalidate_links``
+    flushes the FIFO floor back to ``_last_delivery`` and drops the cache.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "deliver",
+        "blocked",
+        "rng",
+        "fault_rng",
+        "fault_rules",
+        "fifo",
+        "last_delivery",
+        "local",
+        "kind_cells",
+    )
+
+    def __init__(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        deliver: DeliverFn,
+        blocked: Optional[str],
+        rng: random.Random,
+        fault_rng: Optional[random.Random],
+        fault_rules: Optional[tuple],
+        fifo: bool,
+        last_delivery: float,
+        local: bool,
+    ):
+        self.src = src
+        self.dst = dst
+        self.deliver = deliver
+        #: Drop reason every message on this link dies of right now
+        #: ("crash" / "partition"), or None.  Safe to cache: every event
+        #: that could change it invalidates the link cache.
+        self.blocked = blocked
+        self.rng = rng
+        self.fault_rng = fault_rng
+        self.fault_rules = fault_rules
+        self.fifo = fifo
+        self.last_delivery = last_delivery
+        #: False only in shard mode when ``dst`` lives on another shard.
+        self.local = local
+        self.kind_cells: Dict[str, _KindCells] = {}
 
 
 class Network:
@@ -61,6 +163,7 @@ class Network:
         # Cheap per-send gate: outside this window no link rule can match,
         # so roll() is skipped entirely (an idle plan costs one comparison).
         self._fault_window = self._faults.link_window if self._faults else None
+        self._drop_probability = self._config.drop_probability
         self._endpoints: Dict[SiteId, DeliverFn] = {}
         self._crashed: Set[SiteId] = set()
         self._partition: Optional[Dict[SiteId, int]] = None
@@ -86,12 +189,28 @@ class Network:
         # shard; False falls through to the coordinator-routed outbox (ring
         # full, oversized record).
         self._ring_writer: Optional[Callable[[float, Message], bool]] = None
+        # The per-pair link cache (the hot-path fast lane; see module
+        # docstring for the invalidation contract).
+        self._links: Dict[Tuple[SiteId, SiteId], _Link] = {}
+        # Pair-independent cells, interned once.
+        cell = metrics.cell
+        self._cell_total = cell(names.MSG_TOTAL)
+        self._cell_units = cell(names.MSG_UNITS)
+        self._cell_delivered = cell(names.MSG_DELIVERED)
+        self._cell_lost = cell(names.MSG_LOST)
+        self._reason_cells = {
+            reason: cell(names.msg_dropped_reason(reason))
+            for reason in ("crash", "partition", "loss", "fault")
+        }
 
     # -- topology -----------------------------------------------------------
 
     def register(self, site_id: SiteId, deliver: DeliverFn) -> None:
         """Attach a site's receive function to the network."""
         self._endpoints[site_id] = deliver
+        # Links cache the deliver fn (and the partition map consults the
+        # endpoint set), so any (re-)registration drops the cache.
+        self._invalidate_links()
 
     def known_sites(self) -> Set[SiteId]:
         return set(self._endpoints)
@@ -105,9 +224,11 @@ class Network:
     def crash(self, site_id: SiteId) -> None:
         """Messages to/from a crashed site are lost (counted as drops)."""
         self._crashed.add(site_id)
+        self._invalidate_links()
 
     def recover(self, site_id: SiteId) -> None:
         self._crashed.discard(site_id)
+        self._invalidate_links()
 
     def is_crashed(self, site_id: SiteId) -> bool:
         return site_id in self._crashed
@@ -125,9 +246,11 @@ class Network:
         for site_id in self._endpoints:
             mapping.setdefault(site_id, implicit)
         self._partition = mapping
+        self._invalidate_links()
 
     def heal_partition(self) -> None:
         self._partition = None
+        self._invalidate_links()
 
     def _partitioned(self, src: SiteId, dst: SiteId) -> bool:
         if self._partition is None:
@@ -137,9 +260,9 @@ class Network:
     def _blocked(self, src: SiteId, dst: SiteId) -> Optional[str]:
         """The drop reason a message on this link would die of, or None.
 
-        One helper for both ends of a message's life: :meth:`send` and
-        :meth:`_deliver` apply the same check, so crash/partition handling is
-        symmetric and every discard is counted.
+        One rule for both ends of a message's life: links cache this verdict
+        for :meth:`send` and :meth:`_deliver` alike, so crash/partition
+        handling is symmetric and every discard is counted.
         """
         if src in self._crashed or dst in self._crashed:
             return "crash"
@@ -147,15 +270,59 @@ class Network:
             return "partition"
         return None
 
-    def _drop(self, message: Message, reason: str) -> None:
+    def _drop(self, cells: _KindCells, dup: bool, reason: str) -> None:
         """Count one discarded message (original vs duplicate copy)."""
-        kind = message.kind
-        if message.dup:
-            self._metrics.incr(names.msg_dup_dropped(kind))
+        if dup:
+            cells.dup_dropped.add()
             return
-        self._metrics.incr(names.MSG_LOST)
-        self._metrics.incr(names.msg_dropped_kind(kind))
-        self._metrics.incr(names.msg_dropped_reason(reason))
+        self._cell_lost.add()
+        cells.dropped.add()
+        self._reason_cells[reason].add()
+
+    # -- the link cache ------------------------------------------------------
+
+    def _build_link(self, src: SiteId, dst: SiteId) -> _Link:
+        deliver = self._endpoints.get(dst)
+        if deliver is None:
+            raise UnknownSiteError(f"no site registered as {dst!r}")
+        if self._faults is not None:
+            fault_rng: Optional[random.Random] = self._fault_rng(src, dst)
+            fault_rules: Optional[tuple] = self._faults.rules_for(src, dst)
+        else:
+            fault_rng = None
+            fault_rules = None
+        link = _Link(
+            src=src,
+            dst=dst,
+            deliver=deliver,
+            blocked=self._blocked(src, dst),
+            rng=self._rng_for(src, dst),
+            fault_rng=fault_rng,
+            fault_rules=fault_rules,
+            fifo=self._config.fifo_per_pair,
+            last_delivery=self._last_delivery.get((src, dst), 0.0),
+            local=self._shard_sites is None or dst in self._shard_sites,
+        )
+        self._links[(src, dst)] = link
+        return link
+
+    def _invalidate_links(self) -> None:
+        """Drop every cached link, flushing FIFO floors back to the dict.
+
+        RNG streams are NOT reset -- they live in the ``_pair_streams`` /
+        ``_fault_streams`` memos, so a rebuilt link resumes each pair's
+        draw sequence mid-stream, exactly as the uncached implementation
+        would.
+        """
+        links = self._links
+        if not links:
+            return
+        if self._config.fifo_per_pair:
+            floors = self._last_delivery
+            for pair, link in links.items():
+                if link.last_delivery > 0.0:
+                    floors[pair] = link.last_delivery
+        links.clear()
 
     # -- sharding (parallel engine support) ---------------------------------
 
@@ -186,6 +353,7 @@ class Network:
         self._shard_sites = set(sites)
         self._shard_outbox = outbox
         self._ring_writer = ring_writer
+        self._invalidate_links()
 
     @property
     def shard_sites(self) -> Optional[Set[SiteId]]:
@@ -245,61 +413,71 @@ class Network:
 
     def send(self, src: SiteId, dst: SiteId, payload: Payload) -> None:
         """Send ``payload`` from ``src`` to ``dst`` (counted even if lost)."""
-        if dst not in self._endpoints:
-            raise UnknownSiteError(f"no site registered as {dst!r}")
+        link = self._links.get((src, dst))
+        if link is None:
+            link = self._build_link(src, dst)
         message = Message(src=src, dst=dst, payload=payload)
-        self._metrics.record_message(message.kind, payload.size_units())
-        # Per-kind size units and per-site attribution: which sites a
-        # protocol involves and what it really ships (benchmark E6).
-        self._metrics.incr(f"units.{message.kind}", payload.size_units())
-        self._metrics.incr(f"involve.{message.kind}.{src}")
-        self._metrics.incr(f"involve.{message.kind}.{dst}")
+        kind = message.kind
+        cells = link.kind_cells.get(kind)
+        if cells is None:
+            cells = link.kind_cells[kind] = _KindCells(self._metrics, kind, src, dst)
+        # Accounting in the historical incr order: the per-kind send count,
+        # the totals, then per-kind size units and per-site attribution
+        # (which sites a protocol involves and what it really ships; E6).
+        units = payload.size_units()
+        cells.sent.add()
+        self._cell_total.add()
+        self._cell_units.add(units)
+        cells.units.add(units)
+        cells.involve_src.add()
+        cells.involve_dst.add()
 
-        reason = self._blocked(src, dst)
-        if reason is not None:
-            self._drop(message, reason)
+        if link.blocked is not None:
+            self._drop(cells, False, link.blocked)
             return
-        rng = self._rng_for(src, dst)
-        if self._config.drop_probability and rng.random() < self._config.drop_probability:
-            self._drop(message, "loss")
+        rng = link.rng
+        if self._drop_probability and rng.random() < self._drop_probability:
+            self._drop(cells, False, "loss")
             return
+        now = self._scheduler.now
         extra_delay = 0.0
         duplicate_lags: Tuple[float, ...] = ()
-        if (
-            self._fault_window is not None
-            and self._fault_window[0] <= self._scheduler.now < self._fault_window[1]
-        ):
+        fault_window = self._fault_window
+        if fault_window is not None and fault_window[0] <= now < fault_window[1]:
             fate = self._faults.roll(
-                self._scheduler.now, src, dst, self._fault_rng(src, dst)
+                now, src, dst, link.fault_rng, rules=link.fault_rules
             )
             if fate.drop:
-                self._drop(message, "fault")
+                self._drop(cells, False, "fault")
                 return
             extra_delay = fate.extra_delay
             duplicate_lags = fate.duplicate_lags
 
-        delay = self._latency.sample(rng, src, dst) + extra_delay
-        deliver_at = self._clamp_fifo(src, dst, self._scheduler.now + delay)
-        self._dispatch(message, deliver_at)
+        deliver_at = now + self._latency.sample(rng, src, dst) + extra_delay
+        if link.fifo:
+            floor = link.last_delivery
+            if deliver_at < floor:
+                deliver_at = floor
+            link.last_delivery = deliver_at
+        self._dispatch(link, cells, message, deliver_at)
         for lag in duplicate_lags:
             # A fresh envelope per copy: its own uid (in-flight tracking and
             # cross-shard routing need distinct keys) and the dup marker for
             # separate accounting.
             copy = Message(src=src, dst=dst, payload=payload, dup=True)
-            self._metrics.incr(names.msg_duplicated(message.kind))
-            self._dispatch(copy, self._clamp_fifo(src, dst, deliver_at + lag))
+            cells.duplicated.add()
+            copy_at = deliver_at + lag
+            if link.fifo:
+                floor = link.last_delivery
+                if copy_at < floor:
+                    copy_at = floor
+                link.last_delivery = copy_at
+            self._dispatch(link, cells, copy, copy_at)
 
-    def _clamp_fifo(self, src: SiteId, dst: SiteId, deliver_at: float) -> float:
-        if not self._config.fifo_per_pair:
-            return deliver_at
-        pair = (src, dst)
-        floor = self._last_delivery.get(pair, 0.0)
-        deliver_at = max(deliver_at, floor)
-        self._last_delivery[pair] = deliver_at
-        return deliver_at
-
-    def _dispatch(self, message: Message, deliver_at: float) -> None:
-        if self._shard_sites is not None and message.dst not in self._shard_sites:
+    def _dispatch(
+        self, link: _Link, cells: _KindCells, message: Message, deliver_at: float
+    ) -> None:
+        if not link.local:
             # Cross-shard: delivery time is already fixed sender-side.  Try
             # the direct ring to the destination shard first; a declined
             # write (ring full, oversized record) spills to the coordinator-
@@ -314,9 +492,10 @@ class Network:
         self._in_flight[message.uid] = message
         self._scheduler.schedule_at(
             deliver_at,
-            lambda: self._deliver(message),
-            label=f"deliver:{message.kind}",
+            self._deliver,
+            label=cells.deliver_label,
             site=message.dst,
+            arg=message,
         )
 
     def in_flight_messages(self):
@@ -325,15 +504,25 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         self._in_flight.pop(message.uid, None)
+        src = message.src
+        dst = message.dst
+        link = self._links.get((src, dst))
+        if link is None:
+            # First traffic on this pair since an invalidation (or, on a
+            # shard, an inbound pair whose sender lives elsewhere).
+            link = self._build_link(src, dst)
+        kind = message.kind
+        cells = link.kind_cells.get(kind)
+        if cells is None:
+            cells = link.kind_cells[kind] = _KindCells(self._metrics, kind, src, dst)
         # Crashes/partitions that arose while the message was in flight also
         # destroy it -- the destination never processes it.
-        reason = self._blocked(message.src, message.dst)
-        if reason is not None:
-            self._drop(message, reason)
+        if link.blocked is not None:
+            self._drop(cells, message.dup, link.blocked)
             return
         if message.dup:
-            self._metrics.incr(names.msg_dup_delivered(message.kind))
+            cells.dup_delivered.add()
         else:
-            self._metrics.incr(names.MSG_DELIVERED)
-            self._metrics.incr(names.msg_delivered_kind(message.kind))
-        self._endpoints[message.dst](message)
+            self._cell_delivered.add()
+            cells.delivered.add()
+        link.deliver(message)

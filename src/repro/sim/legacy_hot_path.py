@@ -1,0 +1,566 @@
+"""Frozen pre-overhaul hot path: the reference twin for the per-event rebuild.
+
+The per-event hot-path overhaul (tuple-keyed scheduler heap, per-link send
+caches, interned counter cells, type-keyed site dispatch) claims *byte
+identity*: RNG draw order, event firing order, counter names and values,
+snapshots, and trace outcomes must all be unchanged.  That claim needs a
+reference implementation to twin against, so this module keeps a verbatim
+copy of the previous engine layers:
+
+- :class:`LegacyScheduler` -- the ``dataclass(order=True)`` event heap whose
+  sift comparisons run generated Python ``__lt__`` instead of C tuple
+  compares;
+- :class:`LegacyNetwork` -- the per-send lookup chain (``_endpoints``,
+  ``_pair_streams``, ``_last_delivery``, ``_crashed``, partition map, fault
+  window) plus a fresh closure and f-string counter names per delivery;
+- :class:`LegacySite` -- the two per-receive ``isinstance`` probes against
+  the sequenced-payload tuple and the per-receive ``Bundle`` import.
+
+``use_legacy_hot_path()`` patches the classes into
+:mod:`repro.sim.simulation` for the duration of a ``with`` block, so a
+simulation *constructed* inside the block runs entirely on the old layers
+(the parallel engine forks after construction, so workers inherit them too).
+The equivalence suite (``tests/integration/test_hot_path_equivalence.py``)
+and benchmark E23 build twins this way and compare snapshots, merged
+metrics, and trace outcomes byte for byte.
+
+Two deliberate deviations from the historical source, both semantics-free:
+
+- the legacy scheduler accepts the new ``arg=`` callback form (it stores the
+  argument on the event and fires ``fn(arg)``), because shared parallel-engine
+  code schedules deliveries that way on whichever scheduler it is given;
+- class names carry the ``Legacy`` prefix.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..config import NetworkConfig
+from ..errors import SchedulerError, UnknownSiteError
+from ..ids import SiteId
+from ..metrics import MetricsRecorder, names
+from ..net.faults import FaultPlan
+from ..net.latency import LatencyModel, UniformLatency
+from ..net.message import Message, Payload
+from ..site.site import Site
+from .rng import RngRegistry
+from .scheduler import _NO_ARG, EventCallback, EventHandle
+
+DeliverFn = Callable[[Message], None]
+
+_COMPACT_MIN_QUEUE = 64
+
+
+@dataclass(order=True, slots=True)
+class _LegacyEvent:
+    time: float
+    seq: int
+    callback: Optional[EventCallback] = field(compare=False)
+    label: str = field(compare=False, default="")
+    owner: Optional["LegacyScheduler"] = field(compare=False, default=None)
+    site: Optional[SiteId] = field(compare=False, default=None)
+    arg: object = field(compare=False, default=_NO_ARG)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def cancel(self) -> None:
+        if self.callback is None:
+            return
+        self.callback = None
+        if self.owner is not None:
+            self.owner._note_cancelled()
+
+
+class LegacyScheduler:
+    """The pre-overhaul scheduler: a heap of order-comparable dataclasses."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[_LegacyEvent] = []
+        self._events_fired = 0
+        self._live_events = 0
+        self._cancelled_events = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return self._live_events
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def schedule(
+        self,
+        delay: float,
+        callback: EventCallback,
+        label: str = "",
+        site: Optional[SiteId] = None,
+        arg: object = _NO_ARG,
+    ) -> EventHandle:
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule into the past (delay={delay})")
+        return self._push(self._now + delay, callback, label, site, arg)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: EventCallback,
+        label: str = "",
+        site: Optional[SiteId] = None,
+        arg: object = _NO_ARG,
+    ) -> EventHandle:
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        return self._push(time, callback, label, site, arg)
+
+    def _push(
+        self,
+        time: float,
+        callback: EventCallback,
+        label: str,
+        site: Optional[SiteId],
+        arg: object = _NO_ARG,
+    ) -> EventHandle:
+        event = _LegacyEvent(
+            time=time, seq=self._seq, callback=callback, label=label, owner=self,
+            site=site, arg=arg,
+        )
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        self._live_events += 1
+        return EventHandle(event)
+
+    def _note_cancelled(self) -> None:
+        self._live_events -= 1
+        self._cancelled_events += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._cancelled_events * 2 > len(self._queue)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_events = 0
+
+    def _pop_cancelled_head(self) -> None:
+        heapq.heappop(self._queue)
+        self._cancelled_events -= 1
+
+    def retain_sites(self, sites: Set[SiteId]) -> int:
+        untagged = [
+            event.label or "<unlabelled>"
+            for event in self._queue
+            if not event.cancelled and event.site is None
+        ]
+        if untagged:
+            raise SchedulerError(
+                "cannot shard a scheduler holding site-untagged events: "
+                + ", ".join(sorted(set(untagged))[:8])
+            )
+        kept = [
+            event
+            for event in self._queue
+            if not event.cancelled and event.site in sites
+        ]
+        heapq.heapify(kept)
+        self._queue = kept
+        self._live_events = len(kept)
+        self._cancelled_events = 0
+        return len(kept)
+
+    def peek_time(self) -> float:
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                self._pop_cancelled_head()
+                continue
+            return head.time
+        return float("inf")
+
+    def next_event_time(self) -> float:
+        return self.peek_time()
+
+    def live_events(self):
+        for event in self._queue:
+            if not event.cancelled:
+                yield event.time, event.label, event.site
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                self._cancelled_events -= 1
+                continue
+            self._now = event.time
+            callback, event.callback = event.callback, None
+            assert callback is not None
+            self._live_events -= 1
+            self._events_fired += 1
+            if event.arg is _NO_ARG:
+                callback()
+            else:
+                callback(event.arg)
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                self._pop_cancelled_head()
+                continue
+            if head.time > time:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            self.step()
+            fired += 1
+        if not (max_events is not None and fired >= max_events):
+            self._now = max(self._now, time)
+        return fired
+
+    def run_until_before(self, bound: float) -> int:
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                self._pop_cancelled_head()
+                continue
+            if head.time >= bound:
+                break
+            self.step()
+            fired += 1
+        return fired
+
+    def advance_clock(self, time: float) -> None:
+        self._now = max(self._now, time)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        return self.run_until(self._now + duration, max_events=max_events)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        fired = 0
+        while fired < max_events and self.step():
+            fired += 1
+        if fired >= max_events and self.pending:
+            raise SchedulerError(
+                f"drain exceeded {max_events} events with {self.pending} still pending"
+            )
+        return fired
+
+
+class LegacyNetwork:
+    """The pre-overhaul network: full per-send lookup chain, closure per
+    delivery, f-string counter names per message."""
+
+    def __init__(
+        self,
+        scheduler,
+        rng: RngRegistry,
+        metrics: MetricsRecorder,
+        config: Optional[NetworkConfig] = None,
+        latency_model: Optional[LatencyModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        self._scheduler = scheduler
+        self._rng_registry = rng
+        self._rng = rng.stream("network")
+        self._metrics = metrics
+        self._config = config or NetworkConfig()
+        self._latency = latency_model or UniformLatency(
+            self._config.min_latency, self._config.max_latency
+        )
+        self._faults = fault_plan if fault_plan is not None and not fault_plan.is_empty else None
+        self._fault_window = self._faults.link_window if self._faults else None
+        self._endpoints: Dict[SiteId, DeliverFn] = {}
+        self._crashed: Set[SiteId] = set()
+        self._partition: Optional[Dict[SiteId, int]] = None
+        self._last_delivery: Dict[Tuple[SiteId, SiteId], float] = {}
+        self._in_flight: Dict[int, Message] = {}
+        self._pair_streams: Optional[Dict[Tuple[SiteId, SiteId], random.Random]] = (
+            {} if self._config.pair_rng_streams else None
+        )
+        self._fault_streams: Dict[Tuple[SiteId, SiteId], random.Random] = {}
+        self._shard_sites: Optional[Set[SiteId]] = None
+        self._shard_outbox: Optional[List[Tuple[float, Message]]] = None
+        self._ring_writer: Optional[Callable[[float, Message], bool]] = None
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, site_id: SiteId, deliver: DeliverFn) -> None:
+        self._endpoints[site_id] = deliver
+
+    def known_sites(self) -> Set[SiteId]:
+        return set(self._endpoints)
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        return self._faults
+
+    # -- failures -----------------------------------------------------------
+
+    def crash(self, site_id: SiteId) -> None:
+        self._crashed.add(site_id)
+
+    def recover(self, site_id: SiteId) -> None:
+        self._crashed.discard(site_id)
+
+    def is_crashed(self, site_id: SiteId) -> bool:
+        return site_id in self._crashed
+
+    def partition(self, *groups: Set[SiteId]) -> None:
+        mapping: Dict[SiteId, int] = {}
+        for index, group in enumerate(groups):
+            for site_id in group:
+                mapping[site_id] = index
+        implicit = len(groups)
+        for site_id in self._endpoints:
+            mapping.setdefault(site_id, implicit)
+        self._partition = mapping
+
+    def heal_partition(self) -> None:
+        self._partition = None
+
+    def _partitioned(self, src: SiteId, dst: SiteId) -> bool:
+        if self._partition is None:
+            return False
+        return self._partition.get(src) != self._partition.get(dst)
+
+    def _blocked(self, src: SiteId, dst: SiteId) -> Optional[str]:
+        if src in self._crashed or dst in self._crashed:
+            return "crash"
+        if self._partitioned(src, dst):
+            return "partition"
+        return None
+
+    def _drop(self, message: Message, reason: str) -> None:
+        kind = message.kind
+        if message.dup:
+            self._metrics.incr(names.msg_dup_dropped(kind))
+            return
+        self._metrics.incr(names.MSG_LOST)
+        self._metrics.incr(names.msg_dropped_kind(kind))
+        self._metrics.incr(names.msg_dropped_reason(reason))
+
+    # -- sharding (parallel engine support) ---------------------------------
+
+    def attach_shard(
+        self,
+        sites: Set[SiteId],
+        outbox: List[Tuple[float, Message]],
+        ring_writer: Optional[Callable[[float, Message], bool]] = None,
+    ) -> None:
+        if self._pair_streams is None:
+            raise UnknownSiteError(
+                "shard mode requires NetworkConfig.pair_rng_streams"
+            )
+        if self._partition is not None:
+            raise UnknownSiteError("shard mode does not support partitions")
+        self._shard_sites = set(sites)
+        self._shard_outbox = outbox
+        self._ring_writer = ring_writer
+
+    @property
+    def shard_sites(self) -> Optional[Set[SiteId]]:
+        return None if self._shard_sites is None else set(self._shard_sites)
+
+    def min_cross_latency(self, sites: Set[SiteId]) -> Optional[float]:
+        best: Optional[float] = None
+        outside = [dst for dst in self._endpoints if dst not in sites]
+        if not outside:
+            return None
+        for src in sites:
+            for dst in outside:
+                bound = self._latency.min_delay(src, dst)
+                if bound is None:
+                    return None
+                if best is None or bound < best:
+                    best = bound
+        return best
+
+    def deliver_remote(self, message: Message) -> None:
+        self._deliver(message)
+
+    def _rng_for(self, src: SiteId, dst: SiteId) -> random.Random:
+        if self._pair_streams is None:
+            return self._rng
+        stream = self._pair_streams.get((src, dst))
+        if stream is None:
+            stream = self._rng_registry.stream(f"net:{src}->{dst}")
+            self._pair_streams[(src, dst)] = stream
+        return stream
+
+    def _fault_rng(self, src: SiteId, dst: SiteId) -> random.Random:
+        stream = self._fault_streams.get((src, dst))
+        if stream is None:
+            stream = self._rng_registry.stream(f"fault:{src}->{dst}")
+            self._fault_streams[(src, dst)] = stream
+        return stream
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, src: SiteId, dst: SiteId, payload: Payload) -> None:
+        if dst not in self._endpoints:
+            raise UnknownSiteError(f"no site registered as {dst!r}")
+        message = Message(src=src, dst=dst, payload=payload)
+        self._metrics.record_message(message.kind, payload.size_units())
+        self._metrics.incr(f"units.{message.kind}", payload.size_units())
+        self._metrics.incr(f"involve.{message.kind}.{src}")
+        self._metrics.incr(f"involve.{message.kind}.{dst}")
+
+        reason = self._blocked(src, dst)
+        if reason is not None:
+            self._drop(message, reason)
+            return
+        rng = self._rng_for(src, dst)
+        if self._config.drop_probability and rng.random() < self._config.drop_probability:
+            self._drop(message, "loss")
+            return
+        extra_delay = 0.0
+        duplicate_lags: Tuple[float, ...] = ()
+        if (
+            self._fault_window is not None
+            and self._fault_window[0] <= self._scheduler.now < self._fault_window[1]
+        ):
+            fate = self._faults.roll(
+                self._scheduler.now, src, dst, self._fault_rng(src, dst)
+            )
+            if fate.drop:
+                self._drop(message, "fault")
+                return
+            extra_delay = fate.extra_delay
+            duplicate_lags = fate.duplicate_lags
+
+        delay = self._latency.sample(rng, src, dst) + extra_delay
+        deliver_at = self._clamp_fifo(src, dst, self._scheduler.now + delay)
+        self._dispatch(message, deliver_at)
+        for lag in duplicate_lags:
+            copy = Message(src=src, dst=dst, payload=payload, dup=True)
+            self._metrics.incr(names.msg_duplicated(message.kind))
+            self._dispatch(copy, self._clamp_fifo(src, dst, deliver_at + lag))
+
+    def _clamp_fifo(self, src: SiteId, dst: SiteId, deliver_at: float) -> float:
+        if not self._config.fifo_per_pair:
+            return deliver_at
+        pair = (src, dst)
+        floor = self._last_delivery.get(pair, 0.0)
+        deliver_at = max(deliver_at, floor)
+        self._last_delivery[pair] = deliver_at
+        return deliver_at
+
+    def _dispatch(self, message: Message, deliver_at: float) -> None:
+        if self._shard_sites is not None and message.dst not in self._shard_sites:
+            if self._ring_writer is not None and self._ring_writer(
+                deliver_at, message
+            ):
+                return
+            self._shard_outbox.append((deliver_at, message))
+            return
+        self._in_flight[message.uid] = message
+        self._scheduler.schedule_at(
+            deliver_at,
+            lambda: self._deliver(message),
+            label=f"deliver:{message.kind}",
+            site=message.dst,
+        )
+
+    def in_flight_messages(self):
+        return list(self._in_flight.values())
+
+    def _deliver(self, message: Message) -> None:
+        self._in_flight.pop(message.uid, None)
+        reason = self._blocked(message.src, message.dst)
+        if reason is not None:
+            self._drop(message, reason)
+            return
+        if message.dup:
+            self._metrics.incr(names.msg_dup_delivered(message.kind))
+        else:
+            self._metrics.incr(names.MSG_DELIVERED)
+            self._metrics.incr(names.msg_delivered_kind(message.kind))
+        self._endpoints[message.dst](message)
+
+
+class LegacySite(Site):
+    """The pre-overhaul site boundary: isinstance probes per send/receive."""
+
+    def send(self, dst: SiteId, payload: Payload) -> None:
+        if self.crashed:
+            return
+        if isinstance(payload, self._sequenced) and payload.seq < 0:
+            seq = self._mutation_seq.get(dst, 0) + 1
+            self._mutation_seq[dst] = seq
+            payload = replace(payload, seq=seq)
+        if self._sender is not None:
+            self._sender.send(dst, payload)
+        else:
+            self.network.send(self.site_id, dst, payload)
+
+    def receive(self, message: Message) -> None:
+        if self.crashed:
+            return
+        from ..net.batching import Bundle
+        from ..net.reliability import DedupWindow
+
+        if isinstance(message.payload, Bundle):
+            for payload in message.payload.payloads:
+                self.receive(Message(src=message.src, dst=message.dst, payload=payload))
+            return
+        payload = message.payload
+        if isinstance(payload, self._sequenced) and payload.seq > 0:
+            window = self._mutation_dedup.setdefault(message.src, DedupWindow())
+            if window.seen(payload.seq):
+                self.metrics.incr(names.dup_suppressed(message.kind))
+                return
+        handler = self._handlers.get(type(payload))
+        if handler is None:
+            raise TypeError(f"site {self.site_id}: no handler for {message.kind}")
+        handler(message)
+
+
+class use_legacy_hot_path:
+    """Context manager: simulations built inside run on the legacy layers.
+
+    Patches ``Scheduler``, ``Network``, and ``Site`` in
+    :mod:`repro.sim.simulation` (the only place the engine classes are
+    instantiated), so any :class:`~repro.sim.simulation.Simulation` --
+    sequential or parallel -- *constructed* inside the block is wired with
+    the frozen implementations.  Construction is what matters: the objects
+    keep their classes after the block exits, and parallel workers inherit
+    them through the fork.
+    """
+
+    def __enter__(self):
+        from . import simulation
+
+        self._saved = (simulation.Scheduler, simulation.Network, simulation.Site)
+        simulation.Scheduler = LegacyScheduler
+        simulation.Network = LegacyNetwork
+        simulation.Site = LegacySite
+        return self
+
+    def __exit__(self, *exc):
+        from . import simulation
+
+        simulation.Scheduler, simulation.Network, simulation.Site = self._saved
+        return False

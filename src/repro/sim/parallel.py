@@ -524,9 +524,10 @@ def _schedule_incoming(sim: Simulation, incoming: List[RoutedMessage]) -> None:
     for deliver_at, message in incoming:
         schedule_at(
             deliver_at,
-            (lambda m=message: deliver(m)),
-            label=f"deliver:{message.kind}",
+            deliver,
+            label="deliver:" + message.kind,
             site=message.dst,
+            arg=message,
         )
 
 

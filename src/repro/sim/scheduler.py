@@ -5,6 +5,22 @@ monotonic sequence number breaks ties), so a run is fully determined by the
 sequence of ``schedule`` calls -- no dict-ordering or hash-randomization
 effects can change behaviour between runs.
 
+The heap holds ``(time, seq, event)`` tuples rather than order-comparable
+event objects: ``seq`` is unique, so every sift comparison is decided by the
+C tuple comparison on a float (and at worst an int) and never falls through
+to Python-level ``__lt__``.  This is the per-event hot path of the whole
+simulator -- the sequential engine and every shard worker's inner loop pay
+one push and one pop per event -- and generated dataclass comparisons were
+its single largest interpreter cost (see benchmark E23; the pre-overhaul
+implementation survives as :mod:`repro.sim.legacy_hot_path` and is twinned
+byte-for-byte against this one).
+
+Callbacks come in two forms: a plain thunk ``fn()`` or, with the ``arg``
+keyword, ``fn(arg)``.  The second form exists for the network's deliveries
+-- the hottest schedule site in the system -- which previously allocated a
+fresh closure per message just to carry the :class:`~repro.net.message.
+Message` into the callback.
+
 Two features exist for the sharded parallel engine (:mod:`repro.sim.parallel`):
 
 - every event may carry an owning *site* tag, which lets a forked shard
@@ -17,14 +33,17 @@ Two features exist for the sharded parallel engine (:mod:`repro.sim.parallel`):
 Cancelled events are removed lazily when popped; when more than half of a
 non-trivial queue is cancelled carcasses (e.g. the back-trace timeout handles
 cancelled on every completed trace), the queue is compacted in one O(n)
-rebuild so memory and pop cost stay proportional to live events.
+rebuild so memory and pop cost stay proportional to live events.  In
+addition, every bounded run prunes cancelled *heads* on entry and exit --
+a storm of timeouts cancelled beyond the current window therefore cannot
+linger at the front of the queue across many short ``run_for`` calls (each
+would otherwise re-discover them before reaching its first live event).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Set, Tuple
 
 from ..errors import SchedulerError
 from ..ids import SiteId
@@ -34,26 +53,45 @@ EventCallback = Callable[[], None]
 _COMPACT_MIN_QUEUE = 64
 """Queues smaller than this are never compacted (rebuild cost beats benefit)."""
 
+_NO_ARG = object()
+"""Sentinel: the event's callback is a plain thunk, fire it as ``fn()``."""
 
-@dataclass(order=True, slots=True)
+
 class _Event:
-    time: float
-    seq: int
-    callback: Optional[EventCallback] = field(compare=False)
-    label: str = field(compare=False, default="")
-    owner: Optional["Scheduler"] = field(compare=False, default=None)
-    site: Optional[SiteId] = field(compare=False, default=None)
+    """Mutable per-event record riding third in the heap tuples.
+
+    Not order-comparable -- the heap never compares it, because the
+    ``(time, seq)`` tuple prefix is unique.  ``fn is None`` doubles as the
+    cancelled/consumed mark, exactly as the legacy dataclass used its
+    ``callback`` field.
+    """
+
+    __slots__ = ("time", "seq", "fn", "arg", "label", "owner", "site")
+
+    def __init__(self, time, seq, fn, arg, label, owner, site):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.arg = arg
+        self.label = label
+        self.owner = owner
+        self.site = site
 
     @property
     def cancelled(self) -> bool:
-        return self.callback is None
+        return self.fn is None
 
     def cancel(self) -> None:
-        if self.callback is None:
+        if self.fn is None:
             return
-        self.callback = None
+        self.fn = None
+        self.arg = None
         if self.owner is not None:
             self.owner._note_cancelled()
+
+
+#: A heap entry: C-comparable key prefix, then the event record.
+_Entry = Tuple[float, int, _Event]
 
 
 class EventHandle:
@@ -61,7 +99,7 @@ class EventHandle:
 
     __slots__ = ("_event",)
 
-    def __init__(self, event: _Event):
+    def __init__(self, event):
         self._event = event
 
     @property
@@ -84,7 +122,7 @@ class Scheduler:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: List[_Event] = []
+        self._queue: List[_Entry] = []
         self._events_fired = 0
         self._live_events = 0
         self._cancelled_events = 0
@@ -117,6 +155,7 @@ class Scheduler:
         callback: EventCallback,
         label: str = "",
         site: Optional[SiteId] = None,
+        arg: object = _NO_ARG,
     ) -> EventHandle:
         """Run ``callback`` after ``delay`` simulated time units.
 
@@ -124,10 +163,12 @@ class Scheduler:
         events already scheduled for the current instant, preserving FIFO
         order within a timestamp.  ``site`` tags the event with the site it
         belongs to; the parallel engine partitions the queue by this tag.
+        With ``arg`` given, the event fires as ``callback(arg)`` -- the
+        closure-free delivery form of the network hot path.
         """
         if delay < 0:
             raise SchedulerError(f"cannot schedule into the past (delay={delay})")
-        return self._push(self._now + delay, callback, label, site)
+        return self._push(self._now + delay, callback, label, site, arg)
 
     def schedule_at(
         self,
@@ -135,6 +176,7 @@ class Scheduler:
         callback: EventCallback,
         label: str = "",
         site: Optional[SiteId] = None,
+        arg: object = _NO_ARG,
     ) -> EventHandle:
         """Run ``callback`` at absolute simulated time ``time``.
 
@@ -147,17 +189,20 @@ class Scheduler:
             raise SchedulerError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        return self._push(time, callback, label, site)
+        return self._push(time, callback, label, site, arg)
 
     def _push(
-        self, time: float, callback: EventCallback, label: str, site: Optional[SiteId]
+        self,
+        time: float,
+        callback: EventCallback,
+        label: str,
+        site: Optional[SiteId],
+        arg: object = _NO_ARG,
     ) -> EventHandle:
-        event = _Event(
-            time=time, seq=self._seq, callback=callback, label=label, owner=self,
-            site=site,
-        )
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = _Event(time, seq, callback, arg, label, self, site)
+        heapq.heappush(self._queue, (time, seq, event))
         self._live_events += 1
         return EventHandle(event)
 
@@ -175,17 +220,28 @@ class Scheduler:
     def compact(self) -> None:
         """Drop cancelled carcasses and re-heapify the survivors.
 
-        Firing order is unchanged: the surviving events keep their (time,
+        Firing order is unchanged: the surviving entries keep their (time,
         seq) keys, and ``heapify`` restores the heap invariant over exactly
         that comparable set.
         """
-        self._queue = [event for event in self._queue if not event.cancelled]
+        self._queue = [entry for entry in self._queue if entry[2].fn is not None]
         heapq.heapify(self._queue)
         self._cancelled_events = 0
 
-    def _pop_cancelled_head(self) -> None:
-        heapq.heappop(self._queue)
-        self._cancelled_events -= 1
+    def _prune_cancelled_heads(self) -> None:
+        """Pop every cancelled carcass sitting at the queue front.
+
+        Called on entry *and* exit of the bounded run loops: a batch of
+        timeouts cancelled past the current window bound is discarded the
+        moment it surfaces, instead of being re-inspected at the head by
+        every subsequent short ``run_for`` call until one finally reaches
+        its timestamp.  Each carcass is popped at most once overall, so the
+        amortized cost stays O(1) per cancelled event.
+        """
+        queue = self._queue
+        while queue and queue[0][2].fn is None:
+            heapq.heappop(queue)
+            self._cancelled_events -= 1
 
     # -- shard support ------------------------------------------------------
 
@@ -199,9 +255,9 @@ class Scheduler:
         would diverge from the sequential engine.
         """
         untagged = [
-            event.label or "<unlabelled>"
-            for event in self._queue
-            if not event.cancelled and event.site is None
+            entry[2].label or "<unlabelled>"
+            for entry in self._queue
+            if entry[2].fn is not None and entry[2].site is None
         ]
         if untagged:
             raise SchedulerError(
@@ -209,9 +265,9 @@ class Scheduler:
                 + ", ".join(sorted(set(untagged))[:8])
             )
         kept = [
-            event
-            for event in self._queue
-            if not event.cancelled and event.site in sites
+            entry
+            for entry in self._queue
+            if entry[2].fn is not None and entry[2].site in sites
         ]
         heapq.heapify(kept)
         self._queue = kept
@@ -229,12 +285,9 @@ class Scheduler:
         earliest-output-time computations build on it instead of touching
         the heap internals.
         """
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                self._pop_cancelled_head()
-                continue
-            return head.time
+        self._prune_cancelled_heads()
+        if self._queue:
+            return self._queue[0][0]
         return float("inf")
 
     def next_event_time(self) -> float:
@@ -249,25 +302,29 @@ class Scheduler:
         scan walks it once per window reply.  Order is the heap's physical
         order, not firing order; callers reduce (min), they do not replay.
         """
-        for event in self._queue:
-            if not event.cancelled:
+        for _time, _seq, event in self._queue:
+            if event.fn is not None:
                 yield event.time, event.label, event.site
 
     # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
+            fn = event.fn
+            if fn is None:
                 self._cancelled_events -= 1
                 continue
-            self._now = event.time
-            callback, event.callback = event.callback, None
-            assert callback is not None
+            self._now = time
+            event.fn = None
             self._live_events -= 1
             self._events_fired += 1
-            callback()
+            if event.arg is _NO_ARG:
+                fn()
+            else:
+                fn(event.arg)
             return True
         return False
 
@@ -278,17 +335,36 @@ class Scheduler:
         periodic activities rescheduled by their own callbacks stay aligned.
         """
         fired = 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                self._pop_cancelled_head()
+        queue = self._queue
+        self._prune_cancelled_heads()
+        while queue:
+            head = queue[0]
+            event = head[2]
+            fn = event.fn
+            if fn is None:
+                heapq.heappop(queue)
+                self._cancelled_events -= 1
                 continue
-            if head.time > time:
+            if head[0] > time:
                 break
             if max_events is not None and fired >= max_events:
                 break
-            self.step()
+            # Inline firing (the body of step()): the head was just
+            # inspected, popping it again through step() would re-test it.
+            heapq.heappop(queue)
+            self._now = head[0]
+            event.fn = None
+            self._live_events -= 1
+            self._events_fired += 1
+            if event.arg is _NO_ARG:
+                fn()
+            else:
+                fn(event.arg)
             fired += 1
+            # The callback may have cancelled enough events to trigger a
+            # compaction (which rebuilds the queue list): re-read it.
+            queue = self._queue
+        self._prune_cancelled_heads()
         if not (max_events is not None and fired >= max_events):
             self._now = max(self._now, time)
         return fired
@@ -303,15 +379,31 @@ class Scheduler:
         the final clock position.
         """
         fired = 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                self._pop_cancelled_head()
+        queue = self._queue
+        self._prune_cancelled_heads()
+        while queue:
+            head = queue[0]
+            event = head[2]
+            fn = event.fn
+            if fn is None:
+                heapq.heappop(queue)
+                self._cancelled_events -= 1
                 continue
-            if head.time >= bound:
+            if head[0] >= bound:
                 break
-            self.step()
+            heapq.heappop(queue)
+            self._now = head[0]
+            event.fn = None
+            self._live_events -= 1
+            self._events_fired += 1
+            if event.arg is _NO_ARG:
+                fn()
+            else:
+                fn(event.arg)
             fired += 1
+            # Compaction inside the callback rebuilds the list: re-read it.
+            queue = self._queue
+        self._prune_cancelled_heads()
         return fired
 
     def advance_clock(self, time: float) -> None:

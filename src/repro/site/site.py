@@ -215,15 +215,42 @@ class Site:
         self._sequenced = _SEQUENCED_MUTATIONS + tuple(
             self.cycle_collector.sequenced_payload_types()
         )
+        # Per-concrete-payload-type dispatch table: (handler, is_sequenced,
+        # is_bundle), resolved lazily by one real isinstance walk per type,
+        # then reused for every send/receive of that type.  Cleared whenever
+        # the handler set changes.
+        self._dispatch: Dict[type, Tuple[Optional[Callable], bool, bool]] = {}
         if auto_gc:
             self.schedule_next_trace()
 
     # -- messaging ---------------------------------------------------------------
 
+    def _resolve_dispatch(
+        self, payload_type: type
+    ) -> Tuple[Optional[Callable], bool, bool]:
+        """Classify one concrete payload type for send/receive dispatch.
+
+        Handler lookup is by exact type (the historical contract); the
+        sequenced/bundle flags use subclass semantics, matching what the
+        per-message ``isinstance`` checks used to decide.
+        """
+        from ..net.batching import Bundle
+
+        entry = (
+            self._handlers.get(payload_type),
+            issubclass(payload_type, self._sequenced),
+            issubclass(payload_type, Bundle),
+        )
+        self._dispatch[payload_type] = entry
+        return entry
+
     def send(self, dst: SiteId, payload: Payload) -> None:
         if self.crashed:
             return
-        if isinstance(payload, self._sequenced) and payload.seq < 0:
+        entry = self._dispatch.get(payload.__class__)
+        if entry is None:
+            entry = self._resolve_dispatch(payload.__class__)
+        if entry[1] and payload.seq < 0:
             seq = self._mutation_seq.get(dst, 0) + 1
             self._mutation_seq[dst] = seq
             payload = replace(payload, seq=seq)
@@ -240,19 +267,20 @@ class Site:
         """Network delivery entry point."""
         if self.crashed:
             return
-        from ..net.batching import Bundle
-
-        if isinstance(message.payload, Bundle):
-            for payload in message.payload.payloads:
-                self.receive(Message(src=message.src, dst=message.dst, payload=payload))
-            return
         payload = message.payload
-        if isinstance(payload, self._sequenced) and payload.seq > 0:
+        entry = self._dispatch.get(payload.__class__)
+        if entry is None:
+            entry = self._resolve_dispatch(payload.__class__)
+        handler, is_sequenced, is_bundle = entry
+        if is_bundle:
+            for inner in payload.payloads:
+                self.receive(Message(src=message.src, dst=message.dst, payload=inner))
+            return
+        if is_sequenced and payload.seq > 0:
             window = self._mutation_dedup.setdefault(message.src, DedupWindow())
             if window.seen(payload.seq):
                 self.metrics.incr(names.dup_suppressed(message.kind))
                 return
-        handler = self._handlers.get(type(payload))
         if handler is None:
             raise TypeError(f"site {self.site_id}: no handler for {message.kind}")
         handler(message)
@@ -260,6 +288,9 @@ class Site:
     def register_handler(self, payload_type, handler) -> None:
         """Extension point used by the baseline collectors."""
         self._handlers[payload_type] = handler
+        # Any cached classification of this type (including a cached "no
+        # handler") is now stale.
+        self._dispatch.clear()
 
     @property
     def engine(self):

@@ -1,0 +1,165 @@
+"""Hot-path overhaul vs frozen legacy engine: byte-for-byte equivalence.
+
+The per-event overhaul (tuple-keyed scheduler heap, per-link send caches,
+interned counter cells, type-keyed site dispatch) is a pure mechanical
+rewrite: RNG draw order, event firing order, counter names/values *and
+insertion order*, snapshots, and trace outcomes must all be unchanged.
+These tests run twin scenarios -- once on the frozen pre-overhaul layers
+(:mod:`repro.sim.legacy_hot_path`), once on the current engine -- and
+compare everything observable:
+
+- the clean steady-state scenario (churn + doomed ring + explicit GC
+  rounds, deferred-send bundles enabled so the ``Bundle`` dispatch path
+  runs);
+- the chaos scenario: a loss+duplication+reorder fault plan plus mid-run
+  crash/recover and partition/heal edges, which walks every link-cache
+  invalidation rule (crash, recover, partition, heal) against the legacy
+  recompute-per-send semantics;
+- a 2-worker parallel twin, where shard workers inherit whichever engine
+  classes the coordinator constructed before the fork.
+
+Counter dicts are compared as ordered item lists: interned cells must not
+even reorder first-touch counter creation.
+"""
+
+import json
+from contextlib import nullcontext
+
+import pytest
+
+from repro import GcConfig, NetworkConfig, Simulation, SimulationConfig
+from repro.analysis.export import graph_snapshot
+from repro.net.faults import FaultPlan
+from repro.sim.legacy_hot_path import use_legacy_hot_path
+from repro.sim.parallel import ParallelSimulation
+from repro.workloads import ChurnConfig, SiteChurn, build_ring_cycle
+
+SITES = [f"s{i:02d}" for i in range(8)]
+GC = dict(
+    local_trace_period=100.0,
+    local_trace_period_jitter=25.0,
+    suspicion_threshold=2,
+    assumed_cycle_length=2,
+    back_threshold_increment=1,
+)
+NETWORK = dict(min_latency=5.0, max_latency=20.0, pair_rng_streams=True)
+CHAOS_PLAN = FaultPlan.loss(0.15, start=40.0, end=220.0).merge(
+    FaultPlan.duplication(0.2, copies=1, lag=10.0, start=40.0, end=220.0),
+    FaultPlan.reorder_burst(0.3, delay=15.0, start=40.0, end=220.0),
+).named("hot-path-storm")
+
+
+def _run(legacy, workers=1, chaos=False, seed=13, defer=False):
+    """One twin leg; returns every observable the twins must share."""
+    engine = use_legacy_hot_path() if legacy else nullcontext()
+    with engine:
+        config = SimulationConfig(
+            seed=seed,
+            gc=GcConfig(defer_messages=defer, **GC),
+            network=NetworkConfig(**NETWORK),
+            parallel_workers=workers,
+        )
+        sim = Simulation.create(config, fault_plan=CHAOS_PLAN if chaos else None)
+        sim.add_sites(SITES, auto_gc=True)
+        doomed = build_ring_cycle(sim, SITES[:4])
+        churn = SiteChurn(sim, SITES, ChurnConfig(mean_interval=5.0))
+        churn.start(until=200.0)
+        parallel = isinstance(sim, ParallelSimulation)
+
+        sim.run_for(100.0)
+        if chaos:
+            # Crash/recover (and, sequentially, partition/heal) mid-run: every
+            # link-cache invalidation edge fires while traffic is in flight.
+            if parallel:
+                sim.crash_site("s05")
+            else:
+                sim.site("s05").crash()
+            sim.run_for(60.0)
+            if parallel:
+                sim.recover_site("s05")
+            else:
+                sim.site("s05").recover()
+            if not parallel:
+                sim.network.partition(set(SITES[:4]), set(SITES[4:]))
+                sim.run_for(40.0)
+                sim.network.heal_partition()
+        sim.run_for(250.0)
+
+        sim.quiesce_auto_gc()
+        sim.settle(quiet_time=30.0, max_rounds=3000)
+        doomed.make_garbage(sim)
+        for _ in range(8):
+            sim.run_gc_round()
+        sim.settle(quiet_time=30.0, max_rounds=3000)
+
+        if parallel:
+            snapshot = sim.snapshot()
+            counters = sim.merged_metrics().snapshot().counters
+            events_fired = None  # per-worker counts live off-process
+        else:
+            snapshot = graph_snapshot(sim)
+            counters = sim.metrics.snapshot().counters
+            events_fired = sim.scheduler.events_fired
+        snapshot.pop("time", None)
+        outcomes = sim.trace_outcomes
+        if parallel:
+            sim.close()
+    return {
+        "snapshot": json.dumps(snapshot, sort_keys=True),
+        # Ordered items: values AND first-touch creation order must match.
+        "counters": list(counters.items()),
+        "outcomes": outcomes,
+        "events_fired": events_fired,
+    }
+
+
+def _assert_twin(new, old):
+    assert new["snapshot"] == old["snapshot"]
+    assert new["counters"] == old["counters"]
+    assert new["outcomes"] == old["outcomes"]
+    assert new["events_fired"] == old["events_fired"]
+
+
+def test_clean_run_is_byte_identical_to_legacy_engine():
+    _assert_twin(_run(legacy=False, defer=True), _run(legacy=True, defer=True))
+
+
+def test_chaos_run_is_byte_identical_to_legacy_engine():
+    # The storm leg: fault-plan rolls, duplicate suppression, crash/partition
+    # drops at send and in flight -- with link caches invalidated mid-run.
+    _assert_twin(
+        _run(legacy=False, chaos=True, seed=29),
+        _run(legacy=True, chaos=True, seed=29),
+    )
+
+
+def test_parallel_run_is_byte_identical_to_legacy_engine():
+    _assert_twin(
+        _run(legacy=False, workers=2, seed=17),
+        _run(legacy=True, workers=2, seed=17),
+    )
+
+
+def test_legacy_patching_is_scoped_and_restored():
+    from repro.sim import simulation
+    from repro.sim.legacy_hot_path import (
+        LegacyNetwork,
+        LegacyScheduler,
+        LegacySite,
+    )
+
+    saved = (simulation.Scheduler, simulation.Network, simulation.Site)
+    with use_legacy_hot_path():
+        assert simulation.Scheduler is LegacyScheduler
+        assert simulation.Network is LegacyNetwork
+        assert simulation.Site is LegacySite
+        sim = Simulation.create(SimulationConfig(seed=1))
+        sim.add_sites(["P", "Q"], auto_gc=False)
+        assert isinstance(sim.scheduler, LegacyScheduler)
+        assert isinstance(sim.network, LegacyNetwork)
+        assert isinstance(sim.site("P"), LegacySite)
+    assert (simulation.Scheduler, simulation.Network, simulation.Site) == saved
+    # Instances constructed inside the block keep their legacy classes and
+    # keep working after restoration.
+    sim.site("P").heap.alloc(persistent_root=True)
+    sim.run_for(10.0)
